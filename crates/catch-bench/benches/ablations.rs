@@ -1,0 +1,5 @@
+//! Ablation studies of the CATCH design choices (see DESIGN.md).
+
+fn main() {
+    catch_bench::run_experiment("ablations");
+}

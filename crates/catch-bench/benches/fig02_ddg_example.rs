@@ -1,0 +1,5 @@
+//! Regenerates the paper's worked DDG example (Figures 2 and 6).
+
+fn main() {
+    catch_bench::run_experiment("fig2");
+}

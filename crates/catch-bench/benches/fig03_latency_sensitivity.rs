@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig3 (see catch-core::experiments).
+
+fn main() {
+    catch_bench::run_experiment("fig3");
+}

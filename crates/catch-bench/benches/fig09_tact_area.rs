@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 9 (TACT structure area).
+
+fn main() {
+    catch_bench::run_experiment("fig9");
+}

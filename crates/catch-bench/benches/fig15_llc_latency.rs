@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig15 (see catch-core::experiments).
+
+fn main() {
+    catch_bench::run_experiment("fig15");
+}

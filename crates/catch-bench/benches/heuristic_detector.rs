@@ -1,0 +1,5 @@
+//! Graph-based vs heuristic criticality detection (paper Section IV-A).
+
+fn main() {
+    catch_bench::run_experiment("heuristic");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's sec6d2 (see catch-core::experiments).
+
+fn main() {
+    catch_bench::run_experiment("sec6d2");
+}

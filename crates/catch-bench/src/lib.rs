@@ -1,0 +1,48 @@
+//! Shared driver for the figure-regeneration bench targets.
+//!
+//! Each `cargo bench` target under `benches/` regenerates one table or
+//! figure of the CATCH paper by calling [`run_experiment`] with its
+//! experiment id. The evaluation scale can be adjusted with environment
+//! variables:
+//!
+//! * `CATCH_OPS` — micro-ops per workload (default: the standard scale).
+//! * `CATCH_WARMUP` — warm-up micro-ops excluded from measurement.
+//! * `CATCH_SEED` — trace-generation seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use catch_core::experiments::{self, EvalConfig};
+use std::time::Instant;
+
+/// Reads the evaluation scale from the environment (see crate docs).
+pub fn eval_from_env() -> EvalConfig {
+    let mut eval = EvalConfig::standard();
+    if let Some(ops) = std::env::var("CATCH_OPS").ok().and_then(|v| v.parse().ok()) {
+        eval.ops = ops;
+    }
+    if let Some(warmup) = std::env::var("CATCH_WARMUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        eval.warmup = warmup;
+    }
+    if let Some(seed) = std::env::var("CATCH_SEED").ok().and_then(|v| v.parse().ok()) {
+        eval.seed = seed;
+    }
+    eval
+}
+
+/// Runs one experiment by id and prints its report (the same rows/series
+/// the paper's figure or table reports).
+pub fn run_experiment(id: &str) {
+    let eval = eval_from_env();
+    eprintln!(
+        "[catch-bench] running {id} at ops={} warmup={} seed={}",
+        eval.ops, eval.warmup, eval.seed
+    );
+    let start = Instant::now();
+    let report = experiments::run(id, &eval);
+    println!("{report}");
+    eprintln!("[catch-bench] {id} finished in {:.1}s", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,297 @@
+//! The set-associative tag array.
+
+use crate::config::CacheConfig;
+use crate::replacement::ReplacementPolicy;
+use crate::stats::CacheStats;
+use catch_trace::LineAddr;
+
+#[derive(Copy, Clone, Debug)]
+struct Entry {
+    line: LineAddr,
+    dirty: bool,
+}
+
+/// A line evicted by a fill.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Victim {
+    /// The evicted line.
+    pub line: LineAddr,
+    /// Whether it held modified data.
+    pub dirty: bool,
+}
+
+/// A set-associative cache tag array with pluggable replacement.
+///
+/// The array tracks presence and dirtiness only — the simulator is
+/// trace-driven, so no data payload is stored. All state updates
+/// (recency, insertion, eviction) happen immediately at call time; timing
+/// is handled by the hierarchy controller and the in-flight ledger.
+#[derive(Debug)]
+pub struct CacheArray {
+    name: String,
+    sets: usize,
+    ways: usize,
+    latency: u64,
+    entries: Vec<Option<Entry>>,
+    repl: Box<dyn ReplacementPolicy>,
+    stats: CacheStats,
+}
+
+impl CacheArray {
+    /// Builds an array from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` has an invalid geometry (construct configs with
+    /// [`CacheConfig::new`], which validates).
+    pub fn new(config: &CacheConfig) -> Self {
+        let sets = config
+            .sets()
+            .expect("CacheConfig::new validated the geometry");
+        CacheArray {
+            name: config.name.clone(),
+            sets,
+            ways: config.ways,
+            latency: config.latency,
+            entries: vec![None; sets * config.ways],
+            repl: config.repl.build(sets, config.ways),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Cache name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of sets.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn way_count(&self) -> usize {
+        self.ways
+    }
+
+    /// Round-trip hit latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Adds `extra` cycles to the hit latency (latency-sensitivity studies).
+    pub fn add_latency(&mut self, extra: u64) {
+        self.latency += extra;
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (e.g. after warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.get() % self.sets as u64) as usize
+    }
+
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    fn find(&self, line: LineAddr) -> Option<(usize, usize)> {
+        let set = self.set_of(line);
+        (0..self.ways).find_map(|way| {
+            let e = self.entries[self.slot(set, way)]?;
+            (e.line == line).then_some((set, way))
+        })
+    }
+
+    /// Looks the line up, updating recency and hit/miss statistics.
+    pub fn lookup(&mut self, line: LineAddr) -> bool {
+        self.stats.accesses += 1;
+        if let Some((set, way)) = self.find(line) {
+            self.stats.hits += 1;
+            self.repl.on_hit(set, way);
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Checks presence without disturbing replacement state or statistics.
+    pub fn probe(&self, line: LineAddr) -> bool {
+        self.find(line).is_some()
+    }
+
+    /// Inserts `line`; returns the evicted victim, if the set was full.
+    ///
+    /// Filling a line that is already present only upgrades its dirty bit
+    /// and recency; no victim results.
+    pub fn fill(&mut self, line: LineAddr, dirty: bool, prefetched: bool) -> Option<Victim> {
+        self.stats.fills += 1;
+        if let Some((set, way)) = self.find(line) {
+            let slot = self.slot(set, way);
+            let entry = self.entries[slot]
+                .as_mut()
+                .expect("find returned an occupied way");
+            entry.dirty |= dirty;
+            self.repl.on_hit(set, way);
+            return None;
+        }
+        let set = self.set_of(line);
+        let (way, victim) = match (0..self.ways).find(|&w| self.entries[self.slot(set, w)].is_none())
+        {
+            Some(way) => (way, None),
+            None => {
+                let way = self.repl.victim(set);
+                debug_assert!(way < self.ways, "policy returned an in-range way");
+                let slot = self.slot(set, way);
+                let old = self.entries[slot].expect("full set has no empty ways");
+                self.stats.evictions += 1;
+                if old.dirty {
+                    self.stats.dirty_evictions += 1;
+                }
+                (
+                    way,
+                    Some(Victim {
+                        line: old.line,
+                        dirty: old.dirty,
+                    }),
+                )
+            }
+        };
+        let slot = self.slot(set, way);
+        self.entries[slot] = Some(Entry { line, dirty });
+        self.repl.on_fill(set, way, prefetched);
+        victim
+    }
+
+    /// Removes `line` if present, returning whether it was dirty.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        let (set, way) = self.find(line)?;
+        let slot = self.slot(set, way);
+        let entry = self.entries[slot].take();
+        self.stats.invalidations += 1;
+        entry.map(|e| e.dirty)
+    }
+
+    /// Marks `line` dirty if present; returns whether it was found.
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        if let Some((set, way)) = self.find(line) {
+            let slot = self.slot(set, way);
+            if let Some(e) = self.entries[slot].as_mut() {
+                e.dirty = true;
+            }
+            self.repl.on_hit(set, way);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of currently valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    fn tiny() -> CacheArray {
+        // 2 sets x 2 ways.
+        CacheArray::new(&CacheConfig::new("t", 4 * 64, 2, 3).unwrap())
+    }
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert!(!c.lookup(line(0)));
+        assert!(c.fill(line(0), false, false).is_none());
+        assert!(c.lookup(line(0)));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn eviction_returns_lru_victim() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0 (2 sets).
+        c.fill(line(0), false, false);
+        c.fill(line(2), true, false);
+        c.lookup(line(0)); // 2 becomes LRU
+        let v = c.fill(line(4), false, false).unwrap();
+        assert_eq!(v, Victim { line: line(2), dirty: true });
+        assert!(c.probe(line(0)));
+        assert!(c.probe(line(4)));
+        assert!(!c.probe(line(2)));
+        assert_eq!(c.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn refill_upgrades_dirty_without_victim() {
+        let mut c = tiny();
+        c.fill(line(0), false, false);
+        c.fill(line(2), false, false);
+        assert!(c.fill(line(0), true, false).is_none());
+        c.lookup(line(0));
+        let v = c.fill(line(4), false, false).unwrap();
+        // line 2 is LRU; line 0 must still be present and dirty.
+        assert_eq!(v.line, line(2));
+        assert!(c.invalidate(line(0)).unwrap());
+    }
+
+    #[test]
+    fn invalidate_absent_returns_none() {
+        let mut c = tiny();
+        assert!(c.invalidate(line(9)).is_none());
+    }
+
+    #[test]
+    fn mark_dirty_only_when_present() {
+        let mut c = tiny();
+        assert!(!c.mark_dirty(line(1)));
+        c.fill(line(1), false, false);
+        assert!(c.mark_dirty(line(1)));
+        assert_eq!(c.invalidate(line(1)), Some(true));
+    }
+
+    #[test]
+    fn probe_does_not_touch_stats() {
+        let mut c = tiny();
+        c.fill(line(0), false, false);
+        let before = c.stats().accesses;
+        assert!(c.probe(line(0)));
+        assert_eq!(c.stats().accesses, before);
+    }
+
+    #[test]
+    fn occupancy_counts_valid_lines() {
+        let mut c = tiny();
+        assert_eq!(c.occupancy(), 0);
+        c.fill(line(0), false, false);
+        c.fill(line(1), false, false);
+        assert_eq!(c.occupancy(), 2);
+        c.invalidate(line(0));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn add_latency_applies() {
+        let mut c = tiny();
+        assert_eq!(c.latency(), 3);
+        c.add_latency(2);
+        assert_eq!(c.latency(), 5);
+    }
+}

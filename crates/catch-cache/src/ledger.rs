@@ -1,0 +1,244 @@
+//! MSHR-style tracking of in-flight fills.
+
+use crate::level::Level;
+use catch_trace::LineAddr;
+use std::collections::HashMap;
+
+/// Who initiated the fill that is (or was) in flight.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum FillOrigin {
+    /// A demand load/store/code fetch.
+    Demand,
+    /// A prefetch that found its data at `source`.
+    Prefetch {
+        /// Level that supplied the data.
+        source: Level,
+        /// True if issued by a TACT prefetcher (vs. baseline prefetchers);
+        /// used by the Figure 11 timeliness accounting.
+        tact: bool,
+    },
+}
+
+impl FillOrigin {
+    /// True for prefetch-initiated fills.
+    pub fn is_prefetch(self) -> bool {
+        matches!(self, FillOrigin::Prefetch { .. })
+    }
+}
+
+/// An outstanding (or recently completed, not-yet-consumed) fill.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct InFlight {
+    /// Cycle at which the data arrives in the cache.
+    pub ready: u64,
+    /// Who initiated it.
+    pub origin: FillOrigin,
+}
+
+impl InFlight {
+    /// Remaining wait if accessed at `now` (zero when already arrived).
+    pub fn remaining(&self, now: u64) -> u64 {
+        self.ready.saturating_sub(now)
+    }
+}
+
+/// Tracks outstanding fills into one cache.
+///
+/// The simulator applies fills to the tag array immediately (tag state is
+/// presence-accurate); the ledger supplies the *timing*: a demand access to
+/// a line whose fill is still in flight observes the remaining latency,
+/// which is exactly how an MSHR merge behaves. Prefetch entries additionally
+/// persist until the first demand use so the hierarchy can classify
+/// prefetch timeliness (how much of the source-level latency the prefetch
+/// hid), which Figure 11 of the paper reports.
+#[derive(Debug, Default)]
+pub struct InFlightLedger {
+    map: HashMap<LineAddr, InFlight>,
+}
+
+impl InFlightLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a fill for `line` arriving at `ready`.
+    ///
+    /// A demand fill overwrites a prefetch entry only if it would arrive
+    /// earlier (the demand was issued because the prefetch had not been —
+    /// in hardware the MSHR merges and the earlier completion wins).
+    pub fn insert(&mut self, line: LineAddr, fill: InFlight) {
+        self.map
+            .entry(line)
+            .and_modify(|existing| {
+                if fill.ready < existing.ready {
+                    existing.ready = fill.ready;
+                }
+            })
+            .or_insert(fill);
+    }
+
+    /// Consumes the entry for `line` on a demand access, returning it.
+    ///
+    /// The entry is removed: the first demand use of a prefetched line is
+    /// the one whose latency the prefetch saved.
+    pub fn consume(&mut self, line: LineAddr) -> Option<InFlight> {
+        self.map.remove(&line)
+    }
+
+    /// True if a fill for `line` has been issued and has not yet arrived.
+    pub fn is_pending(&self, line: LineAddr, now: u64) -> bool {
+        self.map.get(&line).is_some_and(|f| f.ready > now)
+    }
+
+    /// True if the ledger knows about `line` at all (pending or landed but
+    /// unconsumed).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.map.contains_key(&line)
+    }
+
+    /// Drops the entry for an evicted line.
+    pub fn evict(&mut self, line: LineAddr) {
+        self.map.remove(&line);
+    }
+
+    /// Number of tracked fills.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Removes entries that arrived before `horizon` (periodic cleanup so
+    /// unconsumed prefetch entries do not accumulate without bound).
+    pub fn retire_older_than(&mut self, horizon: u64) {
+        self.map.retain(|_, f| f.ready >= horizon);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn pending_until_ready() {
+        let mut l = InFlightLedger::new();
+        l.insert(
+            line(1),
+            InFlight {
+                ready: 100,
+                origin: FillOrigin::Demand,
+            },
+        );
+        assert!(l.is_pending(line(1), 50));
+        assert!(!l.is_pending(line(1), 100));
+        assert!(l.contains(line(1)));
+    }
+
+    #[test]
+    fn consume_removes() {
+        let mut l = InFlightLedger::new();
+        let fill = InFlight {
+            ready: 10,
+            origin: FillOrigin::Prefetch {
+                source: Level::Llc,
+                tact: true,
+            },
+        };
+        l.insert(line(2), fill);
+        assert_eq!(l.consume(line(2)), Some(fill));
+        assert_eq!(l.consume(line(2)), None);
+    }
+
+    #[test]
+    fn demand_merge_keeps_earliest_ready() {
+        let mut l = InFlightLedger::new();
+        l.insert(
+            line(3),
+            InFlight {
+                ready: 100,
+                origin: FillOrigin::Prefetch {
+                    source: Level::Memory,
+                    tact: false,
+                },
+            },
+        );
+        l.insert(
+            line(3),
+            InFlight {
+                ready: 80,
+                origin: FillOrigin::Demand,
+            },
+        );
+        let f = l.consume(line(3)).unwrap();
+        assert_eq!(f.ready, 80);
+        // Origin stays with the first requester (the prefetch).
+        assert!(f.origin.is_prefetch());
+
+        // A later fill does not extend an earlier one.
+        l.insert(
+            line(4),
+            InFlight {
+                ready: 50,
+                origin: FillOrigin::Demand,
+            },
+        );
+        l.insert(
+            line(4),
+            InFlight {
+                ready: 70,
+                origin: FillOrigin::Demand,
+            },
+        );
+        assert_eq!(l.consume(line(4)).unwrap().ready, 50);
+    }
+
+    #[test]
+    fn remaining_saturates() {
+        let f = InFlight {
+            ready: 10,
+            origin: FillOrigin::Demand,
+        };
+        assert_eq!(f.remaining(4), 6);
+        assert_eq!(f.remaining(11), 0);
+    }
+
+    #[test]
+    fn cleanup_retains_future_fills() {
+        let mut l = InFlightLedger::new();
+        for i in 0..10 {
+            l.insert(
+                line(i),
+                InFlight {
+                    ready: i * 10,
+                    origin: FillOrigin::Demand,
+                },
+            );
+        }
+        l.retire_older_than(50);
+        assert_eq!(l.len(), 5);
+        assert!(!l.contains(line(0)));
+        assert!(l.contains(line(9)));
+    }
+
+    #[test]
+    fn evict_drops_entry() {
+        let mut l = InFlightLedger::new();
+        l.insert(
+            line(7),
+            InFlight {
+                ready: 5,
+                origin: FillOrigin::Demand,
+            },
+        );
+        l.evict(line(7));
+        assert!(l.is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! The [`Level`] enum naming each tier of the hierarchy.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A tier of the memory hierarchy where a request can be satisfied.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Level {
+    /// Level-1 cache (instruction or data, 5-cycle hits in the baseline).
+    L1,
+    /// Private level-2 cache (15-cycle round trip in the baseline).
+    L2,
+    /// Shared last-level cache (40-cycle round trip in the baseline).
+    Llc,
+    /// Off-die DRAM.
+    Memory,
+}
+
+impl Level {
+    /// All levels, fastest first.
+    pub const ALL: [Level; 4] = [Level::L1, Level::L2, Level::Llc, Level::Memory];
+
+    /// True if the request was satisfied on-die.
+    pub const fn is_on_die(self) -> bool {
+        !matches!(self, Level::Memory)
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Level::L1 => "L1",
+            Level::L2 => "L2",
+            Level::Llc => "LLC",
+            Level::Memory => "MEM",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_fastest_first() {
+        assert!(Level::L1 < Level::L2);
+        assert!(Level::L2 < Level::Llc);
+        assert!(Level::Llc < Level::Memory);
+    }
+
+    #[test]
+    fn on_die_predicate() {
+        assert!(Level::L1.is_on_die());
+        assert!(Level::Llc.is_on_die());
+        assert!(!Level::Memory.is_on_die());
+    }
+}

@@ -1,0 +1,49 @@
+//! Set-associative cache models and multi-level hierarchy controllers.
+//!
+//! This crate provides the on-die cache substrate of the CATCH simulator:
+//!
+//! * [`CacheArray`] — a set-associative tag array parameterised by a
+//!   [`ReplacementPolicy`] (LRU, SRRIP, random),
+//! * [`InFlightLedger`] — MSHR-style tracking of outstanding fills, which
+//!   gives demand accesses that land on an in-flight (prefetched) line the
+//!   *remaining* latency — the mechanism behind the paper's Figure 11
+//!   timeliness analysis,
+//! * [`CacheHierarchy`] — the three organisations studied by the paper:
+//!   three-level with exclusive LLC (Skylake-server-like), three-level with
+//!   inclusive LLC (Skylake-client-like), and the two-level no-L2
+//!   organisation that CATCH enables.
+//!
+//! The hierarchy is multi-core: private L1I/L1D (and optionally L2) per
+//! core in front of one shared LLC backed by a [`MemoryBackend`].
+//!
+//! # Example
+//!
+//! ```
+//! use catch_cache::{CacheHierarchy, HierarchyConfig, AccessKind, FixedLatencyBackend};
+//! use catch_trace::Addr;
+//!
+//! let config = HierarchyConfig::skylake_server(1);
+//! let mut h = CacheHierarchy::new(&config, Box::new(FixedLatencyBackend::new(200)));
+//! let miss = h.access(0, AccessKind::Load, Addr::new(0x1000).line(), 0);
+//! let hit = h.access(0, AccessKind::Load, Addr::new(0x1000).line(), miss.ready_at(0));
+//! assert!(hit.latency < miss.latency);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod config;
+mod hierarchy;
+mod ledger;
+mod level;
+mod replacement;
+mod stats;
+
+pub use array::{CacheArray, Victim};
+pub use config::{CacheConfig, CacheConfigError, HierarchyConfig, HierarchyKind, RingConfig};
+pub use hierarchy::{AccessKind, AccessOutcome, CacheHierarchy, FixedLatencyBackend, MemoryBackend};
+pub use ledger::{FillOrigin, InFlightLedger};
+pub use level::Level;
+pub use replacement::{Lru, RandomRepl, ReplKind, ReplacementPolicy, Srrip};
+pub use stats::{CacheStats, HierarchyStats, PrefetchTimeliness, TrafficStats};

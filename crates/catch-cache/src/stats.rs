@@ -1,0 +1,199 @@
+//! Statistics for caches, traffic and prefetch timeliness.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Counters for one cache array.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups (demand + prefetch walks).
+    pub accesses: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Lines inserted.
+    pub fills: u64,
+    /// Valid lines displaced by fills.
+    pub evictions: u64,
+    /// Evictions of modified lines.
+    pub dirty_evictions: u64,
+    /// Lines removed by invalidation (back-invalidates, exclusive moves).
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups (0 when never accessed).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Total array activity (reads + writes), used by the energy model.
+    pub fn activity(&self) -> u64 {
+        self.accesses + self.fills
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} acc, {:.1}% hit, {} fills, {} evict ({} dirty)",
+            self.accesses,
+            100.0 * self.hit_rate(),
+            self.fills,
+            self.evictions,
+            self.dirty_evictions
+        )
+    }
+}
+
+/// Messages crossing hierarchy boundaries; feeds the energy model and the
+/// Section VI-E traffic analysis.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Requests from the private side to the shared LLC.
+    pub llc_requests: u64,
+    /// Data replies from the LLC (or beyond) back to a core.
+    pub llc_replies: u64,
+    /// Writebacks / victim fills travelling from a core to the LLC.
+    pub llc_writebacks: u64,
+    /// Back-invalidate snoops from an inclusive LLC into private caches.
+    pub back_invalidates: u64,
+    /// Cache-to-cache transfers: LLC misses served by another core's
+    /// private copy (snoop hit).
+    pub c2c_transfers: u64,
+    /// DRAM read accesses.
+    pub dram_reads: u64,
+    /// DRAM write accesses.
+    pub dram_writes: u64,
+}
+
+impl TrafficStats {
+    /// Total on-die interconnect messages (requests + replies + writebacks
+    /// + snoops).
+    pub fn interconnect_messages(&self) -> u64 {
+        self.llc_requests
+            + self.llc_replies
+            + self.llc_writebacks
+            + self.back_invalidates
+            + 2 * self.c2c_transfers
+    }
+
+    /// Total DRAM accesses.
+    pub fn dram_accesses(&self) -> u64 {
+        self.dram_reads + self.dram_writes
+    }
+}
+
+/// Timeliness classification of TACT prefetches, as reported by Figure 11.
+///
+/// A used prefetch saved `source_latency - observed_latency` cycles for its
+/// first demand consumer; buckets are expressed as a fraction of the LLC
+/// hit latency.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefetchTimeliness {
+    /// TACT prefetches issued (post-dedup).
+    pub issued: u64,
+    /// TACT prefetches whose data came from the LLC.
+    pub from_llc: u64,
+    /// TACT prefetches whose data came from the L2.
+    pub from_l2: u64,
+    /// TACT prefetches whose data came from DRAM.
+    pub from_memory: u64,
+    /// Prefetched lines consumed by a demand access.
+    pub used: u64,
+    /// Used prefetches saving more than 80% of the LLC hit latency.
+    pub saved_over_80: u64,
+    /// Used prefetches saving 10–80% of the LLC hit latency.
+    pub saved_10_to_80: u64,
+    /// Used prefetches saving less than 10% of the LLC hit latency.
+    pub saved_under_10: u64,
+}
+
+impl PrefetchTimeliness {
+    /// Fraction of issued TACT prefetches served from the LLC.
+    pub fn llc_fraction(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.from_llc as f64 / self.issued as f64
+        }
+    }
+
+    /// Fraction of used prefetches that saved more than 80% of the LLC
+    /// latency.
+    pub fn over_80_fraction(&self) -> f64 {
+        if self.used == 0 {
+            0.0
+        } else {
+            self.saved_over_80 as f64 / self.used as f64
+        }
+    }
+}
+
+/// Aggregated hierarchy statistics snapshot.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// Per-core L1 instruction cache stats.
+    pub l1i: Vec<CacheStats>,
+    /// Per-core L1 data cache stats.
+    pub l1d: Vec<CacheStats>,
+    /// Per-core L2 stats (empty in two-level mode).
+    pub l2: Vec<CacheStats>,
+    /// Shared LLC stats.
+    pub llc: CacheStats,
+    /// Boundary traffic.
+    pub traffic: TrafficStats,
+    /// TACT timeliness.
+    pub timeliness: PrefetchTimeliness,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let s = CacheStats {
+            accesses: 10,
+            hits: 4,
+            ..Default::default()
+        };
+        assert!((s.hit_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_totals() {
+        let t = TrafficStats {
+            llc_requests: 5,
+            llc_replies: 4,
+            llc_writebacks: 3,
+            back_invalidates: 2,
+            c2c_transfers: 1,
+            dram_reads: 7,
+            dram_writes: 1,
+        };
+        assert_eq!(t.interconnect_messages(), 16);
+        assert_eq!(t.dram_accesses(), 8);
+    }
+
+    #[test]
+    fn timeliness_fractions() {
+        let p = PrefetchTimeliness {
+            issued: 10,
+            from_llc: 8,
+            used: 5,
+            saved_over_80: 4,
+            ..Default::default()
+        };
+        assert!((p.llc_fraction() - 0.8).abs() < 1e-12);
+        assert!((p.over_80_fraction() - 0.8).abs() < 1e-12);
+        assert_eq!(PrefetchTimeliness::default().llc_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Chip-area model for cache hierarchies (paper Section VI narrative).
+//!
+//! The paper estimates, from die plots of contemporary processors, that
+//! removing a 1 MB L2 from each of four cores shrinks the
+//! caches-plus-core area by roughly 30%. This module provides an
+//! analytical SRAM-area model (mm² at a 14 nm-class node) so the
+//! design-space example and tests can reproduce that arithmetic.
+
+use catch_cache::{HierarchyConfig, HierarchyKind};
+use serde::{Deserialize, Serialize};
+
+/// Area constants (mm²) for a 14 nm-class process.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AreaConstants {
+    /// SRAM plus tag/periphery per MB of cache.
+    pub mm2_per_mb: f64,
+    /// Fixed overhead per distinct cache array (controllers, queues).
+    pub mm2_per_array: f64,
+    /// A core excluding its caches.
+    pub core_mm2: f64,
+    /// Snoop filter / coherence directory required by an exclusive LLC
+    /// (paper §II: "moving to an exclusive LLC also requires a separate
+    /// snoop filter or coherence directory that also adds area").
+    pub snoop_filter_mm2_per_core: f64,
+}
+
+impl AreaConstants {
+    /// Defaults calibrated so the paper's "~30% lower area without the
+    /// L2s (for the cache + uncore portion)" arithmetic holds.
+    pub fn nm14() -> Self {
+        AreaConstants {
+            mm2_per_mb: 1.9,
+            mm2_per_array: 0.15,
+            core_mm2: 6.0,
+            snoop_filter_mm2_per_core: 0.25,
+        }
+    }
+}
+
+impl Default for AreaConstants {
+    fn default() -> Self {
+        AreaConstants::nm14()
+    }
+}
+
+/// Area breakdown of a hierarchy configuration (mm²).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AreaBreakdown {
+    /// All private L1 arrays.
+    pub l1_mm2: f64,
+    /// All private L2 arrays.
+    pub l2_mm2: f64,
+    /// The shared LLC.
+    pub llc_mm2: f64,
+    /// Coherence tracking (snoop filter for exclusive organisations).
+    pub coherence_mm2: f64,
+    /// Cores (excluding caches).
+    pub cores_mm2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total area.
+    pub fn total_mm2(&self) -> f64 {
+        self.l1_mm2 + self.l2_mm2 + self.llc_mm2 + self.coherence_mm2 + self.cores_mm2
+    }
+
+    /// Cache-only area (the portion the paper's "30% lower" refers to,
+    /// plus coherence).
+    pub fn cache_mm2(&self) -> f64 {
+        self.l1_mm2 + self.l2_mm2 + self.llc_mm2 + self.coherence_mm2
+    }
+}
+
+/// Computes the area of a hierarchy configuration.
+pub fn hierarchy_area(config: &HierarchyConfig, constants: &AreaConstants) -> AreaBreakdown {
+    let mb = |bytes: u64| bytes as f64 / (1 << 20) as f64;
+    let cores = config.cores as f64;
+    let array = constants.mm2_per_array;
+    let l1_mm2 = cores
+        * (mb(config.l1i.bytes) * constants.mm2_per_mb
+            + mb(config.l1d.bytes) * constants.mm2_per_mb
+            + 2.0 * array);
+    let l2_mm2 = if config.has_l2() {
+        cores * (mb(config.l2.bytes) * constants.mm2_per_mb + array)
+    } else {
+        0.0
+    };
+    let llc_mm2 = mb(config.llc.bytes) * constants.mm2_per_mb + array;
+    let coherence_mm2 = match config.kind {
+        HierarchyKind::ThreeLevelExclusive => cores * constants.snoop_filter_mm2_per_core,
+        // Inclusive LLC tracks sharers in its own tags; two-level keeps
+        // the (smaller) filter for the L1s.
+        HierarchyKind::ThreeLevelInclusive => 0.0,
+        HierarchyKind::TwoLevelNoL2 => cores * constants.snoop_filter_mm2_per_core * 0.5,
+    };
+    AreaBreakdown {
+        l1_mm2,
+        l2_mm2,
+        llc_mm2,
+        coherence_mm2,
+        cores_mm2: cores * constants.core_mm2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removing_l2_saves_about_30_percent_of_cache_area() {
+        let constants = AreaConstants::nm14();
+        let base = hierarchy_area(&HierarchyConfig::skylake_server(4), &constants);
+        let no_l2 = hierarchy_area(
+            &HierarchyConfig::skylake_server(4).without_l2(5632 << 10),
+            &constants,
+        );
+        let saving = 1.0 - no_l2.cache_mm2() / base.cache_mm2();
+        assert!(
+            (0.2..0.45).contains(&saving),
+            "cache-area saving {saving:.2} should be ~30%"
+        );
+    }
+
+    #[test]
+    fn iso_area_configuration_really_is_iso_area() {
+        // NoL2 + 9.5MB LLC should be close to baseline area: 4 MB of L2
+        // moves into the LLC (5.5 + 4 = 9.5 MB).
+        let constants = AreaConstants::nm14();
+        let base = hierarchy_area(&HierarchyConfig::skylake_server(4), &constants);
+        let iso = hierarchy_area(
+            &HierarchyConfig::skylake_server(4).without_l2(9728 << 10),
+            &constants,
+        );
+        let ratio = iso.total_mm2() / base.total_mm2();
+        assert!(
+            (0.95..1.02).contains(&ratio),
+            "iso-area ratio {ratio:.3} should be ~1"
+        );
+    }
+
+    #[test]
+    fn breakdown_sums() {
+        let constants = AreaConstants::nm14();
+        let a = hierarchy_area(&HierarchyConfig::skylake_client(2), &constants);
+        let sum = a.l1_mm2 + a.l2_mm2 + a.llc_mm2 + a.coherence_mm2 + a.cores_mm2;
+        assert!((a.total_mm2() - sum).abs() < 1e-9);
+        assert!(a.l2_mm2 > 0.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Energy model (Figure 16).
+//!
+//! Analytical per-event model in the spirit of CACTI (cache access
+//! energy), Orion (ring-interconnect message energy) and the Micron DRAM
+//! power calculator, since those tools are not redistributable. Only the
+//! *relative* energy between configurations matters for Figure 16; the
+//! constants below are in picojoules per event with capacity scaling
+//! lifted from published CACTI 6.0 sweeps.
+
+use crate::metrics::RunResult;
+use serde::{Deserialize, Serialize};
+
+/// Per-event energy constants (picojoules).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyConstants {
+    /// L1 access (32 KB, 8-way).
+    pub l1_access_pj: f64,
+    /// L2 access per MB of capacity (scaled by sqrt of size).
+    pub cache_access_pj_per_sqrt_mb: f64,
+    /// One interconnect (ring) message.
+    pub ring_message_pj: f64,
+    /// One DRAM access (activate amortised + IO).
+    pub dram_access_pj: f64,
+    /// Cache leakage per MB per nanosecond.
+    pub leak_pj_per_mb_ns: f64,
+    /// Core clock in GHz (cycles → ns).
+    pub core_ghz: f64,
+}
+
+impl EnergyConstants {
+    /// Defaults documented in DESIGN.md.
+    pub fn paper_like() -> Self {
+        EnergyConstants {
+            l1_access_pj: 15.0,
+            cache_access_pj_per_sqrt_mb: 250.0,
+            ring_message_pj: 60.0,
+            dram_access_pj: 15_000.0,
+            // Large SRAM arrays are leakage-dominated; this term also
+            // rewards configurations that simply finish sooner.
+            leak_pj_per_mb_ns: 12.0,
+            core_ghz: 3.2,
+        }
+    }
+}
+
+impl Default for EnergyConstants {
+    fn default() -> Self {
+        EnergyConstants::paper_like()
+    }
+}
+
+/// Energy breakdown of one run, in microjoules.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// L1 dynamic energy.
+    pub l1_uj: f64,
+    /// L2 dynamic energy.
+    pub l2_uj: f64,
+    /// LLC dynamic energy.
+    pub llc_uj: f64,
+    /// Interconnect dynamic energy.
+    pub ring_uj: f64,
+    /// DRAM energy.
+    pub dram_uj: f64,
+    /// Cache leakage energy.
+    pub leak_uj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total_uj(&self) -> f64 {
+        self.l1_uj + self.l2_uj + self.llc_uj + self.ring_uj + self.dram_uj + self.leak_uj
+    }
+}
+
+/// Computes the energy of a run given the cache capacities of its
+/// configuration.
+pub fn energy_of(
+    result: &RunResult,
+    constants: &EnergyConstants,
+    l2_bytes_per_core: u64,
+    llc_bytes: u64,
+) -> EnergyBreakdown {
+    let pj_to_uj = 1e-6;
+    let h = &result.hierarchy;
+
+    let l1_activity: u64 = h
+        .l1i
+        .iter()
+        .chain(h.l1d.iter())
+        .map(|s| s.activity())
+        .sum();
+    let l2_activity: u64 = h.l2.iter().map(|s| s.activity()).sum();
+    let llc_activity = h.llc.activity();
+
+    let l2_mb = l2_bytes_per_core as f64 / (1 << 20) as f64;
+    let llc_mb = llc_bytes as f64 / (1 << 20) as f64;
+
+    let l2_access_pj = constants.cache_access_pj_per_sqrt_mb * l2_mb.max(0.0).sqrt();
+    let llc_access_pj = constants.cache_access_pj_per_sqrt_mb * llc_mb.max(0.0).sqrt();
+
+    let ring_msgs = h.traffic.interconnect_messages();
+    let dram = h.traffic.dram_accesses();
+
+    let ns = result.core.cycles as f64 / constants.core_ghz;
+    let cores = h.l1d.len().max(1) as f64;
+    let total_cache_mb = llc_mb + cores * (l2_mb + 64.0 / 1024.0);
+
+    EnergyBreakdown {
+        l1_uj: l1_activity as f64 * constants.l1_access_pj * pj_to_uj,
+        l2_uj: l2_activity as f64 * l2_access_pj * pj_to_uj,
+        llc_uj: llc_activity as f64 * llc_access_pj * pj_to_uj,
+        ring_uj: ring_msgs as f64 * constants.ring_message_pj * pj_to_uj,
+        dram_uj: dram as f64 * constants.dram_access_pj * pj_to_uj,
+        leak_uj: total_cache_mb * ns * constants.leak_pj_per_mb_ns * pj_to_uj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catch_cache::{CacheStats, HierarchyStats, TrafficStats};
+    use catch_cpu::CoreStats;
+    use catch_trace::Category;
+
+    fn result_with(hier: HierarchyStats, cycles: u64) -> RunResult {
+        let core = CoreStats {
+            instructions: 1000,
+            cycles,
+            ..Default::default()
+        };
+        RunResult {
+            workload: "w".into(),
+            category: Category::Hpc,
+            config: "c".into(),
+            core,
+            hierarchy: hier,
+            dram: None,
+        }
+    }
+
+    fn stats(accesses: u64) -> CacheStats {
+        CacheStats {
+            accesses,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dram_dominates_when_traffic_is_memory_bound() {
+        let hier = HierarchyStats {
+            l1d: vec![stats(1000)],
+            l1i: vec![stats(100)],
+            l2: vec![stats(500)],
+            llc: stats(400),
+            traffic: TrafficStats {
+                dram_reads: 300,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let e = energy_of(
+            &result_with(hier, 10_000),
+            &EnergyConstants::paper_like(),
+            1 << 20,
+            5632 << 10,
+        );
+        assert!(e.dram_uj > e.l2_uj + e.llc_uj + e.l1_uj);
+        assert!(e.total_uj() > 0.0);
+    }
+
+    #[test]
+    fn removing_l2_removes_its_dynamic_energy() {
+        let with_l2 = HierarchyStats {
+            l1d: vec![stats(1000)],
+            l2: vec![stats(800)],
+            llc: stats(100),
+            ..Default::default()
+        };
+        let without_l2 = HierarchyStats {
+            l1d: vec![stats(1000)],
+            l2: vec![],
+            llc: stats(900),
+            ..Default::default()
+        };
+        let c = EnergyConstants::paper_like();
+        let a = energy_of(&result_with(with_l2, 1000), &c, 1 << 20, 5632 << 10);
+        let b = energy_of(&result_with(without_l2, 1000), &c, 0, 9728 << 10);
+        assert_eq!(b.l2_uj, 0.0);
+        assert!(b.llc_uj > a.llc_uj);
+    }
+
+    #[test]
+    fn leakage_scales_with_time() {
+        let hier = HierarchyStats {
+            l1d: vec![stats(0)],
+            ..Default::default()
+        };
+        let c = EnergyConstants::paper_like();
+        let short = energy_of(&result_with(hier.clone(), 1_000), &c, 1 << 20, 5632 << 10);
+        let long = energy_of(&result_with(hier, 10_000), &c, 1 << 20, 5632 << 10);
+        assert!(long.leak_uj > 5.0 * short.leak_uj);
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 1: performance impact of removing the L2.
+
+use super::{category_columns, category_pct_row, run_suite, EvalConfig};
+use crate::report::{ExperimentReport, Table, ValueKind};
+use crate::system::SystemConfig;
+
+/// Regenerates Figure 1: the baseline (1 MB L2 + 5.5 MB exclusive LLC)
+/// against `NoL2 + 6.5 MB LLC` (iso-capacity) and `NoL2 + 9.5 MB LLC`
+/// (iso-area), reported as per-category percent deltas.
+pub fn fig01_remove_l2(eval: &EvalConfig) -> ExperimentReport {
+    let base = run_suite(&SystemConfig::baseline_exclusive(), eval);
+    let no_l2_65 = run_suite(
+        &SystemConfig::baseline_exclusive().without_l2(6656 << 10),
+        eval,
+    );
+    let no_l2_95 = run_suite(
+        &SystemConfig::baseline_exclusive().without_l2(9728 << 10),
+        eval,
+    );
+
+    let mut table = Table::new(
+        "performance impact of removing L2 (vs 1MB L2 + 5.5MB excl. LLC)",
+        category_columns(),
+        ValueKind::PercentDelta,
+    );
+    table.push_row("NoL2 + 6.5MB LLC", category_pct_row(&base, &no_l2_65));
+    table.push_row("NoL2 + 9.5MB LLC", category_pct_row(&base, &no_l2_95));
+
+    ExperimentReport {
+        id: "fig1".into(),
+        title: "Performance impact of removing L2".into(),
+        tables: vec![table],
+        notes: vec![
+            "paper: NoL2+6.5MB loses ~7.8% geomean, NoL2+9.5MB (iso-area) still loses ~5.1%"
+                .into(),
+        ],
+    }
+}

@@ -1,0 +1,37 @@
+//! Figure 3: sensitivity to hit latency at each cache level.
+
+use super::{pct, run_suite, EvalConfig};
+use crate::metrics::geomean_ratio;
+use crate::report::{ExperimentReport, Table, ValueKind};
+use crate::system::SystemConfig;
+use catch_cache::Level;
+
+/// Regenerates Figure 3: +1/+2/+3 cycles at the L1, L2 and LLC of the
+/// baseline, geomean percent impact.
+pub fn fig03_latency_sensitivity(eval: &EvalConfig) -> ExperimentReport {
+    let base = run_suite(&SystemConfig::baseline_exclusive(), eval);
+    let mut table = Table::new(
+        "perf impact of added hit latency (geomean)",
+        vec!["+1 cyc".into(), "+2 cyc".into(), "+3 cyc".into()],
+        ValueKind::PercentDelta,
+    );
+    for level in [Level::L1, Level::L2, Level::Llc] {
+        let mut row = Vec::new();
+        for extra in 1..=3u64 {
+            let slowed = run_suite(
+                &SystemConfig::baseline_exclusive().with_extra_latency(level, extra),
+                eval,
+            );
+            row.push(pct(geomean_ratio(&base, &slowed)));
+        }
+        table.push_row(level.to_string(), row);
+    }
+    ExperimentReport {
+        id: "fig3".into(),
+        title: "Impact of latency increase in L1, L2 and LLC".into(),
+        tables: vec![table],
+        notes: vec![
+            "paper: L1 +3cyc ⇒ −7.2%; L2 +3cyc ⇒ −1.4%; LLC +3cyc ⇒ −0.6% — L1 is by far the most latency-sensitive level".into(),
+        ],
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 10: CATCH on the large-L2 exclusive-LLC baseline.
+
+use super::{category_columns, category_pct_row, run_suite, EvalConfig};
+use crate::report::{ExperimentReport, Table, ValueKind};
+use crate::system::SystemConfig;
+
+/// Regenerates Figure 10: the five configurations of the headline result,
+/// per category and geomean, relative to the 1 MB L2 + 5.5 MB exclusive
+/// LLC baseline.
+pub fn fig10_catch_exclusive(eval: &EvalConfig) -> ExperimentReport {
+    let base = run_suite(&SystemConfig::baseline_exclusive(), eval);
+
+    let configs = [
+        SystemConfig::baseline_exclusive().without_l2(6656 << 10),
+        SystemConfig::baseline_exclusive().without_l2(9728 << 10),
+        SystemConfig::baseline_exclusive()
+            .without_l2(6656 << 10)
+            .with_catch(),
+        SystemConfig::baseline_exclusive()
+            .without_l2(9728 << 10)
+            .with_catch(),
+        SystemConfig::baseline_exclusive().with_catch().named("CATCH"),
+    ];
+
+    let mut table = Table::new(
+        "perf vs 1MB L2 + 5.5MB exclusive LLC",
+        category_columns(),
+        ValueKind::PercentDelta,
+    );
+    for config in configs {
+        let runs = run_suite(&config, eval);
+        table.push_row(config.name.clone(), category_pct_row(&base, &runs));
+    }
+
+    ExperimentReport {
+        id: "fig10".into(),
+        title: "Performance gain on large-L2 exclusive-LLC baseline".into(),
+        tables: vec![table],
+        notes: vec![
+            "paper: NoL2+6.5 −7.8%; NoL2+9.5 −5.1%; NoL2+6.5+CATCH +4.6%; NoL2+9.5+CATCH +7.2%; CATCH +8.4%".into(),
+            "shape: CATCH recovers the no-L2 loss and beats the baseline; two-level CATCH ≈ three-level CATCH".into(),
+        ],
+    }
+}

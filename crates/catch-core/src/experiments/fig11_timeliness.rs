@@ -1,0 +1,70 @@
+//! Figure 11: timeliness of inter-cache TACT prefetching.
+
+use super::{run_suite, EvalConfig};
+use crate::report::{ExperimentReport, Table, ValueKind};
+use crate::system::SystemConfig;
+use catch_trace::Category;
+
+/// Regenerates Figure 11: on the two-level CATCH configuration, the
+/// fraction of TACT prefetches served from the LLC and the distribution
+/// of LLC-latency savings among used prefetches, per category.
+pub fn fig11_timeliness(eval: &EvalConfig) -> ExperimentReport {
+    let runs = run_suite(
+        &SystemConfig::baseline_exclusive()
+            .without_l2(9728 << 10)
+            .with_catch(),
+        eval,
+    );
+
+    let mut table = Table::new(
+        "TACT prefetch timeliness (percent)",
+        vec![
+            "% pf from LLC".into(),
+            ">80% lat saved".into(),
+            "10-80% saved".into(),
+            "<10% saved".into(),
+        ],
+        ValueKind::Percent,
+    );
+
+    let mut row_for = |label: &str, members: Vec<&crate::RunResult>| {
+        let mut issued = 0u64;
+        let mut from_llc = 0u64;
+        let mut used = 0u64;
+        let (mut hi, mut mid, mut lo) = (0u64, 0u64, 0u64);
+        for r in &members {
+            let t = r.hierarchy.timeliness;
+            issued += t.issued;
+            from_llc += t.from_llc;
+            used += t.used;
+            hi += t.saved_over_80;
+            mid += t.saved_10_to_80;
+            lo += t.saved_under_10;
+        }
+        let pct = |n: u64, d: u64| if d == 0 { 0.0 } else { 100.0 * n as f64 / d as f64 };
+        table.push_row(
+            label,
+            vec![
+                pct(from_llc, issued),
+                pct(hi, used),
+                pct(mid, used),
+                pct(lo, used),
+            ],
+        );
+    };
+
+    for cat in Category::ALL {
+        let members: Vec<_> = runs.iter().filter(|r| r.category == cat).collect();
+        row_for(cat.label(), members);
+    }
+    row_for("ALL", runs.iter().collect());
+
+    ExperimentReport {
+        id: "fig11".into(),
+        title: "Timeliness of inter-cache TACT prefetching".into(),
+        tables: vec![table],
+        notes: vec![
+            "paper: ~88% of TACT prefetches are served by the LLC; >85% of used prefetches save more than 80% of the LLC latency".into(),
+        ],
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 12: per-workload performance ratios (S-curve data).
+
+use super::{run_suite, EvalConfig};
+use crate::report::{ExperimentReport, Table, ValueKind};
+use crate::system::SystemConfig;
+
+/// Regenerates Figure 12: per-workload performance ratio against the
+/// baseline for `NoL2+6.5MB`, `NoL2+9.5MB+CATCH` and `CATCH`, sorted by
+/// the CATCH ratio (the paper plots these as S-curves).
+pub fn fig12_scurve(eval: &EvalConfig) -> ExperimentReport {
+    let base = run_suite(&SystemConfig::baseline_exclusive(), eval);
+    let no_l2 = run_suite(
+        &SystemConfig::baseline_exclusive().without_l2(6656 << 10),
+        eval,
+    );
+    let two_level_catch = run_suite(
+        &SystemConfig::baseline_exclusive()
+            .without_l2(9728 << 10)
+            .with_catch(),
+        eval,
+    );
+    let catch = run_suite(&SystemConfig::baseline_exclusive().with_catch(), eval);
+
+    let mut rows: Vec<(String, Vec<f64>)> = base
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            (
+                b.workload.clone(),
+                vec![
+                    no_l2[i].ipc() / b.ipc(),
+                    two_level_catch[i].ipc() / b.ipc(),
+                    catch[i].ipc() / b.ipc(),
+                ],
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| a.1[2].partial_cmp(&b.1[2]).expect("finite ratios"));
+
+    let mut table = Table::new(
+        "per-workload performance ratio vs baseline (sorted by CATCH)",
+        vec![
+            "NoL2+6.5MB".into(),
+            "NoL2+9.5+CATCH".into(),
+            "CATCH".into(),
+        ],
+        ValueKind::Ratio,
+    );
+    for (label, values) in rows {
+        table.push_row(label, values);
+    }
+
+    ExperimentReport {
+        id: "fig12".into(),
+        title: "Per-workload performance impact (S-curve)".into(),
+        tables: vec![table],
+        notes: vec![
+            "paper: chase-bound workloads (hmmer-like) lose most without the L2 and are largely recovered; feeder-friendly gathers (mcf-like) swing to large gains; a few pointer-chase workloads (namd/gromacs-like) are not fully recovered".into(),
+        ],
+    }
+}

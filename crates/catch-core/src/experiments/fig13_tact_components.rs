@@ -1,0 +1,42 @@
+//! Figure 13: contribution of each TACT component.
+
+use super::{category_columns, category_pct_row, run_suite, EvalConfig};
+use crate::report::{ExperimentReport, Table, ValueKind};
+use crate::system::SystemConfig;
+
+/// Regenerates Figure 13: the cumulative build-up Code → +Cross → +Deep →
+/// +Feeder over the no-L2 configuration (6.5 MB LLC), per category.
+pub fn fig13_tact_components(eval: &EvalConfig) -> ExperimentReport {
+    let no_l2 = SystemConfig::baseline_exclusive().without_l2(6656 << 10);
+    let base = run_suite(&no_l2, eval);
+
+    let steps = [
+        ("Code", (true, false, false, false)),
+        ("+CROSS", (true, true, false, false)),
+        ("+Deep", (true, true, true, false)),
+        ("+Feeder", (true, true, true, true)),
+    ];
+
+    let mut table = Table::new(
+        "cumulative TACT components over NoL2 + 6.5MB LLC",
+        category_columns(),
+        ValueKind::PercentDelta,
+    );
+    for (label, (code, cross, deep, feeder)) in steps {
+        let config = no_l2
+            .clone()
+            .with_tact_components(code, cross, deep, feeder)
+            .named(label);
+        let runs = run_suite(&config, eval);
+        table.push_row(label, category_pct_row(&base, &runs));
+    }
+
+    ExperimentReport {
+        id: "fig13".into(),
+        title: "Performance gain from each TACT component".into(),
+        tables: vec![table],
+        notes: vec![
+            "paper: Code +0.75% (server-heavy), +Cross +3.7%, +Deep +5.9%, +Feeder +2.7% — ~13% total over no-L2".into(),
+        ],
+    }
+}

@@ -1,0 +1,83 @@
+//! Figure 14: 4-way multi-programmed performance.
+
+use super::{pct, EvalConfig};
+use crate::metrics::geomean;
+use crate::report::{ExperimentReport, Table, ValueKind};
+use crate::system::{System, SystemConfig};
+
+/// Number of mixes evaluated (half RATE-4, half random).
+const MIX_COUNT: usize = 6;
+
+/// Regenerates Figure 14: weighted speedup of NoL2, NoL2+CATCH and CATCH
+/// over the 4-core baseline on 4-way mixes.
+pub fn fig14_mp(eval: &EvalConfig) -> ExperimentReport {
+    // Half RATE-4 mixes (spread across categories), half random mixes.
+    let rate4 = catch_workloads::mp::rate4_mixes();
+    let mut mixes: Vec<catch_workloads::mp::MpMix> = rate4
+        .into_iter()
+        .step_by(7) // every 7th of 20 → 3 spread-out rate4 mixes
+        .take(MIX_COUNT / 2)
+        .collect();
+    mixes.extend(catch_workloads::mp::random_mixes(MIX_COUNT - mixes.len(), eval.seed));
+
+    let baseline = SystemConfig::baseline_exclusive().with_cores(4);
+    let configs = [
+        baseline.clone().without_l2(6656 << 10).named("NoL2"),
+        baseline
+            .clone()
+            .without_l2(9728 << 10)
+            .with_catch()
+            .named("NoL2 + CATCH"),
+        baseline.clone().with_catch().named("CATCH"),
+    ];
+
+    // Per-config geomean of weighted-speedup ratios vs the baseline.
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    let alone_system = System::new(SystemConfig::baseline_exclusive());
+
+    let mut per_mix = Table::new(
+        "per-mix weighted-speedup delta vs 4-core baseline",
+        configs.iter().map(|c| c.name.clone()).collect(),
+        ValueKind::PercentDelta,
+    );
+
+    for mix in &mixes {
+        let traces = mix.generate(eval.ops, eval.seed);
+        let alone_ipc: Vec<f64> = traces
+            .iter()
+            .map(|t| alone_system.run_st(t.clone()).ipc())
+            .collect();
+
+        let base_ws = System::new(baseline.clone())
+            .run_mp(traces.clone())
+            .weighted_speedup(&alone_ipc);
+
+        let mut row = Vec::new();
+        for (i, config) in configs.iter().enumerate() {
+            let ws = System::new(config.clone())
+                .run_mp(traces.clone())
+                .weighted_speedup(&alone_ipc);
+            ratios[i].push(ws / base_ws);
+            row.push(pct(ws / base_ws));
+        }
+        per_mix.push_row(mix.name.clone(), row);
+    }
+
+    let mut table = Table::new(
+        format!("4-way MP weighted speedup vs 4-core baseline ({MIX_COUNT} mixes)"),
+        vec!["geomean".into()],
+        ValueKind::PercentDelta,
+    );
+    for (i, config) in configs.iter().enumerate() {
+        table.push_row(config.name.clone(), vec![pct(geomean(&ratios[i]))]);
+    }
+
+    ExperimentReport {
+        id: "fig14".into(),
+        title: "Performance impact on multi-programmed workloads".into(),
+        tables: vec![table, per_mix],
+        notes: vec![
+            "paper: NoL2 −4.1%; NoL2+CATCH +8.5%; CATCH +9.0% — MP gains track the ST gains".into(),
+        ],
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 15: sensitivity to LLC hit latency.
+
+use super::{pct, run_suite, EvalConfig};
+use crate::metrics::geomean_ratio;
+use crate::report::{ExperimentReport, Table, ValueKind};
+use crate::system::SystemConfig;
+use catch_cache::Level;
+
+/// Regenerates Figure 15: the no-L2 configuration and the two-level CATCH
+/// configuration under +0/+6/+12 cycles of LLC latency, relative to the
+/// (unmodified-latency) baseline.
+pub fn fig15_llc_latency(eval: &EvalConfig) -> ExperimentReport {
+    let base = run_suite(&SystemConfig::baseline_exclusive(), eval);
+
+    let mut table = Table::new(
+        "perf vs baseline under increased LLC latency",
+        vec!["LLC".into(), "LLC+6cyc".into(), "LLC+12cyc".into()],
+        ValueKind::PercentDelta,
+    );
+
+    type MakeConfig = fn() -> SystemConfig;
+    let variants: [(&str, MakeConfig); 2] = [
+        ("NoL2 + 6.5MB LLC", || {
+            SystemConfig::baseline_exclusive().without_l2(6656 << 10)
+        }),
+        ("NoL2 + 9.5MB LLC + CATCH", || {
+            SystemConfig::baseline_exclusive()
+                .without_l2(9728 << 10)
+                .with_catch()
+        }),
+    ];
+
+    for (label, make) in variants {
+        let mut row = Vec::new();
+        for extra in [0u64, 6, 12] {
+            let config = make().with_extra_latency(Level::Llc, extra);
+            let runs = run_suite(&config, eval);
+            row.push(pct(geomean_ratio(&base, &runs)));
+        }
+        table.push_row(label, row);
+    }
+
+    ExperimentReport {
+        id: "fig15".into(),
+        title: "Sensitivity to LLC hit latency".into(),
+        tables: vec![table],
+        notes: vec![
+            "paper: each +6 cycles of LLC latency costs both configurations ~2%; CATCH stays ahead but cannot fully hide a slower LLC".into(),
+        ],
+    }
+}

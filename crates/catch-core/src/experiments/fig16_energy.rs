@@ -1,0 +1,96 @@
+//! Figure 16: energy savings of the two-level CATCH hierarchy.
+
+use super::{run_suite, EvalConfig};
+use crate::energy::{energy_of, EnergyConstants};
+use crate::metrics::{geomean, RunResult};
+use crate::report::{ExperimentReport, Table, ValueKind};
+use crate::system::SystemConfig;
+use catch_trace::Category;
+
+/// Regenerates Figure 16: per-category energy savings of
+/// `NoL2 + 9.5 MB LLC + CATCH` over the three-level baseline, plus the
+/// traffic shifts the paper reports (cache/DRAM down, interconnect up).
+pub fn fig16_energy(eval: &EvalConfig) -> ExperimentReport {
+    let constants = EnergyConstants::paper_like();
+    let base_cfg = SystemConfig::baseline_exclusive();
+    let catch_cfg = SystemConfig::baseline_exclusive()
+        .without_l2(9728 << 10)
+        .with_catch();
+
+    let base = run_suite(&base_cfg, eval);
+    let catch = run_suite(&catch_cfg, eval);
+
+    let base_energy: Vec<f64> = base
+        .iter()
+        .map(|r| energy_of(r, &constants, 1 << 20, 5632 << 10).total_uj())
+        .collect();
+    let catch_energy: Vec<f64> = catch
+        .iter()
+        .map(|r| energy_of(r, &constants, 0, 9728 << 10).total_uj())
+        .collect();
+
+    let mut table = Table::new(
+        "energy savings of two-level CATCH (NoL2 + 9.5MB LLC)",
+        vec!["savings".into()],
+        ValueKind::Percent,
+    );
+    let savings =
+        |idx: Vec<usize>| -> f64 {
+            let ratios: Vec<f64> = idx
+                .iter()
+                .map(|&i| catch_energy[i] / base_energy[i])
+                .collect();
+            100.0 * (1.0 - geomean(&ratios))
+        };
+    for cat in Category::ALL {
+        let idx: Vec<usize> = base
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.category == cat)
+            .map(|(i, _)| i)
+            .collect();
+        table.push_row(cat.label(), vec![savings(idx)]);
+    }
+    table.push_row("GeoMean", vec![savings((0..base.len()).collect())]);
+
+    // Traffic shifts (Section VI-E narrative).
+    fn sum(runs: &[RunResult], f: impl Fn(&RunResult) -> u64) -> f64 {
+        runs.iter().map(f).sum::<u64>() as f64
+    }
+    fn cache_traffic(r: &RunResult) -> u64 {
+        r.hierarchy.l2.iter().map(|s| s.activity()).sum::<u64>() + r.hierarchy.llc.activity()
+    }
+    let mut traffic = Table::new(
+        "traffic of two-level CATCH relative to baseline",
+        vec!["ratio".into()],
+        ValueKind::Ratio,
+    );
+    traffic.push_row(
+        "L2+LLC cache traffic",
+        vec![sum(&catch, cache_traffic) / sum(&base, cache_traffic)],
+    );
+    traffic.push_row(
+        "interconnect messages",
+        vec![
+            sum(&catch, |r| r.hierarchy.traffic.interconnect_messages())
+                / sum(&base, |r| r.hierarchy.traffic.interconnect_messages()),
+        ],
+    );
+    traffic.push_row(
+        "DRAM accesses",
+        vec![
+            sum(&catch, |r| r.hierarchy.traffic.dram_accesses())
+                / sum(&base, |r| r.hierarchy.traffic.dram_accesses()),
+        ],
+    );
+
+    ExperimentReport {
+        id: "fig16".into(),
+        title: "Energy savings from CATCH on a two-level hierarchy".into(),
+        tables: vec![table, traffic],
+        notes: vec![
+            "paper: ~11% geomean energy savings; 37% lower cache traffic, 22% lower memory traffic, ~5× interconnect traffic".into(),
+            "reproduction caveat: the paper's savings are dominated by the 22% DRAM-traffic cut from growing the LLC 5.5→9.5 MB; at this trace scale every working set already fits 5.5 MB, so the DRAM ratio stays ~1.0 and the figure shows only the costs (larger-LLC access energy, more interconnect) without the dominant benefit. The traffic table is the reproducible part: cache traffic falls, interconnect rises, as the paper reports".into(),
+        ],
+    }
+}

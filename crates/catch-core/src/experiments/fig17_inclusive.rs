@@ -1,0 +1,45 @@
+//! Figure 17: CATCH on the small-L2 inclusive-LLC baseline.
+
+use super::{category_columns, category_pct_row, run_suite, EvalConfig};
+use crate::report::{ExperimentReport, Table, ValueKind};
+use crate::system::SystemConfig;
+
+/// Regenerates Figure 17: the 256 KB L2 + 8 MB inclusive LLC baseline
+/// against NoL2, NoL2+CATCH, NoL2+CATCH+9MB and CATCH.
+pub fn fig17_inclusive(eval: &EvalConfig) -> ExperimentReport {
+    let base = run_suite(&SystemConfig::baseline_inclusive(), eval);
+
+    let configs = [
+        SystemConfig::baseline_inclusive()
+            .without_l2(8 << 20)
+            .named("noL2"),
+        SystemConfig::baseline_inclusive()
+            .without_l2(8 << 20)
+            .with_catch()
+            .named("noL2+CATCH"),
+        SystemConfig::baseline_inclusive()
+            .without_l2(9 << 20)
+            .with_catch()
+            .named("noL2+CATCH+9MB_L3"),
+        SystemConfig::baseline_inclusive().with_catch().named("CATCH"),
+    ];
+
+    let mut table = Table::new(
+        "perf vs 256KB L2 + 8MB inclusive LLC",
+        category_columns(),
+        ValueKind::PercentDelta,
+    );
+    for config in configs {
+        let runs = run_suite(&config, eval);
+        table.push_row(config.name.clone(), category_pct_row(&base, &runs));
+    }
+
+    ExperimentReport {
+        id: "fig17".into(),
+        title: "Performance gain on inclusive-LLC baseline".into(),
+        tables: vec![table],
+        notes: vec![
+            "paper: noL2 −5.7%; noL2+CATCH +6.4%; +9MB +7.2%; CATCH (3-level) +10.3%".into(),
+        ],
+    }
+}

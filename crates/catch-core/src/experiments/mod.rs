@@ -1,0 +1,172 @@
+//! The experiment registry: one module per paper figure/table.
+//!
+//! Every experiment takes an [`EvalConfig`] (instruction budget + seed)
+//! and returns an [`ExperimentReport`] whose tables print the same rows
+//! and series the paper reports. The `catch-bench` crate wraps each as a
+//! `cargo bench` target; `EXPERIMENTS.md` records paper-vs-measured.
+
+mod ablations;
+mod fig01_remove_l2;
+mod fig02_ddg_example;
+mod fig03_latency_sensitivity;
+mod fig04_criticality_oracle;
+mod fig05_oracle_prefetch;
+mod fig10_catch_exclusive;
+mod fig11_timeliness;
+mod fig12_scurve;
+mod fig13_tact_components;
+mod fig14_mp;
+mod fig15_llc_latency;
+mod fig16_energy;
+mod fig17_inclusive;
+mod heuristic_detector;
+mod tables;
+
+pub use ablations::ablations;
+pub use fig01_remove_l2::fig01_remove_l2;
+pub use fig02_ddg_example::fig02_ddg_example;
+pub use fig03_latency_sensitivity::fig03_latency_sensitivity;
+pub use fig04_criticality_oracle::fig04_criticality_oracle;
+pub use fig05_oracle_prefetch::fig05_oracle_prefetch;
+pub use fig10_catch_exclusive::fig10_catch_exclusive;
+pub use fig11_timeliness::fig11_timeliness;
+pub use fig12_scurve::fig12_scurve;
+pub use fig13_tact_components::fig13_tact_components;
+pub use fig14_mp::fig14_mp;
+pub use fig15_llc_latency::fig15_llc_latency;
+pub use fig16_energy::fig16_energy;
+pub use fig17_inclusive::fig17_inclusive;
+pub use heuristic_detector::heuristic_detector;
+pub use tables::{fig09_tact_area, sec6d2_table_size, tab1_area, tab2_workloads};
+
+use crate::metrics::RunResult;
+use crate::report::ExperimentReport;
+use crate::system::{System, SystemConfig};
+use serde::{Deserialize, Serialize};
+
+/// Evaluation scale: instruction budget per workload and the trace seed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// Micro-ops per workload trace.
+    pub ops: usize,
+    /// Retired micro-ops excluded from measurement (warm-up).
+    pub warmup: usize,
+    /// Trace generation seed.
+    pub seed: u64,
+}
+
+impl EvalConfig {
+    /// Default evaluation scale (balances fidelity and runtime).
+    pub fn standard() -> Self {
+        EvalConfig {
+            ops: 80_000,
+            warmup: 30_000,
+            seed: 42,
+        }
+    }
+
+    /// Reduced scale for tests.
+    pub fn quick() -> Self {
+        EvalConfig {
+            ops: 16_000,
+            warmup: 4_000,
+            seed: 42,
+        }
+    }
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig::standard()
+    }
+}
+
+/// Runs the whole ST suite under one configuration.
+pub fn run_suite(config: &SystemConfig, eval: &EvalConfig) -> Vec<RunResult> {
+    let system = System::new(config.clone());
+    catch_workloads::suite::all()
+        .iter()
+        .map(|w| system.run_st_warm(w.generate(eval.ops, eval.seed), eval.warmup))
+        .collect()
+}
+
+/// Percent delta of a ratio (1.084 → +8.4).
+pub fn pct(ratio: f64) -> f64 {
+    (ratio - 1.0) * 100.0
+}
+
+/// Column headers for per-category tables (categories + GeoMean).
+pub(crate) fn category_columns() -> Vec<String> {
+    let mut cols: Vec<String> = catch_trace::Category::ALL
+        .iter()
+        .map(|c| c.label().to_string())
+        .collect();
+    cols.push("GeoMean".to_string());
+    cols
+}
+
+/// Per-category percent deltas of `new` vs `base` (last value = overall
+/// geomean), aligned with [`category_columns`].
+pub(crate) fn category_pct_row(base: &[RunResult], new: &[RunResult]) -> Vec<f64> {
+    crate::metrics::per_category_ratio(base, new)
+        .into_iter()
+        .map(|(_, r)| pct(r))
+        .collect()
+}
+
+/// All experiment ids in paper order.
+pub fn all_ids() -> Vec<&'static str> {
+    vec![
+        "fig1", "fig2", "fig3", "fig4", "fig5", "fig9", "tab1", "tab2", "fig10", "fig11", "fig12", "fig13",
+        "fig14", "fig15", "fig16", "fig17", "sec6d2", "ablations", "heuristic",
+    ]
+}
+
+/// Runs an experiment by id.
+///
+/// # Panics
+///
+/// Panics on unknown ids (see [`all_ids`]).
+pub fn run(id: &str, eval: &EvalConfig) -> ExperimentReport {
+    match id {
+        "fig1" => fig01_remove_l2(eval),
+        "fig2" => fig02_ddg_example(),
+        "fig3" => fig03_latency_sensitivity(eval),
+        "fig4" => fig04_criticality_oracle(eval),
+        "fig5" => fig05_oracle_prefetch(eval),
+        "fig9" => fig09_tact_area(),
+        "tab1" => tab1_area(),
+        "tab2" => tab2_workloads(),
+        "fig10" => fig10_catch_exclusive(eval),
+        "fig11" => fig11_timeliness(eval),
+        "fig12" => fig12_scurve(eval),
+        "fig13" => fig13_tact_components(eval),
+        "fig14" => fig14_mp(eval),
+        "fig15" => fig15_llc_latency(eval),
+        "fig16" => fig16_energy(eval),
+        "fig17" => fig17_inclusive(eval),
+        "sec6d2" => sec6d2_table_size(eval),
+        "ablations" => ablations(eval),
+        "heuristic" => heuristic_detector(eval),
+        other => panic!("unknown experiment id '{other}'; see all_ids()"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_cover_paper_artifacts() {
+        let ids = all_ids();
+        assert!(ids.contains(&"fig10"));
+        assert!(ids.contains(&"tab1"));
+        assert_eq!(ids.len(), 19);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_id_panics() {
+        let _ = run("fig99", &EvalConfig::quick());
+    }
+}

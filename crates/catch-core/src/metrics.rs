@@ -1,0 +1,187 @@
+//! Run results and aggregate metrics.
+
+use catch_cache::{CacheHierarchy, HierarchyStats};
+use catch_cpu::CoreStats;
+use catch_dram::{DramStats, DramSystem};
+use catch_trace::Category;
+use serde::{Deserialize, Serialize};
+
+/// Everything measured over one core's run under one configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Workload category.
+    pub category: Category,
+    /// Configuration name.
+    pub config: String,
+    /// Core statistics.
+    pub core: CoreStats,
+    /// Hierarchy statistics (shared across cores in MP runs).
+    pub hierarchy: HierarchyStats,
+    /// DRAM statistics, when the backend is the DRAM model.
+    pub dram: Option<DramStats>,
+}
+
+impl RunResult {
+    /// Collects a result from a finished core + hierarchy.
+    pub fn collect(
+        workload: String,
+        category: Category,
+        config: String,
+        core: CoreStats,
+        hier: &CacheHierarchy,
+    ) -> Self {
+        let dram = hier
+            .backend()
+            .as_any()
+            .downcast_ref::<DramSystem>()
+            .map(|d| *d.stats());
+        RunResult {
+            workload,
+            category,
+            config,
+            core,
+            hierarchy: hier.stats(),
+            dram,
+        }
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.core.ipc()
+    }
+}
+
+/// Result of a 4-way multi-programmed run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MpResult {
+    /// Configuration name.
+    pub config: String,
+    /// Per-core results (index = core id).
+    pub per_core: Vec<RunResult>,
+}
+
+impl MpResult {
+    /// Weighted speedup against per-workload alone IPCs:
+    /// `Σ IPC_together,i / IPC_alone,i`.
+    pub fn weighted_speedup(&self, alone_ipc: &[f64]) -> f64 {
+        assert_eq!(
+            alone_ipc.len(),
+            self.per_core.len(),
+            "one alone IPC per core"
+        );
+        self.per_core
+            .iter()
+            .zip(alone_ipc)
+            .map(|(r, &alone)| if alone > 0.0 { r.ipc() / alone } else { 0.0 })
+            .sum()
+    }
+}
+
+/// Geometric mean of positive values (zero/empty ⇒ 0).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Geometric-mean speedup of `new` over `base`, paired by position.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn geomean_ratio(base: &[RunResult], new: &[RunResult]) -> f64 {
+    assert_eq!(base.len(), new.len(), "paired runs required");
+    let ratios: Vec<f64> = base
+        .iter()
+        .zip(new)
+        .map(|(b, n)| {
+            debug_assert_eq!(b.workload, n.workload, "pairing mismatch");
+            n.ipc() / b.ipc()
+        })
+        .collect();
+    geomean(&ratios)
+}
+
+/// Per-category geometric-mean speedups (category label, ratio), in
+/// [`Category::ALL`] order, plus the overall geomean last.
+pub fn per_category_ratio(base: &[RunResult], new: &[RunResult]) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for cat in Category::ALL {
+        let pairs: (Vec<&RunResult>, Vec<&RunResult>) = base
+            .iter()
+            .zip(new)
+            .filter(|(b, _)| b.category == cat)
+            .unzip();
+        if pairs.0.is_empty() {
+            continue;
+        }
+        let ratios: Vec<f64> = pairs
+            .0
+            .iter()
+            .zip(&pairs.1)
+            .map(|(b, n)| n.ipc() / b.ipc())
+            .collect();
+        out.push((cat.label().to_string(), geomean(&ratios)));
+    }
+    out.push(("GeoMean".to_string(), geomean_ratio(base, new)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[1.0, 0.0]), 0.0);
+    }
+
+    fn result(cat: Category, ipc: f64) -> RunResult {
+        let core = CoreStats {
+            instructions: (ipc * 1000.0) as u64,
+            cycles: 1000,
+            ..CoreStats::default()
+        };
+        RunResult {
+            workload: "w".into(),
+            category: cat,
+            config: "c".into(),
+            core,
+            hierarchy: HierarchyStats::default(),
+            dram: None,
+        }
+    }
+
+    #[test]
+    fn geomean_ratio_pairs() {
+        let base = vec![result(Category::Hpc, 1.0), result(Category::Hpc, 2.0)];
+        let new = vec![result(Category::Hpc, 2.0), result(Category::Hpc, 2.0)];
+        let r = geomean_ratio(&base, &new);
+        assert!((r - 2.0_f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_category_includes_geomean_row() {
+        let base = vec![result(Category::Hpc, 1.0), result(Category::Ispec, 1.0)];
+        let new = vec![result(Category::Hpc, 1.1), result(Category::Ispec, 1.2)];
+        let rows = per_category_ratio(&base, &new);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.last().unwrap().0, "GeoMean");
+    }
+
+    #[test]
+    fn weighted_speedup_sums_ratios() {
+        let mp = MpResult {
+            config: "c".into(),
+            per_core: vec![result(Category::Hpc, 1.0), result(Category::Hpc, 2.0)],
+        };
+        let ws = mp.weighted_speedup(&[1.0, 1.0]);
+        assert!((ws - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,231 @@
+//! Plain-text rendering of experiment reports.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a table's values should be formatted.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValueKind {
+    /// Percent deltas ("+8.41%").
+    PercentDelta,
+    /// Plain ratios ("1.084").
+    Ratio,
+    /// Raw numbers ("123.4").
+    Raw,
+    /// Percentages of a whole ("85.0%").
+    Percent,
+}
+
+/// One table of an experiment report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers (row label column excluded).
+    pub columns: Vec<String>,
+    /// Rows: label + one value per column.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Formatting of values.
+    pub kind: ValueKind,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: Vec<String>, kind: ValueKind) -> Self {
+        Table {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+            kind,
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((label.into(), values));
+    }
+
+    fn format_value(&self, v: f64) -> String {
+        match self.kind {
+            ValueKind::PercentDelta => format!("{:+.2}%", v),
+            ValueKind::Ratio => format!("{:.3}", v),
+            ValueKind::Raw => format!("{:.1}", v),
+            ValueKind::Percent => format!("{:.1}%", v),
+        }
+    }
+}
+
+impl Table {
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("**{}**\n\n", self.title));
+        out.push_str("| |");
+        for c in &self.columns {
+            out.push_str(&format!(" {c} |"));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.columns {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(&format!("| {label} |"));
+            for v in values {
+                out.push_str(&format!(" {} |", self.format_value(*v)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "— {} —", self.title)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain([8])
+            .max()
+            .unwrap_or(8);
+        let col_w = self
+            .columns
+            .iter()
+            .map(|c| c.len())
+            .chain([9])
+            .max()
+            .unwrap_or(9);
+        write!(f, "{:label_w$}", "")?;
+        for c in &self.columns {
+            write!(f, " {c:>col_w$}")?;
+        }
+        writeln!(f)?;
+        for (label, values) in &self.rows {
+            write!(f, "{label:label_w$}")?;
+            for v in values {
+                write!(f, " {:>col_w$}", self.format_value(*v))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A full experiment report (one paper figure or table).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Stable experiment id ("fig10", "tab1", ...).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Free-form notes (expected shape, caveats).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Renders the whole report as markdown (for EXPERIMENTS.md-style
+    /// documents).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {} — {}\n\n", self.id, self.title);
+        for t in &self.tables {
+            out.push_str(&t.to_markdown());
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("> {n}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "==== {} — {} ====", self.id, self.title)?;
+        for t in &self.tables {
+            writeln!(f, "{t}")?;
+        }
+        for n in &self.notes {
+            writeln!(f, "note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(
+            "demo",
+            vec!["a".into(), "b".into()],
+            ValueKind::PercentDelta,
+        );
+        t.push_row("row1", vec![1.0, -2.5]);
+        let s = t.to_string();
+        assert!(s.contains("+1.00%"));
+        assert!(s.contains("-2.50%"));
+        assert!(s.contains("demo"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", vec!["a".into()], ValueKind::Raw);
+        t.push_row("r", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn value_kinds_format() {
+        for (kind, needle) in [
+            (ValueKind::PercentDelta, "+5.00%"),
+            (ValueKind::Ratio, "5.000"),
+            (ValueKind::Raw, "5.0"),
+            (ValueKind::Percent, "5.0%"),
+        ] {
+            let mut t = Table::new("t", vec!["c".into()], kind);
+            t.push_row("r", vec![5.0]);
+            assert!(t.to_string().contains(needle), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new("demo", vec!["x".into()], ValueKind::Ratio);
+        t.push_row("row", vec![1.5]);
+        let md = t.to_markdown();
+        assert!(md.contains("| row | 1.500 |"));
+        assert!(md.contains("|---|---|"));
+        let r = ExperimentReport {
+            id: "figX".into(),
+            title: "demo".into(),
+            tables: vec![t],
+            notes: vec!["hello".into()],
+        };
+        let md = r.to_markdown();
+        assert!(md.starts_with("## figX"));
+        assert!(md.contains("> hello"));
+    }
+
+    #[test]
+    fn report_renders_notes() {
+        let r = ExperimentReport {
+            id: "fig1".into(),
+            title: "t".into(),
+            tables: vec![],
+            notes: vec!["hello".into()],
+        };
+        assert!(r.to_string().contains("note: hello"));
+    }
+}

@@ -1,0 +1,545 @@
+//! The assembled out-of-order core.
+
+use crate::config::CoreConfig;
+use crate::frontend::Frontend;
+use crate::memory::MemoryInterface;
+use crate::rob::{Rob, RobEntry};
+use crate::stats::CoreStats;
+use catch_cache::CacheHierarchy;
+use catch_criticality::{AnyDetector, CriticalityDetector, HeuristicDetector, RetiredInst};
+use catch_prefetch::MemoryImage;
+use catch_trace::{ArchReg, MicroOp, OpClass, Trace};
+use std::collections::{HashMap, VecDeque};
+
+/// How often (in retired µops) newly detected critical PCs are pushed to
+/// TACT.
+const CRITICAL_SYNC_INTERVAL: u64 = 512;
+
+/// One out-of-order core bound to a trace.
+///
+/// Call [`Core::tick`] once per cycle against the shared hierarchy (the
+/// multi-core driver interleaves cores), or [`Core::run_to_completion`]
+/// for a single-core run.
+#[derive(Debug)]
+pub struct Core {
+    id: usize,
+    config: CoreConfig,
+    trace: Trace,
+    frontend: Frontend,
+    fetch_buffer: VecDeque<(MicroOp, bool)>,
+    rob: Rob,
+    mem: MemoryInterface,
+    detector: AnyDetector,
+    next_id: u64,
+    last_writer: [Option<u64>; ArchReg::COUNT],
+    last_store: HashMap<u64, u64>,
+    cycle: u64,
+    retired: u64,
+    critical_sync_at: u64,
+    /// Stats snapshot taken at the end of warm-up; `stats()` subtracts it.
+    warmup_snapshot: Option<CoreStats>,
+    /// Pending front-end redirect: (branch id, set when it issues).
+    pending_redirect: Option<u64>,
+    /// Completion cycles of loads currently outstanding to the hierarchy
+    /// (bounded by `max_outstanding_loads` — the L1D MSHR file).
+    outstanding_loads: Vec<u64>,
+}
+
+impl Core {
+    /// Creates a core for `trace` with the given configuration.
+    pub fn new(id: usize, trace: Trace, config: CoreConfig) -> Self {
+        let image = MemoryImage::from_trace(&trace);
+        Core {
+            id,
+            frontend: Frontend::new(id, &config),
+            fetch_buffer: VecDeque::with_capacity(config.fetch_buffer),
+            rob: Rob::new(config.rob_size),
+            mem: MemoryInterface::new(id, &config, image),
+            detector: match &config.detector_kind {
+                crate::config::DetectorKind::Graph => {
+                    AnyDetector::Graph(CriticalityDetector::new(config.detector.clone()))
+                }
+                crate::config::DetectorKind::Heuristic(h) => AnyDetector::Heuristic(
+                    HeuristicDetector::new(config.detector.clone(), h.clone()),
+                ),
+            },
+            next_id: 0,
+            last_writer: [None; ArchReg::COUNT],
+            last_store: HashMap::new(),
+            cycle: 0,
+            retired: 0,
+            critical_sync_at: CRITICAL_SYNC_INTERVAL,
+            warmup_snapshot: None,
+            outstanding_loads: Vec::with_capacity(config.max_outstanding_loads + 1),
+            config,
+            trace,
+            pending_redirect: None,
+        }
+    }
+
+    /// Core id (index into the hierarchy's private caches).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The trace being executed.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Retired µops so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// True when the whole trace has been fetched and drained.
+    pub fn done(&self) -> bool {
+        self.frontend.done(&self.trace) && self.fetch_buffer.is_empty() && self.rob.is_empty()
+    }
+
+    /// Criticality detector (for inspection).
+    pub fn detector(&self) -> &AnyDetector {
+        &self.detector
+    }
+
+    /// Snapshot of statistics (measured since the last
+    /// [`Core::end_warmup`], or from the start).
+    pub fn stats(&self) -> CoreStats {
+        let raw = self.raw_stats();
+        match &self.warmup_snapshot {
+            Some(base) => raw.minus(base),
+            None => raw,
+        }
+    }
+
+    fn raw_stats(&self) -> CoreStats {
+        CoreStats {
+            instructions: self.retired,
+            cycles: self.cycle,
+            frontend: self.frontend.stats(),
+            branches: self.frontend.branch_stats(),
+            memory: self.mem.stats(),
+            detector: self.detector.stats(),
+            tact: self.mem.tact_stats(),
+        }
+    }
+
+    /// Marks the end of warm-up: subsequent [`Core::stats`] cover only the
+    /// steady-state interval. Microarchitectural state (caches, predictors,
+    /// learned tables) is untouched.
+    pub fn end_warmup(&mut self) {
+        self.warmup_snapshot = Some(self.raw_stats());
+    }
+
+    /// Advances one cycle: retire → issue → allocate → fetch.
+    pub fn tick(&mut self, hier: &mut CacheHierarchy) {
+        let cycle = self.cycle;
+        self.retire_stage(cycle);
+        self.issue_stage(hier, cycle);
+        self.allocate_stage(cycle);
+        self.fetch_stage(hier, cycle);
+        self.cycle += 1;
+        if self.cycle.is_multiple_of(65_536) {
+            hier.maintain(self.cycle);
+            let floor = self.rob.entries().front().map(|e| e.id).unwrap_or(self.next_id);
+            self.last_store.retain(|_, id| *id >= floor);
+        }
+    }
+
+    /// Runs the core to completion against `hier`, returning final stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core deadlocks (a cycle budget of `1000 × ops +
+    /// 10_000_000` is exceeded), which would indicate a simulator bug.
+    pub fn run_to_completion(&mut self, hier: &mut CacheHierarchy) -> CoreStats {
+        let budget = 1000 * self.trace.len() as u64 + 10_000_000;
+        while !self.done() {
+            self.tick(hier);
+            assert!(
+                self.cycle < budget,
+                "core {} exceeded cycle budget: likely deadlock at cycle {}",
+                self.id,
+                self.cycle
+            );
+        }
+        self.stats()
+    }
+
+    fn retire_stage(&mut self, cycle: u64) {
+        for _ in 0..self.config.retire_width {
+            let Some(entry) = self.rob.try_retire(cycle) else {
+                break;
+            };
+            self.retired += 1;
+
+            // Criticality feed.
+            let mut inst = RetiredInst {
+                pc: entry.op.pc,
+                is_load: entry.op.class == OpClass::Load,
+                hit_level: entry.hit_level,
+                exec_latency: entry.complete.saturating_sub(entry.dispatch),
+                src_producers: [entry.deps[0], entry.deps[1], entry.deps[2]],
+                mem_producer: entry.deps[3],
+                mispredicted_branch: entry.mispredicted,
+            };
+            if !inst.is_load {
+                inst.hit_level = None;
+            }
+            self.detector.on_retire(inst);
+
+            if self.retired >= self.critical_sync_at {
+                self.critical_sync_at = self.retired + CRITICAL_SYNC_INTERVAL;
+                if self.config.tact.data {
+                    let pcs = self.detector.critical_pcs();
+                    self.mem.note_critical_pcs(&pcs);
+                }
+            }
+        }
+    }
+
+    fn issue_stage(&mut self, hier: &mut CacheHierarchy, cycle: u64) {
+        let mut int_budget = self.config.ports.int_ports;
+        let mut fp_budget = self.config.ports.fp_ports;
+        let mut load_budget = self.config.ports.load_ports;
+        let mut store_budget = self.config.ports.store_ports;
+        // MSHR occupancy: drop completed fills, then cap new loads.
+        self.outstanding_loads.retain(|&done| done > cycle);
+
+        let window = self.rob.len().min(self.config.sched_window);
+        for i in 0..window {
+            if int_budget + fp_budget + load_budget + store_budget == 0 {
+                break;
+            }
+            if self.rob.entries()[i].started {
+                continue;
+            }
+            let Some(ready) = self.rob.readiness(i) else {
+                continue;
+            };
+            let entry = &self.rob.entries()[i];
+            let ready = ready.max(entry.alloc + 1);
+            if ready > cycle {
+                continue;
+            }
+            let class = entry.op.class;
+            if class == OpClass::Load
+                && self.outstanding_loads.len() >= self.config.max_outstanding_loads
+            {
+                continue;
+            }
+            let budget = match class {
+                OpClass::Load => &mut load_budget,
+                OpClass::Store => &mut store_budget,
+                OpClass::FpAdd | OpClass::FpMul => &mut fp_budget,
+                _ => &mut int_budget,
+            };
+            if *budget == 0 {
+                continue;
+            }
+            *budget -= 1;
+
+            let (complete, hit_level) = self.execute(hier, i, cycle);
+            if class == OpClass::Load && hit_level.is_some_and(|l| l != catch_cache::Level::L1) {
+                self.outstanding_loads.push(complete);
+            }
+            let entry = self.rob.entry_mut(i);
+            entry.hit_level = hit_level;
+            let mispredicted = entry.mispredicted;
+            let id = entry.id;
+            self.rob.start(i, cycle, complete);
+
+            if mispredicted && self.pending_redirect == Some(id) {
+                self.pending_redirect = None;
+                self.frontend
+                    .resume_after_redirect(complete + self.config.mispredict_penalty);
+            }
+        }
+    }
+
+    fn execute(
+        &mut self,
+        hier: &mut CacheHierarchy,
+        index: usize,
+        cycle: u64,
+    ) -> (u64, Option<catch_cache::Level>) {
+        let entry = &self.rob.entries()[index];
+        let op = entry.op;
+        match op.class {
+            OpClass::Load => {
+                // Store-to-load forwarding: the producing store is still in
+                // the window (not yet retired).
+                if let Some(sid) = entry.deps[3] {
+                    if self.rob.producer_ready_at(sid) != Some(0) {
+                        self.mem.note_forwarded_load();
+                        return (cycle + 2, Some(catch_cache::Level::L1));
+                    }
+                }
+                let feeder = entry.feeder;
+                let (latency, level) = self.mem.load(hier, &op, feeder, cycle, &self.detector);
+                (cycle + latency, Some(level))
+            }
+            OpClass::Store => {
+                self.mem.store(hier, &op, cycle);
+                (cycle + self.config.latencies.of(OpClass::Store), None)
+            }
+            class => (cycle + self.config.latencies.of(class), None),
+        }
+    }
+
+    fn allocate_stage(&mut self, cycle: u64) {
+        for _ in 0..self.config.alloc_width {
+            if !self.rob.has_space() {
+                break;
+            }
+            let Some((op, mispredicted)) = self.fetch_buffer.pop_front() else {
+                break;
+            };
+            let id = self.next_id;
+            self.next_id += 1;
+
+            // Register and memory dependences, in program order.
+            let mut deps = [None; 4];
+            for (slot, src) in deps.iter_mut().zip(op.sources()) {
+                *slot = self.last_writer[src.index()];
+            }
+            if op.class == OpClass::Load {
+                if let Some(mem) = op.mem {
+                    deps[3] = self.last_store.get(&(mem.addr.get() & !7)).copied();
+                }
+            }
+            if let Some(dst) = op.dst {
+                self.last_writer[dst.index()] = Some(id);
+            }
+            if op.class == OpClass::Store {
+                if let Some(mem) = op.mem {
+                    self.last_store.insert(mem.addr.get() & !7, id);
+                }
+            }
+            if mispredicted {
+                self.pending_redirect = Some(id);
+            }
+            // Feeder tracking happens in program order at allocation: hint
+            // first (producers only), then fold this op into the flow.
+            let mut entry = RobEntry::new(id, op, deps, mispredicted);
+            if op.class == OpClass::Load {
+                entry.feeder = self.mem.feeder_hint(&op);
+            }
+            self.mem.on_alloc_op(&op);
+            self.rob.allocate(entry, cycle);
+        }
+    }
+
+    fn fetch_stage(&mut self, hier: &mut CacheHierarchy, cycle: u64) {
+        let space = self.config.fetch_buffer.saturating_sub(self.fetch_buffer.len());
+        if space == 0 {
+            return;
+        }
+        for fetched in self.frontend.fetch(&self.trace, cycle, hier, space) {
+            self.fetch_buffer.push_back(fetched);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catch_cache::{FixedLatencyBackend, HierarchyConfig, Level};
+    use catch_trace::{Addr, TraceBuilder};
+
+    fn hier() -> CacheHierarchy {
+        CacheHierarchy::new(
+            &HierarchyConfig::skylake_server(1),
+            Box::new(FixedLatencyBackend::new(200)),
+        )
+    }
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::new(i)
+    }
+
+    #[test]
+    fn independent_alus_reach_high_ipc() {
+        let mut b = TraceBuilder::new("ilp");
+        let top = b.label();
+        for rep in 0..500 {
+            b.jump_to(top);
+            for i in 0..8 {
+                b.alu(r(i), &[]);
+            }
+            b.backedge(top, rep != 499);
+        }
+        let trace = b.build();
+        let mut config = CoreConfig::baseline();
+        config.perfect_l1i = true;
+        let mut core = Core::new(0, trace, config);
+        let stats = core.run_to_completion(&mut hier());
+        assert!(
+            stats.ipc() > 2.5,
+            "independent ALU stream should issue near width: IPC {}",
+            stats.ipc()
+        );
+    }
+
+    #[test]
+    fn dependent_chain_is_serialised() {
+        let mut b = TraceBuilder::new("chain");
+        b.alu(r(1), &[]);
+        for _ in 0..2000 {
+            b.alu(r(1), &[r(1)]);
+        }
+        let mut config = CoreConfig::baseline();
+        config.perfect_l1i = true;
+        let mut core = Core::new(0, b.build(), config);
+        let stats = core.run_to_completion(&mut hier());
+        assert!(
+            stats.ipc() < 1.2,
+            "dependent ALU chain is ~1 IPC: {}",
+            stats.ipc()
+        );
+    }
+
+    #[test]
+    fn load_latency_gates_dependent_chain() {
+        // Pointer-chase through L1-resident lines vs. far memory.
+        let chain = |lines: u64| {
+            let mut b = TraceBuilder::new("ptr");
+            let top = b.label();
+            for i in 0..1500u64 {
+                b.jump_to(top);
+                let addr = Addr::new((i % lines) * 64);
+                b.load_dep(r(1), addr, 0, &[r(1)]);
+                b.backedge(top, i != 1499);
+            }
+            b.build()
+        };
+        let mut config = CoreConfig::baseline();
+        config.perfect_l1i = true;
+        config.baseline_prefetchers = false;
+        let small = Core::new(0, chain(4), config.clone())
+            .run_to_completion(&mut hier())
+            .ipc();
+        let large = Core::new(0, chain(200_000), config)
+            .run_to_completion(&mut hier())
+            .ipc();
+        assert!(
+            small > 3.0 * large,
+            "L1-resident chase {small} must beat DRAM chase {large}"
+        );
+    }
+
+    #[test]
+    fn store_to_load_forwarding_is_fast() {
+        let mut b = TraceBuilder::new("fwd");
+        b.alu(r(1), &[]);
+        for i in 0..500u64 {
+            b.store(Addr::new(0x5000 + i * 8), &[r(1)]);
+            b.load_dep(r(2), Addr::new(0x5000 + i * 8), 0, &[]);
+        }
+        let mut config = CoreConfig::baseline();
+        config.perfect_l1i = true;
+        let mut core = Core::new(0, b.build(), config);
+        let stats = core.run_to_completion(&mut hier());
+        assert!(stats.memory.forwarded > 400, "{}", stats.memory.forwarded);
+    }
+
+    #[test]
+    fn mispredicts_cost_cycles() {
+        let body = |pattern_random: bool| {
+            let mut b = TraceBuilder::new("br");
+            let mut x = 7u64;
+            let top = b.label();
+            for i in 0..2000u64 {
+                b.jump_to(top);
+                b.alu(r(1), &[]);
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(13);
+                let taken = if pattern_random { x >> 63 == 1 } else { true };
+                let tgt = b.cursor().advance(8);
+                b.cond_branch(taken, tgt, &[r(1)]);
+                let _ = i;
+            }
+            b.build()
+        };
+        let mut config = CoreConfig::baseline();
+        config.perfect_l1i = true;
+        let predictable = Core::new(0, body(false), config.clone())
+            .run_to_completion(&mut hier())
+            .ipc();
+        let random = Core::new(0, body(true), config)
+            .run_to_completion(&mut hier())
+            .ipc();
+        assert!(
+            predictable > 1.5 * random,
+            "random branches must hurt: {predictable} vs {random}"
+        );
+    }
+
+    #[test]
+    fn detector_sees_all_retired_instructions() {
+        let mut b = TraceBuilder::new("t");
+        for i in 0..1000u64 {
+            b.load(r(1), Addr::new((i % 64) * 64), 0);
+            b.alu(r(2), &[r(1)]);
+        }
+        let mut config = CoreConfig::baseline();
+        config.perfect_l1i = true;
+        let mut core = Core::new(0, b.build(), config);
+        let stats = core.run_to_completion(&mut hier());
+        assert_eq!(stats.detector.retired, 2000);
+        assert_eq!(stats.instructions, 2000);
+    }
+
+    #[test]
+    fn mshr_cap_limits_memory_parallelism() {
+        // Independent misses: generous MSHRs overlap them; a single MSHR
+        // serialises them.
+        let build = || {
+            let mut b = TraceBuilder::new("mlp");
+            for i in 0..64u64 {
+                b.load(r(1), Addr::new(i * 4096), 0);
+            }
+            b.build()
+        };
+        let mut wide = CoreConfig::baseline();
+        wide.perfect_l1i = true;
+        wide.baseline_prefetchers = false;
+        wide.max_outstanding_loads = 16;
+        let mut narrow = wide.clone();
+        narrow.max_outstanding_loads = 1;
+        let run = |cfg: CoreConfig| {
+            Core::new(0, build(), cfg)
+                .run_to_completion(&mut hier())
+                .cycles
+        };
+        let fast = run(wide);
+        let slow = run(narrow);
+        assert!(
+            slow > 3 * fast,
+            "one MSHR must serialise misses: {slow} vs {fast}"
+        );
+    }
+
+    #[test]
+    fn loads_by_level_accounts_all_loads() {
+        let mut b = TraceBuilder::new("t");
+        for i in 0..500u64 {
+            b.load(r(1), Addr::new(i * 64), 0);
+        }
+        let mut config = CoreConfig::baseline();
+        config.perfect_l1i = true;
+        config.baseline_prefetchers = false;
+        let mut core = Core::new(0, b.build(), config);
+        let stats = core.run_to_completion(&mut hier());
+        let sum: u64 = stats.memory.loads_by_level.iter().sum();
+        assert_eq!(sum, stats.memory.loads);
+        assert_eq!(stats.memory.loads, 500);
+        // Cold sequential loads: every line is a fresh memory access.
+        assert!(stats.memory.loads_by_level[3] > 400);
+        let _ = Level::Memory;
+    }
+}

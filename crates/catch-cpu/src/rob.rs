@@ -1,0 +1,264 @@
+//! The reorder buffer and dependence-readiness tracking.
+
+use catch_cache::Level;
+use catch_trace::MicroOp;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// One in-flight micro-op.
+#[derive(Clone, Debug)]
+pub struct RobEntry {
+    /// Global (fetch-order == retire-order) id; doubles as the criticality
+    /// sequence number.
+    pub id: u64,
+    /// The micro-op.
+    pub op: MicroOp,
+    /// Producer ids: up to three register producers plus a forwarding
+    /// store.
+    pub deps: [Option<u64>; 4],
+    /// True once issued to execution.
+    pub started: bool,
+    /// Cycle execution began (valid when `started`).
+    pub dispatch: u64,
+    /// Completion cycle (valid when `started`).
+    pub complete: u64,
+    /// Allocation cycle.
+    pub alloc: u64,
+    /// Hit level for loads.
+    pub hit_level: Option<Level>,
+    /// Mispredicted branch.
+    pub mispredicted: bool,
+    /// Memoised readiness cycle, once all producers have started.
+    pub ready_at: Option<u64>,
+    /// Allocation-time feeder hint for loads: the youngest producing load
+    /// (PC, value) in program order, used by TACT-Feeder training.
+    pub feeder: Option<(catch_trace::Pc, u64)>,
+}
+
+impl RobEntry {
+    /// Creates an entry for `op` with the given id and producer set.
+    pub fn new(id: u64, op: MicroOp, deps: [Option<u64>; 4], mispredicted: bool) -> Self {
+        RobEntry {
+            id,
+            op,
+            deps,
+            started: false,
+            dispatch: 0,
+            complete: 0,
+            alloc: 0,
+            hit_level: None,
+            mispredicted,
+            ready_at: None,
+            feeder: None,
+        }
+    }
+}
+
+/// Reorder buffer: in-order allocate/retire, out-of-order issue, with a
+/// completion map for dependence resolution.
+#[derive(Debug)]
+pub struct Rob {
+    entries: VecDeque<RobEntry>,
+    capacity: usize,
+    /// Completion cycles of *started* in-flight ops, by id.
+    completion: HashMap<u64, u64>,
+    /// Ids below this have retired (always ready).
+    retired_below: u64,
+}
+
+impl Rob {
+    /// Creates a ROB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ROB needs capacity");
+        Rob {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            completion: HashMap::new(),
+            retired_below: 0,
+        }
+    }
+
+    /// Occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when allocation is possible.
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Allocates an entry at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ROB is full.
+    pub fn allocate(&mut self, mut entry: RobEntry, cycle: u64) {
+        assert!(self.has_space(), "allocate on full ROB");
+        entry.alloc = cycle;
+        self.entries.push_back(entry);
+    }
+
+    /// The cycle at which `id`'s result is available: `Some(0)` if already
+    /// retired, the completion cycle if started, `None` if unknown (not
+    /// yet issued).
+    pub fn producer_ready_at(&self, id: u64) -> Option<u64> {
+        if id < self.retired_below {
+            return Some(0);
+        }
+        self.completion.get(&id).copied()
+    }
+
+    /// Computes (and memoises) the readiness cycle of the entry at
+    /// `index`: the max completion cycle over its producers. `None` while
+    /// any producer is unissued.
+    pub fn readiness(&mut self, index: usize) -> Option<u64> {
+        let entry = &self.entries[index];
+        if let Some(r) = entry.ready_at {
+            return Some(r);
+        }
+        let mut ready = 0u64;
+        for dep in entry.deps.iter().flatten() {
+            match self.producer_ready_at(*dep) {
+                Some(c) => ready = ready.max(c),
+                None => return None,
+            }
+        }
+        self.entries[index].ready_at = Some(ready);
+        Some(ready)
+    }
+
+    /// Marks entry `index` as issued at `dispatch` completing at
+    /// `complete`.
+    pub fn start(&mut self, index: usize, dispatch: u64, complete: u64) {
+        let entry = &mut self.entries[index];
+        debug_assert!(!entry.started, "double issue");
+        entry.started = true;
+        entry.dispatch = dispatch;
+        entry.complete = complete;
+        self.completion.insert(entry.id, complete);
+    }
+
+    /// Pops the head if it has completed by `cycle`.
+    pub fn try_retire(&mut self, cycle: u64) -> Option<RobEntry> {
+        let head = self.entries.front()?;
+        if head.started && head.complete <= cycle {
+            let entry = self.entries.pop_front().expect("checked front");
+            self.completion.remove(&entry.id);
+            self.retired_below = entry.id + 1;
+            Some(entry)
+        } else {
+            None
+        }
+    }
+
+    /// Immutable view of the entries (head = oldest).
+    pub fn entries(&self) -> &VecDeque<RobEntry> {
+        &self.entries
+    }
+
+    /// Mutable entry access.
+    pub fn entry_mut(&mut self, index: usize) -> &mut RobEntry {
+        &mut self.entries[index]
+    }
+
+    /// Earliest cycle at which the head could retire, if known (for cycle
+    /// skipping).
+    pub fn head_completion(&self) -> Option<u64> {
+        self.entries
+            .front()
+            .filter(|e| e.started)
+            .map(|e| e.complete)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catch_trace::{OpClass, Pc};
+
+    fn op() -> MicroOp {
+        MicroOp::compute(Pc::new(0), OpClass::Alu, None, &[])
+    }
+
+    #[test]
+    fn allocate_and_retire_in_order() {
+        let mut rob = Rob::new(4);
+        rob.allocate(RobEntry::new(0, op(), [None; 4], false), 0);
+        rob.allocate(RobEntry::new(1, op(), [None; 4], false), 0);
+        assert_eq!(rob.len(), 2);
+        // Head not started: cannot retire.
+        assert!(rob.try_retire(10).is_none());
+        rob.start(0, 1, 3);
+        rob.start(1, 1, 2);
+        // Entry 1 finished first but head retires first.
+        assert!(rob.try_retire(2).is_none());
+        let head = rob.try_retire(3).unwrap();
+        assert_eq!(head.id, 0);
+        let next = rob.try_retire(3).unwrap();
+        assert_eq!(next.id, 1);
+        assert!(rob.is_empty());
+    }
+
+    #[test]
+    fn readiness_tracks_producers() {
+        let mut rob = Rob::new(4);
+        rob.allocate(RobEntry::new(0, op(), [None; 4], false), 0);
+        rob.allocate(
+            RobEntry::new(1, op(), [Some(0), None, None, None], false),
+            0,
+        );
+        // Producer unissued: unknown readiness.
+        assert_eq!(rob.readiness(1), None);
+        rob.start(0, 0, 7);
+        assert_eq!(rob.readiness(1), Some(7));
+        // Memoised.
+        assert_eq!(rob.entries()[1].ready_at, Some(7));
+    }
+
+    #[test]
+    fn retired_producers_are_ready() {
+        let mut rob = Rob::new(4);
+        rob.allocate(RobEntry::new(0, op(), [None; 4], false), 0);
+        rob.start(0, 0, 1);
+        rob.try_retire(1).unwrap();
+        rob.allocate(
+            RobEntry::new(1, op(), [Some(0), None, None, None], false),
+            2,
+        );
+        assert_eq!(rob.readiness(0), Some(0));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut rob = Rob::new(1);
+        rob.allocate(RobEntry::new(0, op(), [None; 4], false), 0);
+        assert!(!rob.has_space());
+    }
+
+    #[test]
+    #[should_panic(expected = "full ROB")]
+    fn allocate_on_full_panics() {
+        let mut rob = Rob::new(1);
+        rob.allocate(RobEntry::new(0, op(), [None; 4], false), 0);
+        rob.allocate(RobEntry::new(1, op(), [None; 4], false), 0);
+    }
+
+    #[test]
+    fn head_completion_for_cycle_skipping() {
+        let mut rob = Rob::new(2);
+        rob.allocate(RobEntry::new(0, op(), [None; 4], false), 0);
+        assert_eq!(rob.head_completion(), None);
+        rob.start(0, 0, 42);
+        assert_eq!(rob.head_completion(), Some(42));
+    }
+}

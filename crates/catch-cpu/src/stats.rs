@@ -1,0 +1,172 @@
+//! Per-core run statistics.
+
+use crate::branch::BranchStats;
+use crate::frontend::FrontendStats;
+use crate::memory::MemStats;
+use catch_criticality::DetectorStats;
+use catch_prefetch::TactStats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Everything measured over one core's run.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Instructions (µops) retired.
+    pub instructions: u64,
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// Front-end counters.
+    pub frontend: FrontendStats,
+    /// Branch counters.
+    pub branches: BranchStats,
+    /// Memory-interface counters.
+    pub memory: MemStats,
+    /// Criticality-detector counters.
+    pub detector: DetectorStats,
+    /// TACT counters.
+    pub tact: TactStats,
+}
+
+impl CoreStats {
+    /// Counter-wise difference `self - earlier`, used to exclude a
+    /// warm-up phase from measurement. All counters are monotonic, so the
+    /// result is a valid stats snapshot of the interval.
+    pub fn minus(&self, earlier: &CoreStats) -> CoreStats {
+        use crate::frontend::FrontendStats;
+        use crate::memory::MemStats;
+        let f = |a: u64, b: u64| a.saturating_sub(b);
+        CoreStats {
+            instructions: f(self.instructions, earlier.instructions),
+            cycles: f(self.cycles, earlier.cycles),
+            frontend: FrontendStats {
+                fetched: f(self.frontend.fetched, earlier.frontend.fetched),
+                icache_misses: f(self.frontend.icache_misses, earlier.frontend.icache_misses),
+                code_prefetches: f(
+                    self.frontend.code_prefetches,
+                    earlier.frontend.code_prefetches,
+                ),
+                mispredicts: f(self.frontend.mispredicts, earlier.frontend.mispredicts),
+                icache_stall_cycles: f(
+                    self.frontend.icache_stall_cycles,
+                    earlier.frontend.icache_stall_cycles,
+                ),
+            },
+            branches: BranchStats {
+                conditional: f(self.branches.conditional, earlier.branches.conditional),
+                cond_mispredicts: f(
+                    self.branches.cond_mispredicts,
+                    earlier.branches.cond_mispredicts,
+                ),
+                indirect: f(self.branches.indirect, earlier.branches.indirect),
+                indirect_mispredicts: f(
+                    self.branches.indirect_mispredicts,
+                    earlier.branches.indirect_mispredicts,
+                ),
+            },
+            memory: MemStats {
+                loads: f(self.memory.loads, earlier.memory.loads),
+                forwarded: f(self.memory.forwarded, earlier.memory.forwarded),
+                loads_by_level: [
+                    f(self.memory.loads_by_level[0], earlier.memory.loads_by_level[0]),
+                    f(self.memory.loads_by_level[1], earlier.memory.loads_by_level[1]),
+                    f(self.memory.loads_by_level[2], earlier.memory.loads_by_level[2]),
+                    f(self.memory.loads_by_level[3], earlier.memory.loads_by_level[3]),
+                ],
+                oracle_converted: f(
+                    self.memory.oracle_converted,
+                    earlier.memory.oracle_converted,
+                ),
+                stride_prefetches: f(
+                    self.memory.stride_prefetches,
+                    earlier.memory.stride_prefetches,
+                ),
+                stream_prefetches: f(
+                    self.memory.stream_prefetches,
+                    earlier.memory.stream_prefetches,
+                ),
+                tact_prefetches: f(self.memory.tact_prefetches, earlier.memory.tact_prefetches),
+                load_latency_hist: std::array::from_fn(|i| {
+                    f(
+                        self.memory.load_latency_hist[i],
+                        earlier.memory.load_latency_hist[i],
+                    )
+                }),
+            },
+            detector: DetectorStats {
+                retired: f(self.detector.retired, earlier.detector.retired),
+                walks: f(self.detector.walks, earlier.detector.walks),
+                critical_load_observations: f(
+                    self.detector.critical_load_observations,
+                    earlier.detector.critical_load_observations,
+                ),
+                walk_steps: f(self.detector.walk_steps, earlier.detector.walk_steps),
+                relearns: f(self.detector.relearns, earlier.detector.relearns),
+                overflows: f(self.detector.overflows, earlier.detector.overflows),
+            },
+            tact: TactStats {
+                targets_allocated: f(
+                    self.tact.targets_allocated,
+                    earlier.tact.targets_allocated,
+                ),
+                deep_issued: f(self.tact.deep_issued, earlier.tact.deep_issued),
+                cross_issued: f(self.tact.cross_issued, earlier.tact.cross_issued),
+                feeder_issued: f(self.tact.feeder_issued, earlier.tact.feeder_issued),
+                cross_learned: f(self.tact.cross_learned, earlier.tact.cross_learned),
+                feeder_learned: f(self.tact.feeder_learned, earlier.tact.feeder_learned),
+            },
+        }
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// L1 hit rate over demand loads.
+    pub fn l1_load_hit_rate(&self) -> f64 {
+        if self.memory.loads == 0 {
+            0.0
+        } else {
+            self.memory.loads_by_level[0] as f64 / self.memory.loads as f64
+        }
+    }
+}
+
+impl fmt::Display for CoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "IPC {:.3} ({} inst / {} cyc), L1 load hit {:.1}%, {} icache misses, {:.2}% br-miss",
+            self.ipc(),
+            self.instructions,
+            self.cycles,
+            100.0 * self.l1_load_hit_rate(),
+            self.frontend.icache_misses,
+            100.0 * self.branches.mispredict_rate(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        assert_eq!(CoreStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn ipc_computes() {
+        let s = CoreStats {
+            instructions: 300,
+            cycles: 100,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 3.0).abs() < 1e-12);
+    }
+}

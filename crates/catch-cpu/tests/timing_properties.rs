@@ -1,0 +1,163 @@
+//! Timing properties of the out-of-order core model.
+
+use catch_cache::{CacheHierarchy, FixedLatencyBackend, HierarchyConfig, Level};
+use catch_cpu::{Core, CoreConfig};
+use catch_trace::{Addr, ArchReg, TraceBuilder};
+use proptest::prelude::*;
+
+fn hier() -> CacheHierarchy {
+    CacheHierarchy::new(
+        &HierarchyConfig::skylake_server(1),
+        Box::new(FixedLatencyBackend::new(200)),
+    )
+}
+
+fn r(i: u8) -> ArchReg {
+    ArchReg::new(i)
+}
+
+#[derive(Clone, Debug)]
+enum GenOp {
+    Alu { dst: u8, src: u8 },
+    Load { dst: u8, line: u64 },
+    Store { line: u64, src: u8 },
+    Branch { taken: bool, src: u8 },
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (1u8..8, 1u8..8).prop_map(|(dst, src)| GenOp::Alu { dst, src }),
+        (1u8..8, 0u64..256).prop_map(|(dst, line)| GenOp::Load { dst, line }),
+        (0u64..256, 1u8..8).prop_map(|(line, src)| GenOp::Store { line, src }),
+        (any::<bool>(), 1u8..8).prop_map(|(taken, src)| GenOp::Branch { taken, src }),
+    ]
+}
+
+fn build(ops: &[GenOp]) -> catch_trace::Trace {
+    let mut b = TraceBuilder::new("prop");
+    for op in ops {
+        match *op {
+            GenOp::Alu { dst, src } => {
+                b.alu(r(dst), &[r(src)]);
+            }
+            GenOp::Load { dst, line } => {
+                b.load(r(dst), Addr::new(line * 64), line);
+            }
+            GenOp::Store { line, src } => {
+                b.store(Addr::new(line * 64), &[r(src)]);
+            }
+            GenOp::Branch { taken, src } => {
+                let t = b.cursor().advance(8);
+                b.cond_branch(taken, t, &[r(src)]);
+            }
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// IPC never exceeds the machine width, every op retires, and cycle
+    /// counts are deterministic.
+    #[test]
+    fn ipc_bounded_and_all_retire(ops in proptest::collection::vec(gen_op(), 1..300)) {
+        let trace = build(&ops);
+        let expect = trace.len() as u64;
+        let mut config = CoreConfig::baseline();
+        config.perfect_l1i = true;
+        let mut core = Core::new(0, trace, config);
+        let stats = core.run_to_completion(&mut hier());
+        prop_assert_eq!(stats.instructions, expect);
+        prop_assert!(stats.ipc() <= 4.0 + 1e-9, "IPC {} beyond width", stats.ipc());
+        prop_assert!(stats.cycles > 0);
+    }
+
+    /// Monotonicity: making the L1 slower never speeds the program up.
+    #[test]
+    fn l1_latency_is_monotone(ops in proptest::collection::vec(gen_op(), 20..200)) {
+        let trace = build(&ops);
+        let mut config = CoreConfig::baseline();
+        config.perfect_l1i = true;
+        config.baseline_prefetchers = false;
+        let cycles_at = |extra: u64| {
+            let mut h = hier();
+            h.add_level_latency(Level::L1, extra);
+            let mut core = Core::new(0, trace.clone(), config.clone());
+            core.run_to_completion(&mut h).cycles
+        };
+        let fast = cycles_at(0);
+        let slow = cycles_at(10);
+        // Greedy age-ordered scheduling is subject to (Graham-style)
+        // anomalies, so strict monotonicity does not hold cycle-for-cycle;
+        // allow a small scheduling-slack tolerance.
+        let slack = fast / 20 + 16;
+        prop_assert!(
+            slow + slack >= fast,
+            "slower L1 gave materially fewer cycles: {slow} < {fast}"
+        );
+    }
+
+    /// Appending a suffix never makes the whole program finish sooner
+    /// than the prefix alone (inserting ops *within* a program can change
+    /// branch-predictor aliasing, so only suffix extension is monotone).
+    #[test]
+    fn suffix_extension_is_monotone(ops in proptest::collection::vec(gen_op(), 10..100)) {
+        let prefix = build(&ops);
+        let doubled: Vec<GenOp> = ops.iter().chain(ops.iter()).cloned().collect();
+        let extended = build(&doubled);
+        let mut config = CoreConfig::baseline();
+        config.perfect_l1i = true;
+        let run = |t: catch_trace::Trace| {
+            let mut core = Core::new(0, t, config.clone());
+            core.run_to_completion(&mut hier()).cycles
+        };
+        let short = run(prefix);
+        let long = run(extended);
+        prop_assert!(long >= short, "longer trace finished sooner: {long} < {short}");
+    }
+}
+
+/// The ROB caps memory-level parallelism: a window of independent loads
+/// completes in far fewer cycles than their serial latency sum.
+#[test]
+fn independent_loads_overlap() {
+    let mut b = TraceBuilder::new("mlp");
+    for i in 0..64u64 {
+        b.load(r(1), Addr::new(i * 4096), 0); // distinct pages, all miss
+    }
+    let mut config = CoreConfig::baseline();
+    config.perfect_l1i = true;
+    config.baseline_prefetchers = false;
+    let mut core = Core::new(0, b.build(), config);
+    let stats = core.run_to_completion(&mut hier());
+    // 64 serial misses would be ≥ 64 × 240 cycles; MLP must slash that.
+    assert!(
+        stats.cycles < 64 * 240 / 4,
+        "no overlap: {} cycles",
+        stats.cycles
+    );
+}
+
+/// Dependent loads cannot overlap: a pointer chase takes at least the sum
+/// of its miss latencies.
+#[test]
+fn dependent_loads_serialise() {
+    let mut b = TraceBuilder::new("serial");
+    let mut addr = 0u64;
+    for _ in 0..32 {
+        let next = (addr + 7919) % 100_000;
+        b.load_dep(r(1), Addr::new(addr * 64), next, &[r(1)]);
+        addr = next;
+    }
+    let mut config = CoreConfig::baseline();
+    config.perfect_l1i = true;
+    config.baseline_prefetchers = false;
+    let mut core = Core::new(0, b.build(), config);
+    let stats = core.run_to_completion(&mut hier());
+    assert!(
+        stats.cycles >= 32 * 240,
+        "chase overlapped impossibly: {} cycles",
+        stats.cycles
+    );
+}

@@ -1,0 +1,198 @@
+//! The complete detector: graph + table + re-learn cadence.
+
+use crate::config::DetectorConfig;
+use crate::graph::{DdgGraph, RetiredInst};
+use crate::table::CriticalLoadTable;
+use catch_trace::Pc;
+use serde::{Deserialize, Serialize};
+
+/// Counters exposed by the detector.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorStats {
+    /// Instructions observed at retirement.
+    pub retired: u64,
+    /// Critical-path walks performed.
+    pub walks: u64,
+    /// Critical load observations recorded into the table.
+    pub critical_load_observations: u64,
+    /// Total critical-path steps walked (the hardware walk occupies the
+    /// graph for roughly this many cycles; the 2.5× buffer absorbs
+    /// retirement during walks, per Section IV-A).
+    pub walk_steps: u64,
+    /// Confidence re-learn events.
+    pub relearns: u64,
+    /// Graph overflows (buffer discarded).
+    pub overflows: u64,
+}
+
+/// Hardware-style criticality detector (paper Section IV-A).
+///
+/// Feed every retired instruction to [`CriticalityDetector::on_retire`];
+/// query [`CriticalityDetector::is_critical`] at dispatch time to decide
+/// whether a load PC deserves TACT prefetching.
+#[derive(Debug)]
+pub struct CriticalityDetector {
+    config: DetectorConfig,
+    graph: DdgGraph,
+    table: CriticalLoadTable,
+    stats: DetectorStats,
+    retired_since_relearn: u64,
+}
+
+impl CriticalityDetector {
+    /// Creates a detector.
+    pub fn new(config: DetectorConfig) -> Self {
+        let table = CriticalLoadTable::new(config.table_entries, config.table_ways);
+        let graph = DdgGraph::new(config.clone());
+        CriticalityDetector {
+            config,
+            graph,
+            table,
+            stats: DetectorStats::default(),
+            retired_since_relearn: 0,
+        }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> DetectorStats {
+        DetectorStats {
+            overflows: self.graph.overflows(),
+            ..self.stats
+        }
+    }
+
+    /// Sequence number that will be assigned to the next retired
+    /// instruction; the core uses these to describe producers.
+    pub fn next_seq(&self) -> u64 {
+        self.graph.next_seq()
+    }
+
+    /// Observes a retired instruction; walks and flushes the graph when
+    /// the window threshold is reached.
+    pub fn on_retire(&mut self, inst: RetiredInst) {
+        self.stats.retired += 1;
+        self.retired_since_relearn += 1;
+        self.graph.push(inst);
+
+        if self.graph.ready_to_walk() {
+            self.stats.walks += 1;
+            let path = self.graph.walk_critical_path();
+            self.stats.walk_steps += path.len() as u64;
+            for (pc, level) in self.graph.critical_loads() {
+                if self.config.track_levels.contains(&level) {
+                    self.stats.critical_load_observations += 1;
+                    self.table.insert(pc);
+                }
+            }
+            self.graph.flush();
+        }
+
+        if self.retired_since_relearn >= self.config.confidence_reset_interval {
+            self.retired_since_relearn = 0;
+            self.stats.relearns += 1;
+            self.table.relearn();
+        }
+    }
+
+    /// True if `pc` is currently flagged critical with full confidence.
+    pub fn is_critical(&self, pc: Pc) -> bool {
+        self.table.is_critical(pc)
+    }
+
+    /// Currently flagged critical PCs.
+    pub fn critical_pcs(&self) -> Vec<Pc> {
+        self.table.critical_pcs()
+    }
+
+    /// Access to the underlying table (diagnostics, examples).
+    pub fn table(&self) -> &CriticalLoadTable {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catch_cache::Level;
+
+    fn small_config() -> DetectorConfig {
+        DetectorConfig {
+            rob_size: 8,
+            quantize_shift: 0,
+            rename_latency: 0,
+            confidence_reset_interval: 1000,
+            ..DetectorConfig::paper()
+        }
+    }
+
+    fn pc(n: u64) -> Pc {
+        Pc::new(0x1000 + n * 4)
+    }
+
+    /// Feeds a repeating pattern: a critical L2-hitting load feeding a
+    /// dependence chain, plus independent noise loads that hit L1.
+    fn feed_pattern(det: &mut CriticalityDetector, repetitions: usize) {
+        for _ in 0..repetitions {
+            let seq = det.next_seq();
+            det.on_retire(RetiredInst::new(pc(0), 15).as_load(Level::L2));
+            det.on_retire(RetiredInst::compute(pc(1), 10, &[seq]));
+            det.on_retire(RetiredInst::compute(pc(2), 10, &[seq + 1]));
+            // Noise: independent fast L1 load.
+            det.on_retire(RetiredInst::new(pc(3), 5).as_load(Level::L1));
+        }
+    }
+
+    #[test]
+    fn detects_recurring_critical_load() {
+        let mut det = CriticalityDetector::new(small_config());
+        feed_pattern(&mut det, 40); // enough for several walks
+        assert!(det.stats().walks > 0);
+        assert!(det.is_critical(pc(0)), "L2-hit chain head must be critical");
+        assert!(
+            !det.is_critical(pc(3)),
+            "L1-hit noise load must not be tracked (level filter)"
+        );
+    }
+
+    #[test]
+    fn level_filter_follows_config() {
+        let cfg = small_config().with_track_levels(&[Level::L1]);
+        let mut det = CriticalityDetector::new(cfg);
+        feed_pattern(&mut det, 40);
+        // Now only L1-hitting critical loads qualify; the L2 chain head is
+        // excluded even though it is on the path.
+        assert!(!det.is_critical(pc(0)));
+    }
+
+    #[test]
+    fn relearn_happens_at_interval() {
+        let mut cfg = small_config();
+        cfg.confidence_reset_interval = 100;
+        let mut det = CriticalityDetector::new(cfg);
+        feed_pattern(&mut det, 100);
+        assert!(det.stats().relearns >= 3);
+        // Recurring critical load survives re-learn.
+        assert!(det.is_critical(pc(0)));
+    }
+
+    #[test]
+    fn critical_pcs_nonempty_after_training() {
+        let mut det = CriticalityDetector::new(small_config());
+        feed_pattern(&mut det, 40);
+        let pcs = det.critical_pcs();
+        assert!(pcs.contains(&pc(0)));
+    }
+
+    #[test]
+    fn no_walk_before_threshold() {
+        let mut det = CriticalityDetector::new(small_config());
+        det.on_retire(RetiredInst::new(pc(0), 15).as_load(Level::L2));
+        assert_eq!(det.stats().walks, 0);
+        assert_eq!(det.stats().retired, 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! Hardware-style program-criticality detection (CATCH, Section IV-A).
+//!
+//! The CATCH paper detects critical instructions by buffering a compact
+//! representation of the data-dependence graph (DDG) of Fields et al.
+//! (ISCA'01) in hardware and walking its longest (critical) path:
+//!
+//! * Every retired instruction contributes three nodes — **D** (allocate),
+//!   **E** (dispatch to execution) and **C** (writeback) — connected by
+//!   in-order edges (D-D, C-C), intra-instruction edges (D-E, E-C), data
+//!   dependences (E-E), the ROB-depth edge (C-D) and the bad-speculation
+//!   edge (E-D).
+//! * On insertion each node computes its longest distance from the start
+//!   of the buffered window (its *node cost*) by relaxing only its
+//!   immediate incoming edges, and remembers which edge won (*prev-node*)
+//!   — the paper's incremental method; no depth-first search is needed.
+//! * Once 2× the ROB size has been buffered, a backward walk along the
+//!   prev-node pointers enumerates the critical path. PCs of critical
+//!   *loads* that hit in configured cache levels (L2/LLC by default) are
+//!   recorded in a small set-associative [`CriticalLoadTable`] with 2-bit
+//!   confidence counters, periodically re-learned.
+//!
+//! The [`area`] module reproduces the paper's Table I storage accounting
+//! (~3 KB total).
+//!
+//! # Example
+//!
+//! ```
+//! use catch_criticality::{CriticalityDetector, DetectorConfig, RetiredInst};
+//! use catch_trace::Pc;
+//!
+//! let mut det = CriticalityDetector::new(DetectorConfig::default());
+//! // Feed retired instructions from the core model...
+//! let inst = RetiredInst::new(Pc::new(0x40), 5);
+//! det.on_retire(inst);
+//! assert!(!det.is_critical(Pc::new(0x40))); // not enough history yet
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+mod config;
+mod heuristic;
+mod detector;
+mod graph;
+mod table;
+
+pub use config::DetectorConfig;
+pub use detector::{CriticalityDetector, DetectorStats};
+pub use heuristic::{AnyDetector, HeuristicConfig, HeuristicDetector};
+pub use graph::{DdgGraph, GraphNode, NodeKind, PathStep, RetiredInst};
+pub use table::CriticalLoadTable;

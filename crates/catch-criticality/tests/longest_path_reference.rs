@@ -1,0 +1,161 @@
+//! Gold-model check: the hardware's *incremental* longest-path
+//! computation must agree with a brute-force dynamic-programming pass
+//! over the same dependence graph, for arbitrary random instruction
+//! windows.
+
+use catch_cache::Level;
+use catch_criticality::{DdgGraph, DetectorConfig, NodeKind, RetiredInst};
+use catch_trace::Pc;
+use proptest::prelude::*;
+
+/// A compact random instruction for graph generation.
+#[derive(Clone, Debug)]
+struct GenInst {
+    latency: u64,
+    /// Producer offsets (1 = previous instruction), 0 = none.
+    dep1: u64,
+    dep2: u64,
+    is_load: bool,
+    mispredict: bool,
+}
+
+fn config(rob: usize) -> DetectorConfig {
+    DetectorConfig {
+        rob_size: rob,
+        quantize_shift: 0,
+        rename_latency: 1,
+        redirect_penalty: 10,
+        ..DetectorConfig::paper()
+    }
+}
+
+/// Brute-force reference: compute D/E/C node costs with a full DP over
+/// the entire window using the same edge rules as the hardware model.
+fn reference_costs(insts: &[GenInst], cfg: &DetectorConfig) -> Vec<(u64, u64, u64)> {
+    let n = insts.len();
+    let mut costs = vec![(0u64, 0u64, 0u64); n];
+    // Quantized latency.
+    let lat: Vec<u64> = insts.iter().map(|i| cfg.quantize(i.latency)).collect();
+    for i in 0..n {
+        let mut d = 0u64;
+        if i > 0 {
+            d = d.max(costs[i - 1].0); // D-D
+        }
+        if i >= cfg.rob_size {
+            d = d.max(costs[i - cfg.rob_size].2); // C-D
+        }
+        if i > 0 && insts[i - 1].mispredict {
+            d = d.max(costs[i - 1].1 + lat[i - 1] + cfg.redirect_penalty); // E-D
+        }
+        let mut e = d + cfg.rename_latency; // D-E
+        for dep in [insts[i].dep1, insts[i].dep2] {
+            if dep != 0 && dep as usize <= i {
+                let p = i - dep as usize;
+                e = e.max(costs[p].1 + lat[p]); // E-E
+            }
+        }
+        let mut c = e + lat[i]; // E-C
+        if i > 0 {
+            c = c.max(costs[i - 1].2); // C-C
+        }
+        costs[i] = (d, e, c);
+    }
+    costs
+}
+
+fn gen_inst() -> impl Strategy<Value = GenInst> {
+    (1u64..31, 0u64..4, 0u64..8, any::<bool>(), prop::bool::weighted(0.1)).prop_map(
+        |(latency, dep1, dep2, is_load, mispredict)| GenInst {
+            latency,
+            dep1,
+            dep2,
+            is_load,
+            mispredict,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn incremental_costs_match_brute_force(
+        insts in proptest::collection::vec(gen_inst(), 2..40),
+        rob in 16usize..48,
+    ) {
+        let cfg = config(rob);
+        // Stay within the buffer so nothing is discarded mid-test.
+        prop_assume!(insts.len() <= cfg.buffer_capacity());
+        let mut graph = DdgGraph::new(cfg.clone());
+        for (i, inst) in insts.iter().enumerate() {
+            let mut ri = RetiredInst::new(Pc::new(0x1000 + i as u64 * 4), inst.latency);
+            let mut producers = Vec::new();
+            for dep in [inst.dep1, inst.dep2] {
+                if dep != 0 && dep as usize <= i {
+                    producers.push((i - dep as usize) as u64);
+                }
+            }
+            ri = ri.with_producers(&producers);
+            if inst.is_load {
+                ri = ri.as_load(Level::L2);
+            }
+            if inst.mispredict {
+                ri = ri.as_mispredicted_branch();
+            }
+            graph.push(ri);
+        }
+
+        let reference = reference_costs(&insts, &cfg);
+        // E-node costs must match exactly for every instruction.
+        for (i, &(_, e_ref, _)) in reference.iter().enumerate() {
+            let node = graph.node(i as u64).expect("buffered");
+            prop_assert_eq!(
+                node.e_cost(),
+                e_ref,
+                "E cost mismatch at instruction {} (rob {})",
+                i,
+                rob
+            );
+        }
+    }
+
+    /// The enumerated critical path must (a) start at the youngest C node,
+    /// (b) only step to nodes with non-increasing cost, and (c) contain
+    /// every load the graph reports as critical.
+    #[test]
+    fn walk_is_consistent(
+        insts in proptest::collection::vec(gen_inst(), 2..100),
+    ) {
+        let cfg = config(64); // buffer capacity 160 > max window here
+        let mut graph = DdgGraph::new(cfg);
+        for (i, inst) in insts.iter().enumerate() {
+            let mut ri = RetiredInst::new(Pc::new(0x1000 + i as u64 * 4), inst.latency);
+            if inst.dep1 != 0 && inst.dep1 as usize <= i {
+                ri = ri.with_producers(&[(i - inst.dep1 as usize) as u64]);
+            }
+            if inst.is_load {
+                ri = ri.as_load(Level::Llc);
+            }
+            graph.push(ri);
+        }
+        let path = graph.walk_critical_path();
+        prop_assert!(!path.is_empty());
+        prop_assert_eq!(path[0].seq, insts.len() as u64 - 1);
+        prop_assert_eq!(path[0].kind, NodeKind::Commit);
+        // Sequence numbers never increase along the backward walk by more
+        // than the window (sanity) and the path ends at the window start
+        // or a D node.
+        for w in path.windows(2) {
+            prop_assert!(w[1].seq <= w[0].seq);
+        }
+        // Critical loads are E-nodes of loads on the path.
+        let critical = graph.critical_loads();
+        for (pc, _) in critical {
+            let on_path = path.iter().any(|s| {
+                s.kind == NodeKind::Execute
+                    && graph.node(s.seq).map(|n| n.pc) == Some(pc)
+            });
+            prop_assert!(on_path, "critical load {pc} not on walked path");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Per-bank row-buffer state machine.
+
+/// Row-buffer outcome of an access.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RowOutcome {
+    /// The addressed row was already open.
+    Hit,
+    /// The bank was idle (precharged); only an activate was needed.
+    Empty,
+    /// A different row was open; precharge + activate required.
+    Conflict,
+}
+
+/// One DRAM bank: open row, busy window and activate bookkeeping.
+///
+/// All times are in *core* cycles (the system scales DRAM-clock parameters
+/// before calling in).
+#[derive(Clone, Debug, Default)]
+pub struct Bank {
+    open_row: Option<u64>,
+    busy_until: u64,
+    activated_at: u64,
+}
+
+impl Bank {
+    /// Creates an idle bank.
+    pub fn new() -> Self {
+        Bank::default()
+    }
+
+    /// The currently open row, if any.
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// Cycle until which the bank is command-busy.
+    pub fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+
+    /// Services an access to `row` arriving at `cycle`, given scaled
+    /// timings, returning `(data_ready_cycle, outcome)`.
+    ///
+    /// `t_cas`, `t_rcd`, `t_rp`, `t_ras` are in core cycles.
+    pub fn access(
+        &mut self,
+        row: u64,
+        cycle: u64,
+        t_cas: u64,
+        t_rcd: u64,
+        t_rp: u64,
+        t_ras: u64,
+    ) -> (u64, RowOutcome) {
+        let start = cycle.max(self.busy_until);
+        let (ready, outcome) = match self.open_row {
+            Some(open) if open == row => (start + t_cas, RowOutcome::Hit),
+            Some(_) => {
+                // Precharge must respect tRAS from the last activate.
+                let pre_start = start.max(self.activated_at + t_ras);
+                let activate = pre_start + t_rp;
+                self.activated_at = activate;
+                (activate + t_rcd + t_cas, RowOutcome::Conflict)
+            }
+            None => {
+                self.activated_at = start;
+                (start + t_rcd + t_cas, RowOutcome::Empty)
+            }
+        };
+        self.open_row = Some(row);
+        self.busy_until = ready;
+        (ready, outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAS: u64 = 40;
+    const RCD: u64 = 40;
+    const RP: u64 = 40;
+    const RAS: u64 = 104;
+
+    fn acc(bank: &mut Bank, row: u64, cycle: u64) -> (u64, RowOutcome) {
+        bank.access(row, cycle, CAS, RCD, RP, RAS)
+    }
+
+    #[test]
+    fn empty_bank_pays_activate_plus_cas() {
+        let mut b = Bank::new();
+        let (ready, out) = acc(&mut b, 3, 100);
+        assert_eq!(out, RowOutcome::Empty);
+        assert_eq!(ready, 100 + RCD + CAS);
+        assert_eq!(b.open_row(), Some(3));
+    }
+
+    #[test]
+    fn row_hit_pays_cas_only() {
+        let mut b = Bank::new();
+        let (first, _) = acc(&mut b, 3, 0);
+        let (ready, out) = acc(&mut b, 3, first + 10);
+        assert_eq!(out, RowOutcome::Hit);
+        assert_eq!(ready, first + 10 + CAS);
+    }
+
+    #[test]
+    fn conflict_pays_precharge_activate_cas_and_respects_tras() {
+        let mut b = Bank::new();
+        acc(&mut b, 3, 0); // activate at 0
+        // Conflict long after tRAS satisfied:
+        let (ready, out) = acc(&mut b, 7, 1000);
+        assert_eq!(out, RowOutcome::Conflict);
+        assert_eq!(ready, 1000 + RP + RCD + CAS);
+        // Conflict immediately after activate: precharge waits for tRAS.
+        let mut b2 = Bank::new();
+        acc(&mut b2, 3, 0); // activated_at = 0, busy till 80
+        let (ready2, out2) = acc(&mut b2, 9, 80);
+        assert_eq!(out2, RowOutcome::Conflict);
+        // precharge cannot start before tRAS (104): 104+RP+RCD+CAS
+        assert_eq!(ready2, RAS + RP + RCD + CAS);
+    }
+
+    #[test]
+    fn busy_bank_queues_requests() {
+        let mut b = Bank::new();
+        let (first, _) = acc(&mut b, 1, 0);
+        let (second, out) = acc(&mut b, 1, 0); // arrives while busy
+        assert_eq!(out, RowOutcome::Hit);
+        assert_eq!(second, first + CAS);
+    }
+}

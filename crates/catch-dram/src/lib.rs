@@ -1,0 +1,37 @@
+//! DDR4 main-memory timing model.
+//!
+//! Implements the paper's memory configuration: two DDR4-2400 channels,
+//! two ranks per channel, eight banks per rank, 64-bit data bus per
+//! channel, 2 KB row buffers and 15-15-15-39 (tCAS-tRCD-tRP-tRAS) timing,
+//! with writes scheduled in batches to reduce bus turnarounds.
+//!
+//! The model answers the question the core simulator asks — *how many core
+//! cycles does this access take?* — while tracking per-bank row-buffer
+//! state, bank busy windows and channel data-bus occupancy. It implements
+//! [`catch_cache::MemoryBackend`] so it plugs directly behind the LLC.
+//!
+//! # Example
+//!
+//! ```
+//! use catch_dram::{DramConfig, DramSystem};
+//! use catch_cache::MemoryBackend;
+//! use catch_trace::LineAddr;
+//!
+//! let mut dram = DramSystem::new(DramConfig::ddr4_2400());
+//! let first = dram.access(LineAddr::new(0), 0, false); // row miss
+//! let second = dram.access(LineAddr::new(64), 10_000, false); // row hit
+//! assert!(second < first);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bank;
+mod config;
+mod stats;
+mod system;
+
+pub use bank::{Bank, RowOutcome};
+pub use config::DramConfig;
+pub use stats::DramStats;
+pub use system::DramSystem;

@@ -1,0 +1,82 @@
+//! Memory-system statistics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Counters for the DRAM system.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses (posted).
+    pub writes: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Accesses to an idle (precharged) bank.
+    pub row_empties: u64,
+    /// Row-buffer conflicts.
+    pub row_conflicts: u64,
+    /// Sum of read latencies in core cycles (for averaging).
+    pub total_read_latency: u64,
+    /// Write batches drained.
+    pub write_batches: u64,
+}
+
+impl DramStats {
+    /// Average read latency in core cycles.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.total_read_latency as f64 / self.reads as f64
+        }
+    }
+
+    /// Row-buffer hit rate over all accesses.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_empties + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for DramStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rd / {} wr, avg read {:.1} cyc, row-hit {:.1}%",
+            self.reads,
+            self.writes,
+            self.avg_read_latency(),
+            100.0 * self.row_hit_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_handle_zero() {
+        let s = DramStats::default();
+        assert_eq!(s.avg_read_latency(), 0.0);
+        assert_eq!(s.row_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn averages_compute() {
+        let s = DramStats {
+            reads: 4,
+            total_read_latency: 400,
+            row_hits: 3,
+            row_conflicts: 1,
+            ..Default::default()
+        };
+        assert!((s.avg_read_latency() - 100.0).abs() < 1e-9);
+        assert!((s.row_hit_rate() - 0.75).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests over the DDR4 timing model.
+
+use catch_cache::MemoryBackend;
+use catch_dram::{DramConfig, DramSystem};
+use catch_trace::LineAddr;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Read latency is bounded below by CAS + burst and above by the
+    /// worst-case tRAS + tRP + tRCD + tCAS + burst plus accumulated queue
+    /// delay that cannot exceed the requests in front of it.
+    #[test]
+    fn read_latency_bounds(
+        lines in proptest::collection::vec(0u64..4096, 1..200),
+    ) {
+        let config = DramConfig::ddr4_2400();
+        let cas = config.scale(config.t_cas);
+        let burst = config.scale(config.t_burst);
+        let worst_single = config.scale(config.t_ras + config.t_rp + config.t_rcd + config.t_cas)
+            + burst;
+        let mut dram = DramSystem::new(config);
+        let mut outstanding_bound = worst_single;
+        for (cycle, &l) in lines.iter().enumerate() {
+            let latency = dram.read(LineAddr::new(l), cycle as u64);
+            prop_assert!(latency >= cas + burst, "latency {latency} below CAS+burst");
+            prop_assert!(
+                latency <= outstanding_bound,
+                "latency {latency} above accumulated bound {outstanding_bound}"
+            );
+            // Closely-spaced requests can queue behind each other.
+            outstanding_bound += worst_single;
+        }
+    }
+
+    /// With large gaps between requests, every access is independent and
+    /// bounded by a single worst-case access.
+    #[test]
+    fn spaced_reads_are_independent(
+        lines in proptest::collection::vec(0u64..65536, 1..100),
+    ) {
+        let config = DramConfig::ddr4_2400();
+        let worst = config.scale(config.t_ras + config.t_rp + config.t_rcd + config.t_cas)
+            + config.scale(config.t_burst);
+        let mut dram = DramSystem::new(config);
+        let mut cycle = 0u64;
+        for &l in &lines {
+            let latency = dram.read(LineAddr::new(l), cycle);
+            prop_assert!(latency <= worst, "spaced read {latency} > worst {worst}");
+            cycle += 10_000;
+        }
+    }
+
+    /// Row-buffer accounting: hits + empties + conflicts equals services
+    /// performed (reads plus drained writes).
+    #[test]
+    fn row_outcome_accounting(
+        ops in proptest::collection::vec((0u64..2048, any::<bool>()), 1..300),
+    ) {
+        let mut dram = DramSystem::new(DramConfig::ddr4_2400());
+        let mut cycle = 0u64;
+        for &(l, write) in &ops {
+            dram.access(LineAddr::new(l), cycle, write);
+            cycle += 50;
+        }
+        let s = *dram.stats();
+        let serviced = s.row_hits + s.row_empties + s.row_conflicts;
+        // Reads are serviced immediately; writes only when their batch
+        // drains (16 per channel, 2 channels -> up to 31 may be pending).
+        prop_assert!(serviced >= s.reads);
+        prop_assert!(serviced <= s.reads + s.writes);
+        prop_assert!(s.writes + s.reads == ops.len() as u64);
+    }
+
+    /// Determinism: identical request sequences produce identical stats.
+    #[test]
+    fn model_is_deterministic(
+        ops in proptest::collection::vec((0u64..512, any::<bool>()), 1..150),
+    ) {
+        let run = || {
+            let mut dram = DramSystem::new(DramConfig::ddr4_2400());
+            let mut cycle = 0u64;
+            let mut total = 0u64;
+            for &(l, write) in &ops {
+                total += dram.access(LineAddr::new(l), cycle, write);
+                cycle += 13;
+            }
+            (total, *dram.stats())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+/// Deterministic unit check: sequential same-row reads settle into pure
+/// row hits.
+#[test]
+fn steady_sequential_reads_are_row_hits() {
+    let config = DramConfig::ddr4_2400();
+    let mut dram = DramSystem::new(config);
+    // Same channel (even lines), same bank (stride 2 × 16 banks), walk
+    // within one row.
+    for i in 0..8u64 {
+        dram.read(LineAddr::new(i * 64), i * 500);
+    }
+    let s = dram.stats();
+    assert!(s.row_hits >= 6, "row hits {} of 8", s.row_hits);
+}

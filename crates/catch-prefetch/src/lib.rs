@@ -1,0 +1,33 @@
+//! Prefetchers for the CATCH simulator.
+//!
+//! Two groups:
+//!
+//! * **Baseline** prefetchers present in the paper's baseline machine:
+//!   a PC-indexed [`StridePrefetcher`] at the L1 and an aggressive
+//!   multi-stream [`StreamPrefetcher`] feeding the L2/LLC.
+//! * **TACT** — Timeliness Aware and Criticality Triggered prefetchers
+//!   (paper Section IV-B), which prefetch the cache lines of a small set
+//!   of *critical* load PCs from the L2/LLC into the L1, just in time:
+//!   - [`tact::TactPrefetcher`] hosts the **Cross** (trigger-PC address
+//!     association), **Deep-Self** (long-distance stride for critical PCs)
+//!     and **Feeder** (data→address association) prefetchers with the
+//!     paper's structure sizes (Figure 9),
+//!   - [`tact::CodeRunahead`] implements the front-end code prefetcher
+//!     that runs the next-prefetch instruction pointer ahead during L1I
+//!     miss stalls.
+//!
+//! The [`MemoryImage`] gives the Feeder prefetcher the view of memory that
+//! real hardware gets for free: the value a prefetched feeder line holds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod image;
+mod stride;
+mod stream;
+pub mod tact;
+
+pub use image::MemoryImage;
+pub use stride::{StridePrefetcher, StrideStats};
+pub use stream::{StreamPrefetcher, StreamStats};
+pub use tact::{CodeRunahead, TactConfig, TactPrefetcher, TactStats};

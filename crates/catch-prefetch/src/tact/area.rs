@@ -1,0 +1,82 @@
+//! Storage accounting for the TACT structures (paper Figure 9).
+//!
+//! The paper budgets ~1.2 KB for all TACT state:
+//!
+//! * Critical Target PC table — 32 entries × (Deep-Self 2 B + Cross 5 B +
+//!   Feeder 10.5 B + tag) ≈ 640 B
+//! * Feeder PC table — 32 entries × 2 B (Deep-Self state) = 64 B
+//! * Feeder tracking — 16 architectural registers × 3 B (youngest load
+//!   PC) = 48 B
+//! * Trigger cache — 8 sets × 8 ways × 6 B (first 4 load PCs per 4 KB
+//!   page) = 384 B
+//! * Cross PC candidates — 32 × 2 B = 64 B
+//! * Code next-prefetch instruction pointer — 8 B
+
+use serde::{Deserialize, Serialize};
+
+/// Byte budget of each TACT structure (Figure 9).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TactArea {
+    /// Critical Target PC table (32 entries with per-component state).
+    pub target_table_bytes: u64,
+    /// Feeder PC table (32 entries).
+    pub feeder_table_bytes: u64,
+    /// Per-architectural-register feeder tracking (16 registers).
+    pub feeder_tracking_bytes: u64,
+    /// Cross trigger cache (8 sets × 8 ways).
+    pub trigger_cache_bytes: u64,
+    /// Cross candidate PCs (32).
+    pub cross_candidates_bytes: u64,
+    /// Code next-prefetch instruction pointer.
+    pub code_cnpip_bytes: u64,
+}
+
+/// The paper's Figure 9 budget.
+pub const FIGURE_9: TactArea = TactArea {
+    // 32 × (2 B Deep-Self + 5 B Cross + 10.5 B Feeder) + tags = 640 B.
+    target_table_bytes: 640,
+    feeder_table_bytes: 64,
+    feeder_tracking_bytes: 48,
+    trigger_cache_bytes: 384,
+    cross_candidates_bytes: 64,
+    code_cnpip_bytes: 8,
+};
+
+impl TactArea {
+    /// Total bytes.
+    pub const fn total_bytes(&self) -> u64 {
+        self.target_table_bytes
+            + self.feeder_table_bytes
+            + self.feeder_tracking_bytes
+            + self.trigger_cache_bytes
+            + self.cross_candidates_bytes
+            + self.code_cnpip_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_9_totals_about_1_2_kb() {
+        let kb = FIGURE_9.total_bytes() as f64 / 1024.0;
+        assert!(
+            (1.0..1.4).contains(&kb),
+            "TACT area {kb:.2} KB should be ~1.2 KB"
+        );
+    }
+
+    #[test]
+    fn target_table_dominates() {
+        // Evaluate through a runtime copy so the assertion exercises the
+        // accessors rather than constant-folding away.
+        let area: TactArea = FIGURE_9;
+        let parts = [
+            area.target_table_bytes,
+            area.trigger_cache_bytes,
+            area.feeder_table_bytes,
+        ];
+        assert!(parts.windows(2).all(|w| w[0] > w[1]), "{parts:?}");
+    }
+}

@@ -1,0 +1,127 @@
+//! TACT code runahead prefetching (paper Section IV-B2).
+
+use catch_trace::LineAddr;
+use serde::{Deserialize, Serialize};
+
+/// Counters for the code runahead prefetcher.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodeRunaheadStats {
+    /// Stall events during which the runahead was activated.
+    pub activations: u64,
+    /// Code lines prefetched.
+    pub issued: u64,
+    /// Resets due to branch mispredictions or the NIP catching up.
+    pub resets: u64,
+}
+
+/// Front-end code prefetcher: while the Next Instruction Pointer (NIP) is
+/// stalled on an L1I miss, a shadow Code-Next-Prefetch-IP (CNPIP) runs
+/// ahead along the *predicted* instruction stream and prefetches the code
+/// lines it crosses.
+///
+/// The walking itself is done by the front end (which owns the branch
+/// predictor and the fetch stream); this type holds the CNPIP policy:
+/// how far to run ahead per stall, line deduplication, and reset
+/// bookkeeping.
+#[derive(Debug)]
+pub struct CodeRunahead {
+    max_lines_per_stall: usize,
+    last_issued: Option<LineAddr>,
+    stats: CodeRunaheadStats,
+}
+
+impl CodeRunahead {
+    /// Creates a runahead engine issuing at most `max_lines_per_stall`
+    /// line prefetches per activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_lines_per_stall` is zero.
+    pub fn new(max_lines_per_stall: usize) -> Self {
+        assert!(max_lines_per_stall > 0, "runahead needs a budget");
+        CodeRunahead {
+            max_lines_per_stall,
+            last_issued: None,
+            stats: CodeRunaheadStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CodeRunaheadStats {
+        self.stats
+    }
+
+    /// Called when the front end stalls on `miss_line`; `predicted_lines`
+    /// is the predicted future code-line stream beyond the stalled fetch
+    /// (already branch-predicted by the caller). Returns the distinct
+    /// lines to prefetch, skipping the missing line itself.
+    pub fn on_stall(
+        &mut self,
+        miss_line: LineAddr,
+        predicted_lines: impl Iterator<Item = LineAddr>,
+    ) -> Vec<LineAddr> {
+        self.stats.activations += 1;
+        let mut out: Vec<LineAddr> = Vec::new();
+        for line in predicted_lines {
+            if out.len() >= self.max_lines_per_stall {
+                break;
+            }
+            if line == miss_line || out.contains(&line) || Some(line) == self.last_issued {
+                continue;
+            }
+            out.push(line);
+        }
+        self.stats.issued += out.len() as u64;
+        self.last_issued = out.last().copied().or(self.last_issued);
+        out
+    }
+
+    /// Called on a branch misprediction or when the NIP catches up with
+    /// the CNPIP: the runahead restarts from the new stream.
+    pub fn on_redirect(&mut self) {
+        self.stats.resets += 1;
+        self.last_issued = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn issues_deduplicated_future_lines() {
+        let mut r = CodeRunahead::new(4);
+        let future = [line(10), line(10), line(11), line(12), line(11)];
+        let out = r.on_stall(line(9), future.into_iter());
+        assert_eq!(out, vec![line(10), line(11), line(12)]);
+        assert_eq!(r.stats().issued, 3);
+    }
+
+    #[test]
+    fn skips_the_missing_line_itself() {
+        let mut r = CodeRunahead::new(4);
+        let out = r.on_stall(line(9), [line(9), line(10)].into_iter());
+        assert_eq!(out, vec![line(10)]);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let mut r = CodeRunahead::new(2);
+        let out = r.on_stall(line(0), (1..10).map(line));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn redirect_resets_dedup_state() {
+        let mut r = CodeRunahead::new(4);
+        r.on_stall(line(0), [line(1)].into_iter());
+        r.on_redirect();
+        let out = r.on_stall(line(0), [line(1)].into_iter());
+        assert_eq!(out, vec![line(1)]);
+        assert_eq!(r.stats().resets, 1);
+    }
+}

@@ -1,0 +1,540 @@
+//! TACT — Timeliness Aware and Criticality Triggered prefetchers
+//! (paper Section IV-B).
+//!
+//! TACT accelerates a small set of *critical* load PCs (identified by the
+//! criticality detector) by prefetching their lines from the L2/LLC into
+//! the L1, just in time. Three data prefetchers are expressed over the
+//! `(Target-PC, Trigger-PC, Association)` tuple of the paper:
+//!
+//! * **Deep Self** — trigger is the target itself; association is an
+//!   address stride, prefetched at a learned *safe* distance (up to 16).
+//! * **Cross** — trigger is a different load PC touching the same 4 KB
+//!   page (found via the [`TriggerCache`]); association is a stable
+//!   address delta.
+//! * **Feeder** — trigger is the load producing the target's address
+//!   (found by register-flow tracking); association is
+//!   `address = scale × data + base` with scale ∈ {1, 2, 4, 8}.
+//!
+//! [`CodeRunahead`] is the fourth member: it runs the front end's
+//! next-prefetch instruction pointer ahead of a stalled fetch to prefetch
+//! code lines into the L1I.
+
+pub mod area;
+mod code;
+mod regfile;
+mod selfstride;
+mod target;
+mod trigger_cache;
+
+pub use code::{CodeRunahead, CodeRunaheadStats};
+pub use regfile::FeederRegFile;
+pub use selfstride::SelfStride;
+pub use target::{TargetEntry, TargetTable};
+pub use trigger_cache::TriggerCache;
+
+use crate::image::MemoryImage;
+use catch_trace::{Addr, MicroOp, OpClass, Pc};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of the TACT data prefetchers.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TactConfig {
+    /// Critical target PCs tracked (paper: 32).
+    pub max_targets: usize,
+    /// Maximum Deep-Self prefetch distance (paper: 16).
+    pub deep_max_distance: u8,
+    /// Feeder self-prefetch distance (paper: up to 4).
+    pub feeder_distance: u8,
+    /// Instances of a trigger candidate examined before switching
+    /// (paper: 16).
+    pub cross_instances_per_candidate: u8,
+    /// Full passes over the candidate set before giving up (paper: 4).
+    pub cross_candidate_wraps: u8,
+    /// Enable the Cross prefetcher.
+    pub enable_cross: bool,
+    /// Enable the Deep-Self prefetcher.
+    pub enable_deep: bool,
+    /// Enable the Feeder prefetcher.
+    pub enable_feeder: bool,
+    /// Maximum prefetch addresses returned per observed load.
+    pub max_prefetches_per_event: usize,
+}
+
+impl TactConfig {
+    /// Paper defaults.
+    pub fn paper() -> Self {
+        TactConfig {
+            max_targets: 32,
+            deep_max_distance: 16,
+            feeder_distance: 4,
+            cross_instances_per_candidate: 16,
+            cross_candidate_wraps: 4,
+            enable_cross: true,
+            enable_deep: true,
+            enable_feeder: true,
+            max_prefetches_per_event: 8,
+        }
+    }
+
+    /// Disables every data component (used to build up Figure 13).
+    pub fn disabled() -> Self {
+        TactConfig {
+            enable_cross: false,
+            enable_deep: false,
+            enable_feeder: false,
+            ..TactConfig::paper()
+        }
+    }
+}
+
+impl Default for TactConfig {
+    fn default() -> Self {
+        TactConfig::paper()
+    }
+}
+
+/// Counters for the TACT data prefetchers.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TactStats {
+    /// Critical targets allocated.
+    pub targets_allocated: u64,
+    /// Prefetch addresses emitted by Deep-Self (distance 1 included).
+    pub deep_issued: u64,
+    /// Prefetch addresses emitted by Cross triggers.
+    pub cross_issued: u64,
+    /// Prefetch addresses emitted by Feeder triggers.
+    pub feeder_issued: u64,
+    /// Cross associations learned.
+    pub cross_learned: u64,
+    /// Feeder (trigger, scale, base) associations learned.
+    pub feeder_learned: u64,
+}
+
+/// The TACT data-prefetch engine.
+///
+/// Drive it with:
+/// * [`TactPrefetcher::note_critical`] when the criticality detector
+///   flags a load PC,
+/// * [`TactPrefetcher::on_op`] for every retired micro-op (register-flow
+///   tracking for the Feeder),
+/// * [`TactPrefetcher::on_load`] for every executed load — returns the
+///   byte addresses TACT wants prefetched into the L1D.
+#[derive(Debug)]
+pub struct TactPrefetcher {
+    config: TactConfig,
+    targets: TargetTable,
+    trigger_cache: TriggerCache,
+    regfile: FeederRegFile,
+    /// Learned cross associations: trigger PC → (target PC, delta bytes).
+    cross_assocs: HashMap<Pc, Vec<(Pc, i64)>>,
+    /// Last observed address of cross-candidate PCs under training.
+    candidate_addrs: HashMap<Pc, Addr>,
+    /// Confirmed feeder PCs → (self-stride state, dependent targets).
+    feeders: HashMap<Pc, (SelfStride, Vec<Pc>)>,
+    stats: TactStats,
+}
+
+impl TactPrefetcher {
+    /// Creates the engine.
+    pub fn new(config: TactConfig) -> Self {
+        TactPrefetcher {
+            targets: TargetTable::new(config.max_targets),
+            trigger_cache: TriggerCache::new(8, 8, 4),
+            regfile: FeederRegFile::new(),
+            cross_assocs: HashMap::new(),
+            candidate_addrs: HashMap::new(),
+            feeders: HashMap::new(),
+            config,
+            stats: TactStats::default(),
+        }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &TactConfig {
+        &self.config
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> TactStats {
+        self.stats
+    }
+
+    /// Registers `pc` as a critical target (idempotent; refreshes LRU).
+    pub fn note_critical(&mut self, pc: Pc) {
+        if self.targets.touch_or_allocate(pc) {
+            self.stats.targets_allocated += 1;
+        }
+    }
+
+    /// True if `pc` currently has a target entry.
+    pub fn is_target(&self, pc: Pc) -> bool {
+        self.targets.contains(pc)
+    }
+
+    /// Observes register flow of a micro-op at allocation/rename time
+    /// (in program order, as the paper's feeder-tracking hardware does).
+    pub fn on_op(&mut self, op: &MicroOp) {
+        if !self.config.enable_feeder {
+            return;
+        }
+        self.regfile.observe(op);
+    }
+
+    /// The feeder candidate (PC, value) for a load at allocation time —
+    /// the youngest load in program order feeding its sources. Capture
+    /// this *before* calling [`TactPrefetcher::on_op`] for the same op,
+    /// and pass it to [`TactPrefetcher::on_load`] at execution.
+    pub fn feeder_hint(&self, op: &MicroOp) -> Option<(Pc, u64)> {
+        if !self.config.enable_feeder {
+            return None;
+        }
+        self.regfile.youngest_feeder(op)
+    }
+
+    /// Observes an executed load and returns addresses to prefetch into
+    /// the L1D. `feeder` is the allocation-time hint from
+    /// [`TactPrefetcher::feeder_hint`].
+    pub fn on_load(
+        &mut self,
+        op: &MicroOp,
+        feeder: Option<(Pc, u64)>,
+        image: &MemoryImage,
+    ) -> Vec<Addr> {
+        debug_assert_eq!(op.class, OpClass::Load, "on_load takes loads");
+        let Some(mem) = op.mem else {
+            return Vec::new();
+        };
+        let pc = op.pc;
+        let addr = mem.addr;
+        let value = op.load_value;
+        let mut out: Vec<Addr> = Vec::new();
+
+        // 1. Every load is a potential future cross trigger.
+        self.trigger_cache.observe(addr.page(), pc);
+        if let std::collections::hash_map::Entry::Occupied(mut e) =
+            self.candidate_addrs.entry(pc)
+        {
+            *e.get_mut() = addr;
+        }
+
+        // 2. Fire learned cross associations where this load triggers.
+        if self.config.enable_cross {
+            if let Some(assocs) = self.cross_assocs.get(&pc) {
+                for &(target, delta) in assocs {
+                    if self.targets.contains(target) {
+                        self.stats.cross_issued += 1;
+                        out.push(addr.offset(delta));
+                    }
+                }
+            }
+        }
+
+        // 3. Fire feeder prefetches where this load feeds targets.
+        if self.config.enable_feeder {
+            let feeder_emits = self.feeder_fire(pc, addr, value, image);
+            out.extend(feeder_emits);
+        }
+
+        // 4. Train (and fire Deep-Self) when this load is itself a target.
+        if self.targets.contains(pc) {
+            let deep = self.train_target(op, addr, feeder);
+            out.extend(deep);
+        }
+
+        out.truncate(self.config.max_prefetches_per_event);
+        out.dedup_by_key(|a| a.line());
+        out
+    }
+
+    /// Training and Deep-Self emission for a critical target instance.
+    fn train_target(
+        &mut self,
+        op: &MicroOp,
+        addr: Addr,
+        feeder: Option<(Pc, u64)>,
+    ) -> Vec<Addr> {
+        let pc = op.pc;
+        let mut out = Vec::new();
+
+        // Deep Self.
+        let (deep_emits, _) = {
+            let entry = self.targets.get_mut(pc).expect("target present");
+            let emits = entry.self_stride.train_and_predict(
+                addr,
+                self.config.deep_max_distance,
+                self.config.enable_deep,
+            );
+            (emits, ())
+        };
+        self.stats.deep_issued += deep_emits.len() as u64;
+        out.extend(deep_emits);
+
+        // Cross training.
+        if self.config.enable_cross {
+            self.train_cross(pc, addr);
+        }
+
+        // Feeder training.
+        if self.config.enable_feeder {
+            self.train_feeder(op, addr, feeder);
+        }
+        out
+    }
+
+    fn train_cross(&mut self, target_pc: Pc, addr: Addr) {
+        // Split-borrow helpers: copy candidate info out first.
+        let candidates = self.trigger_cache.candidates(addr.page());
+        let entry = self.targets.get_mut(target_pc).expect("target present");
+        if entry.cross_learned.is_some() {
+            return;
+        }
+        let cross = &mut entry.cross;
+        // Ensure a current candidate.
+        if cross.current.is_none() {
+            let next = candidates
+                .iter()
+                .copied()
+                .find(|&c| c != target_pc && !cross.tried.contains(&Some(c)));
+            if let Some(c) = next {
+                cross.adopt(c);
+                self.candidate_addrs.entry(c).or_insert(Addr::new(0));
+            }
+            return;
+        }
+        let cand = cross.current.expect("checked above");
+        let Some(&trig_addr) = self.candidate_addrs.get(&cand) else {
+            return;
+        };
+        let delta = addr.get() as i64 - trig_addr.get() as i64;
+        let stable = cross.observe_delta(delta);
+        if stable && delta.unsigned_abs() < catch_trace::PAGE_BYTES {
+            entry.cross_learned = Some((cand, delta));
+            self.cross_assocs
+                .entry(cand)
+                .or_default()
+                .push((target_pc, delta));
+            self.stats.cross_learned += 1;
+        } else if cross.exhausted(
+            self.config.cross_instances_per_candidate,
+            self.config.cross_candidate_wraps,
+        ) {
+            // Move to the next candidate PC from the trigger cache.
+            let next = candidates
+                .iter()
+                .copied()
+                .find(|&c| c != target_pc && !cross.tried.contains(&Some(c)));
+            cross.advance(next);
+        }
+    }
+
+    fn train_feeder(&mut self, op: &MicroOp, addr: Addr, feeder: Option<(Pc, u64)>) {
+        // The youngest load (in program order) feeding this load's
+        // sources, captured by the core at allocation time.
+        let entry = self.targets.get_mut(op.pc).expect("target present");
+        let Some((feeder_pc, feeder_value)) = feeder else {
+            return;
+        };
+        if feeder_pc == op.pc {
+            return; // self dependence is Deep-Self's job
+        }
+        let confirmed = entry.feeder.observe_candidate(feeder_pc);
+        if !confirmed {
+            return;
+        }
+        // Learn address = scale * data + base.
+        if entry.feeder.learned.is_none() {
+            if let Some((scale, base)) = entry.feeder.train_relation(addr, feeder_value) {
+                entry.feeder.learned = Some((scale, base));
+                self.stats.feeder_learned += 1;
+                self.feeders
+                    .entry(feeder_pc)
+                    .or_insert_with(|| (SelfStride::new(), Vec::new()))
+                    .1
+                    .push(op.pc);
+            }
+        }
+    }
+
+    /// Emits target prefetches when a confirmed feeder executes.
+    fn feeder_fire(
+        &mut self,
+        pc: Pc,
+        addr: Addr,
+        value: u64,
+        image: &MemoryImage,
+    ) -> Vec<Addr> {
+        let Some((self_stride, dependents)) = self.feeders.get_mut(&pc) else {
+            return Vec::new();
+        };
+        // Train the feeder's own stride and predict future feeder
+        // addresses (the paper prefetches the feeder up to distance 4 and
+        // chains the returned data into target prefetches).
+        let feeder_future =
+            self_stride.train_and_predict_all(addr, self.config.feeder_distance);
+        let dependents = dependents.clone();
+
+        let mut out = Vec::new();
+        for target_pc in dependents {
+            let Some(entry) = self.targets.get(target_pc) else {
+                continue;
+            };
+            let Some((scale, base)) = entry.feeder.learned else {
+                continue;
+            };
+            // Distance 0: the data just loaded points at the next target.
+            out.push(Addr::new(
+                (scale as u64)
+                    .wrapping_mul(value)
+                    .wrapping_add(base as u64),
+            ));
+            // Deeper: chase future feeder instances through the image.
+            for &fa in &feeder_future {
+                if let Some(v) = image.read(fa) {
+                    out.push(Addr::new(
+                        (scale as u64).wrapping_mul(v).wrapping_add(base as u64),
+                    ));
+                }
+            }
+        }
+        self.stats.feeder_issued += out.len() as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catch_trace::ArchReg;
+
+    fn load(pc_n: u64, addr: u64, value: u64) -> MicroOp {
+        MicroOp::load(Pc::new(pc_n), ArchReg::new(1), Addr::new(addr), value, &[])
+    }
+
+    fn dep_load(pc_n: u64, addr: u64, value: u64, src: ArchReg) -> MicroOp {
+        MicroOp::load(
+            Pc::new(pc_n),
+            ArchReg::new(2),
+            Addr::new(addr),
+            value,
+            &[src],
+        )
+    }
+
+    #[test]
+    fn deep_self_prefetches_critical_strided_load() {
+        let mut t = TactPrefetcher::new(TactConfig::paper());
+        let image = MemoryImage::new();
+        let pc = Pc::new(0x100);
+        t.note_critical(pc);
+        let mut last = Vec::new();
+        for i in 0..40u64 {
+            let op = MicroOp::load(pc, ArchReg::new(1), Addr::new(i * 64), 0, &[]);
+            last = t.on_load(&op, None, &image);
+        }
+        assert!(!last.is_empty(), "stable stride must emit prefetches");
+        assert!(t.stats().deep_issued > 0);
+        // Deep distance grows past 1.
+        let max = last.iter().map(|a| a.get()).max().unwrap();
+        assert!(max > 40 * 64, "deep prefetch reaches ahead: {max}");
+        assert!(max <= 39 * 64 + 16 * 64 + 64, "capped at distance 16");
+    }
+
+    #[test]
+    fn non_critical_loads_do_not_prefetch() {
+        let mut t = TactPrefetcher::new(TactConfig::paper());
+        let image = MemoryImage::new();
+        for i in 0..40u64 {
+            let out = t.on_load(&load(0x100, i * 64, 0), None, &image);
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn cross_association_learns_and_fires() {
+        let mut t = TactPrefetcher::new(TactConfig::paper());
+        let image = MemoryImage::new();
+        let trigger = Pc::new(0x200);
+        let target = Pc::new(0x204);
+        t.note_critical(target);
+        // Trigger at X, target at X + 256, same page, random-ish X.
+        for i in 0..80u64 {
+            let x = 4096 * 10 + (i % 8) * 320; // stays in a few pages
+            t.on_load(&load(0x200, x, 0), None, &image);
+            t.on_load(&load(0x204, x + 256, 0), None, &image);
+        }
+        assert!(t.stats().cross_learned > 0, "delta must be learned");
+        // Now a fresh trigger instance fires a prefetch for the target.
+        let out = t.on_load(&load(0x200, 4096 * 20, 0), None, &image);
+        assert!(out.contains(&Addr::new(4096 * 20 + 256)), "out {out:?}");
+        let _ = (trigger, target);
+    }
+
+    #[test]
+    fn feeder_association_chases_pointers() {
+        let mut t = TactPrefetcher::new(TactConfig::paper());
+        // Memory: feeder array at 0x1000 stride 8 holding pointers to
+        // targets at value addresses.
+        let mut image = MemoryImage::new();
+        let src = ArchReg::new(1);
+        for i in 0..200u64 {
+            image.record(Addr::new(0x1000 + i * 8), 0x100000 + i * 4096);
+        }
+        let target = Pc::new(0x304);
+        t.note_critical(target);
+        let mut fired = Vec::new();
+        for i in 0..60u64 {
+            let feeder_op = MicroOp::load(
+                Pc::new(0x300),
+                src,
+                Addr::new(0x1000 + i * 8),
+                0x100000 + i * 4096,
+                &[],
+            );
+            t.on_op(&feeder_op);
+            let f = t.on_load(&feeder_op, None, &image);
+            fired.extend(f);
+            let target_op = dep_load(0x304, 0x100000 + i * 4096, 7, src);
+            t.on_op(&target_op);
+            let hint = t.feeder_hint(&target_op);
+            t.on_load(&target_op, hint, &image);
+        }
+        assert!(t.stats().feeder_learned > 0, "feeder relation learned");
+        assert!(
+            t.stats().feeder_issued > 0,
+            "feeder prefetches fired: {fired:?}"
+        );
+        // The fired addresses must be future target addresses.
+        assert!(fired
+            .iter()
+            .any(|a| a.get() >= 0x100000 && a.get() % 4096 == 0));
+    }
+
+    #[test]
+    fn component_disable_flags_respected() {
+        let mut t = TactPrefetcher::new(TactConfig::disabled());
+        let image = MemoryImage::new();
+        let pc = Pc::new(0x100);
+        t.note_critical(pc);
+        for i in 0..40u64 {
+            let out = t.on_load(&load(0x100, i * 64, 0), None, &image);
+            assert!(out.is_empty(), "disabled TACT must stay quiet");
+        }
+        assert_eq!(t.stats().deep_issued, 0);
+    }
+
+    #[test]
+    fn emission_is_capped_per_event() {
+        let cfg = TactConfig {
+            max_prefetches_per_event: 2,
+            ..TactConfig::paper()
+        };
+        let mut t = TactPrefetcher::new(cfg);
+        let image = MemoryImage::new();
+        t.note_critical(Pc::new(0x100));
+        for i in 0..60u64 {
+            let out = t.on_load(&load(0x100, i * 64, 0), None, &image);
+            assert!(out.len() <= 2);
+        }
+    }
+}

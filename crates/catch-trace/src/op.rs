@@ -1,0 +1,262 @@
+//! Micro-operation records.
+
+use crate::ids::{Addr, ArchReg, Pc};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Functional class of a micro-op; determines which execution port it uses
+/// and its base execution latency in the core model.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Simple integer ALU operation (1 cycle).
+    Alu,
+    /// Integer multiply (3 cycles).
+    Mul,
+    /// Integer/FP divide (long latency, unpipelined-ish).
+    Div,
+    /// Floating-point add/sub (4 cycles).
+    FpAdd,
+    /// Floating-point multiply / FMA (4-5 cycles).
+    FpMul,
+    /// Memory load; latency comes from the cache hierarchy.
+    Load,
+    /// Memory store; retires when address/data are ready, writes back
+    /// through the L1.
+    Store,
+    /// Conditional or unconditional branch.
+    Branch,
+    /// No-op / fence placeholder (1 cycle, no dependences added).
+    Nop,
+}
+
+impl OpClass {
+    /// True for classes that reference memory.
+    pub const fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::Alu => "alu",
+            OpClass::Mul => "mul",
+            OpClass::Div => "div",
+            OpClass::FpAdd => "fadd",
+            OpClass::FpMul => "fmul",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+            OpClass::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Up to three source registers, stored inline.
+pub type SrcRegs = [Option<ArchReg>; 3];
+
+/// A memory reference attached to a load or store.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct MemRef {
+    /// Byte address referenced.
+    pub addr: Addr,
+    /// Access size in bytes (1–64).
+    pub size: u8,
+}
+
+/// Kind of branch, affecting prediction behaviour.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum BranchKind {
+    /// Conditional direct branch (predicted by the direction predictor).
+    Conditional,
+    /// Unconditional direct jump/call (always predicted correctly once the
+    /// BTB knows the target; modelled as always-correct).
+    Direct,
+    /// Indirect jump/call/return (mispredicts with a configurable rate via
+    /// the target predictor).
+    Indirect,
+}
+
+/// Branch metadata attached to a [`OpClass::Branch`] micro-op.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct BranchInfo {
+    /// Whether the branch is taken in the trace.
+    pub taken: bool,
+    /// Target PC when taken (fall-through is `pc + 4` otherwise).
+    pub target: Pc,
+    /// Branch kind.
+    pub kind: BranchKind,
+}
+
+/// One retired-path micro-operation.
+///
+/// `MicroOp` is the unit the core model allocates, schedules, executes and
+/// retires. Loads carry the value they load (`load_value`) so that the
+/// TACT-Feeder prefetcher can learn data→address associations exactly as
+/// the hardware proposal would observe them.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MicroOp {
+    /// Program counter of the parent instruction.
+    pub pc: Pc,
+    /// Functional class.
+    pub class: OpClass,
+    /// Source registers (dependences).
+    pub srcs: SrcRegs,
+    /// Destination register, if any.
+    pub dst: Option<ArchReg>,
+    /// Memory reference for loads/stores.
+    pub mem: Option<MemRef>,
+    /// Value loaded from memory (loads only; 0 otherwise).
+    pub load_value: u64,
+    /// Branch metadata (branches only).
+    pub branch: Option<BranchInfo>,
+}
+
+impl MicroOp {
+    /// Creates a non-memory, non-branch op.
+    pub fn compute(pc: Pc, class: OpClass, dst: Option<ArchReg>, srcs: &[ArchReg]) -> Self {
+        MicroOp {
+            pc,
+            class,
+            srcs: pack_srcs(srcs),
+            dst,
+            mem: None,
+            load_value: 0,
+            branch: None,
+        }
+    }
+
+    /// Creates a load of `size` bytes at `addr` producing `value` into `dst`.
+    pub fn load(pc: Pc, dst: ArchReg, addr: Addr, value: u64, srcs: &[ArchReg]) -> Self {
+        MicroOp {
+            pc,
+            class: OpClass::Load,
+            srcs: pack_srcs(srcs),
+            dst: Some(dst),
+            mem: Some(MemRef { addr, size: 8 }),
+            load_value: value,
+            branch: None,
+        }
+    }
+
+    /// Creates a store to `addr` whose data comes from `srcs`.
+    pub fn store(pc: Pc, addr: Addr, srcs: &[ArchReg]) -> Self {
+        MicroOp {
+            pc,
+            class: OpClass::Store,
+            srcs: pack_srcs(srcs),
+            dst: None,
+            mem: Some(MemRef { addr, size: 8 }),
+            load_value: 0,
+            branch: None,
+        }
+    }
+
+    /// Creates a branch.
+    pub fn branch(pc: Pc, info: BranchInfo, srcs: &[ArchReg]) -> Self {
+        MicroOp {
+            pc,
+            class: OpClass::Branch,
+            srcs: pack_srcs(srcs),
+            dst: None,
+            mem: None,
+            load_value: 0,
+            branch: Some(info),
+        }
+    }
+
+    /// True if this op reads `reg`.
+    pub fn reads(&self, reg: ArchReg) -> bool {
+        self.srcs.iter().flatten().any(|&r| r == reg)
+    }
+
+    /// Iterates over the source registers that are present.
+    pub fn sources(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.srcs.iter().flatten().copied()
+    }
+
+    /// The address of the next sequential instruction (PCs advance by 4).
+    pub fn fallthrough(&self) -> Pc {
+        self.pc.advance(4)
+    }
+
+    /// The PC the front end should fetch after this op, honouring taken
+    /// branches.
+    pub fn next_pc(&self) -> Pc {
+        match self.branch {
+            Some(b) if b.taken => b.target,
+            _ => self.fallthrough(),
+        }
+    }
+}
+
+fn pack_srcs(srcs: &[ArchReg]) -> SrcRegs {
+    assert!(srcs.len() <= 3, "micro-ops have at most 3 register sources");
+    let mut out: SrcRegs = [None; 3];
+    for (slot, &reg) in out.iter_mut().zip(srcs.iter()) {
+        *slot = Some(reg);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::new(i)
+    }
+
+    #[test]
+    fn compute_op_tracks_sources() {
+        let op = MicroOp::compute(Pc::new(0x10), OpClass::Alu, Some(r(3)), &[r(1), r(2)]);
+        assert!(op.reads(r(1)));
+        assert!(op.reads(r(2)));
+        assert!(!op.reads(r(3)));
+        assert_eq!(op.sources().count(), 2);
+    }
+
+    #[test]
+    fn load_records_value_and_addr() {
+        let op = MicroOp::load(Pc::new(0), r(1), Addr::new(0x80), 0xdead, &[r(2)]);
+        assert_eq!(op.class, OpClass::Load);
+        assert_eq!(op.mem.unwrap().addr, Addr::new(0x80));
+        assert_eq!(op.load_value, 0xdead);
+        assert_eq!(op.dst, Some(r(1)));
+    }
+
+    #[test]
+    fn branch_next_pc_follows_taken_target() {
+        let info = BranchInfo {
+            taken: true,
+            target: Pc::new(0x100),
+            kind: BranchKind::Conditional,
+        };
+        let op = MicroOp::branch(Pc::new(0x10), info, &[]);
+        assert_eq!(op.next_pc(), Pc::new(0x100));
+
+        let nt = MicroOp::branch(
+            Pc::new(0x10),
+            BranchInfo {
+                taken: false,
+                ..info
+            },
+            &[],
+        );
+        assert_eq!(nt.next_pc(), Pc::new(0x14));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 3")]
+    fn too_many_sources_panics() {
+        let _ = MicroOp::compute(Pc::new(0), OpClass::Alu, None, &[r(0), r(1), r(2), r(3)]);
+    }
+
+    #[test]
+    fn mem_class_predicate() {
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::Branch.is_mem());
+    }
+}

@@ -1,0 +1,36 @@
+//! Synthetic workload suite for the CATCH simulator.
+//!
+//! The paper evaluates 70 applications from SPEC CPU2006, HPC, server and
+//! client categories (Table II). Those binaries and traces are not
+//! redistributable, so this crate generates *synthetic* traces that
+//! reproduce the behaviour classes the paper's analysis depends on:
+//!
+//! * dependence chains through loads that hit the L2/LLC (criticality),
+//! * strided and streaming access (stride/stream/Deep-Self prefetchers),
+//! * same-page field accesses at stable deltas (Cross),
+//! * index→gather and pointer indirection (Feeder),
+//! * large code footprints (code runahead, server category),
+//! * hard-to-prefetch pointer chases (the paper's namd/gromacs-like
+//!   limits) and critical-PC-rich workloads (povray-like).
+//!
+//! Each named workload composes the kernels in [`kernels`] and is
+//! registered in [`suite`]; [`mp`] builds the 4-way multi-programmed
+//! mixes.
+//!
+//! # Example
+//!
+//! ```
+//! let specs = catch_workloads::suite::all();
+//! assert!(specs.len() >= 20);
+//! let trace = specs[0].generate(10_000, 42);
+//! assert!(trace.len() >= 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernels;
+pub mod mp;
+pub mod suite;
+
+pub use suite::{WorkloadSpec, WorkloadsError};

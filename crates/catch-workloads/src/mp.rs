@@ -1,0 +1,128 @@
+//! Multi-programmed (4-way) workload mixes.
+
+use crate::suite::{self, WorkloadSpec};
+use catch_trace::Trace;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A named 4-way mix of workloads.
+#[derive(Debug, Clone)]
+pub struct MpMix {
+    /// Mix name (e.g. `"rate4_mcf_like"`).
+    pub name: String,
+    /// The four member workloads.
+    pub members: [WorkloadSpec; 4],
+}
+
+impl MpMix {
+    /// Generates the four traces (distinct seeds per copy, and a distinct
+    /// virtual address space per copy so private-cache contents are not
+    /// spuriously shared through the LLC).
+    pub fn generate(&self, ops: usize, seed: u64) -> [Trace; 4] {
+        let mut traces = self.members.iter().enumerate().map(|(i, w)| {
+            w.generate(ops, seed.wrapping_add(1 + i as u64))
+                .rebased((i as u64 + 1) << 41)
+        });
+        [
+            traces.next().expect("4 members"),
+            traces.next().expect("4 members"),
+            traces.next().expect("4 members"),
+            traces.next().expect("4 members"),
+        ]
+    }
+}
+
+/// RATE-4 mixes: four copies of the same workload on four cores (one mix
+/// per suite workload).
+pub fn rate4_mixes() -> Vec<MpMix> {
+    suite::all()
+        .into_iter()
+        .map(|w| MpMix {
+            name: format!("rate4_{}", w.name),
+            members: [w; 4],
+        })
+        .collect()
+}
+
+/// `count` random 4-way mixes drawn from the suite (deterministic in
+/// `seed`).
+pub fn random_mixes(count: usize, seed: u64) -> Vec<MpMix> {
+    let specs = suite::all();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let pick = |rng: &mut SmallRng| specs[rng.gen_range(0..specs.len())];
+            let members = [pick(&mut rng), pick(&mut rng), pick(&mut rng), pick(&mut rng)];
+            MpMix {
+                name: format!(
+                    "mix{}_{}_{}_{}_{}",
+                    i,
+                    short(members[0].name),
+                    short(members[1].name),
+                    short(members[2].name),
+                    short(members[3].name)
+                ),
+                members,
+            }
+        })
+        .collect()
+}
+
+fn short(name: &str) -> &str {
+    name.strip_suffix("_like").unwrap_or(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate4_covers_suite() {
+        let mixes = rate4_mixes();
+        assert_eq!(mixes.len(), 28);
+        assert!(mixes[0].name.starts_with("rate4_"));
+        let m = &mixes[0];
+        assert_eq!(m.members[0].name, m.members[3].name);
+    }
+
+    #[test]
+    fn mp_copies_live_in_disjoint_address_spaces() {
+        let mixes = rate4_mixes();
+        let traces = mixes[0].generate(4_000, 99);
+        let pages = |t: &Trace| {
+            t.ops()
+                .iter()
+                .filter_map(|o| o.mem.map(|m| m.addr.page()))
+                .collect::<std::collections::HashSet<_>>()
+        };
+        let a = pages(&traces[0]);
+        let b = pages(&traces[1]);
+        assert!(a.is_disjoint(&b), "MP copies must not share data pages");
+    }
+
+    #[test]
+    fn rate4_copies_use_distinct_seeds() {
+        let mixes = rate4_mixes();
+        let traces = mixes[0].generate(4_000, 99);
+        let addrs = |t: &Trace| {
+            t.ops()
+                .iter()
+                .filter_map(|o| o.mem.map(|m| m.addr))
+                .take(50)
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(addrs(&traces[0]), addrs(&traces[1]));
+    }
+
+    #[test]
+    fn random_mixes_are_deterministic() {
+        let a = random_mixes(10, 7);
+        let b = random_mixes(10, 7);
+        assert_eq!(a.len(), 10);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+        }
+        let c = random_mixes(10, 8);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.name != y.name));
+    }
+}

@@ -1,0 +1,93 @@
+//! Design-space exploration: the area/performance trade-off CATCH opens
+//! up (Section VI-E narrative) — sweep LLC capacities with and without an
+//! L2, with and without CATCH, and print a perf-per-area frontier.
+//!
+//! ```sh
+//! cargo run --release --example design_space [ops]
+//! ```
+
+use catch_core::area::{hierarchy_area, AreaConstants};
+use catch_core::energy::{energy_of, EnergyConstants};
+use catch_core::{geomean, System, SystemConfig};
+use catch_workloads::suite;
+
+fn main() {
+    let ops: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+
+    // A representative slice of the suite to keep the sweep quick.
+    let names = ["xalanc_like", "milc_like", "spmv_like", "tpcc_like", "sysmark_like"];
+    let traces: Vec<_> = names
+        .iter()
+        .map(|n| suite::by_name(n).expect("known workload").generate(ops, 42))
+        .collect();
+
+    struct Point {
+        name: String,
+        config: SystemConfig,
+        l2_bytes: u64,
+        llc_bytes: u64,
+    }
+
+    let mut points = Vec::new();
+    let base = SystemConfig::baseline_exclusive();
+    points.push(Point {
+        name: "3-level baseline (1MB L2 + 5.5MB)".into(),
+        config: base.clone(),
+        l2_bytes: 1 << 20,
+        llc_bytes: 5632 << 10,
+    });
+    points.push(Point {
+        name: "3-level + CATCH".into(),
+        config: base.clone().with_catch(),
+        l2_bytes: 1 << 20,
+        llc_bytes: 5632 << 10,
+    });
+    for llc_kb in [5632u64, 6656, 9728] {
+        points.push(Point {
+            name: format!("2-level CATCH ({:.1}MB LLC)", llc_kb as f64 / 1024.0),
+            config: base.clone().without_l2(llc_kb << 10).with_catch(),
+            l2_bytes: 0,
+            llc_bytes: llc_kb << 10,
+        });
+    }
+
+    // Baseline IPCs for normalisation.
+    let base_sys = System::new(base);
+    let base_ipcs: Vec<f64> = traces.iter().map(|t| base_sys.run_st(t.clone()).ipc()).collect();
+    let constants = EnergyConstants::paper_like();
+    let area_constants = AreaConstants::nm14();
+
+    println!(
+        "{:<38} {:>9} {:>10} {:>10} {:>10}",
+        "configuration", "perf", "area(mm2)", "perf/area", "energy"
+    );
+    for p in points {
+        let sys = System::new(p.config.clone());
+        let mut ratios = Vec::new();
+        let mut energy = 0.0;
+        for (t, &b) in traces.iter().zip(&base_ipcs) {
+            let r = sys.run_st(t.clone());
+            ratios.push(r.ipc() / b);
+            energy += energy_of(&r, &constants, p.l2_bytes, p.llc_bytes).total_uj();
+        }
+        let perf = geomean(&ratios);
+        // Four-core chip area from the analytical model (the paper's
+        // "30% lesser area" arithmetic).
+        let mut hier4 = p.config.hierarchy.clone();
+        hier4.cores = 4;
+        let area = hierarchy_area(&hier4, &area_constants);
+        println!(
+            "{:<38} {:>8.3}x {:>10.2} {:>10.4} {:>9.1}uJ  (caches {:.1}mm2)",
+            p.name,
+            perf,
+            area.total_mm2(),
+            perf / area.total_mm2(),
+            energy,
+            area.cache_mm2(),
+        );
+    }
+    println!("\n(perf = geomean IPC ratio vs 3-level baseline over {} workloads)", names.len());
+}

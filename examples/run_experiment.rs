@@ -1,0 +1,43 @@
+//! Runs any paper experiment by id (same registry the bench targets use).
+//!
+//! ```sh
+//! cargo run --release --example run_experiment -- fig10
+//! cargo run --release --example run_experiment -- fig10 40000 10000
+//! cargo run --release --example run_experiment -- --md fig10   # markdown
+//! cargo run --release --example run_experiment                 # lists ids
+//! ```
+
+use catch_core::experiments::{self, EvalConfig};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let markdown = args.first().map(|a| a == "--md").unwrap_or(false);
+    if markdown {
+        args.remove(0);
+    }
+    let Some(id) = args.first() else {
+        eprintln!("usage: run_experiment <id> [ops] [warmup]");
+        eprintln!("available experiments:");
+        for id in experiments::all_ids() {
+            eprintln!("  {id}");
+        }
+        std::process::exit(2);
+    };
+    if !experiments::all_ids().contains(&id.as_str()) {
+        eprintln!("unknown experiment '{id}'; available: {:?}", experiments::all_ids());
+        std::process::exit(2);
+    }
+    let mut eval = EvalConfig::standard();
+    if let Some(ops) = args.get(1).and_then(|s| s.parse().ok()) {
+        eval.ops = ops;
+    }
+    if let Some(warmup) = args.get(2).and_then(|s| s.parse().ok()) {
+        eval.warmup = warmup;
+    }
+    let report = experiments::run(id, &eval);
+    if markdown {
+        println!("{}", report.to_markdown());
+    } else {
+        println!("{report}");
+    }
+}

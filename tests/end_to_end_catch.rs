@@ -1,0 +1,161 @@
+//! End-to-end shape tests: the paper's headline claims, at reduced scale.
+//!
+//! These are the load-bearing assertions of the reproduction: CATCH must
+//! recover the no-L2 loss and the oracle/criticality machinery must order
+//! configurations the way the paper's figures do.
+
+use catch_core::experiments::{run_suite, EvalConfig};
+use catch_core::{geomean_ratio, LoadOracle, System, SystemConfig};
+use catch_workloads::suite;
+
+fn eval() -> EvalConfig {
+    EvalConfig {
+        ops: 25_000,
+        warmup: 8_000,
+        seed: 42,
+    }
+}
+
+/// A small, behaviour-diverse slice of the suite for the heavier tests.
+/// A third of each run is warm-up, as in the experiment harness — the
+/// paper's effects are steady-state properties.
+fn slice_runs(config: &SystemConfig, ops: usize) -> Vec<catch_core::RunResult> {
+    let system = System::new(config.clone());
+    ["xalanc_like", "astar_like", "bio_like", "sysmark_like", "tpcc_like", "excel_like"]
+        .iter()
+        .map(|n| system.run_st_warm(suite::by_name(n).unwrap().generate(ops, 42), ops / 3))
+        .collect()
+}
+
+#[test]
+fn figure1_shape_removing_l2_loses_performance() {
+    let base = slice_runs(&SystemConfig::baseline_exclusive(), 25_000);
+    let no_l2 = slice_runs(
+        &SystemConfig::baseline_exclusive().without_l2(6656 << 10),
+        25_000,
+    );
+    let ratio = geomean_ratio(&base, &no_l2);
+    assert!(
+        ratio < 0.99,
+        "removing the L2 must cost performance (got ratio {ratio:.3})"
+    );
+}
+
+#[test]
+fn figure10_shape_catch_recovers_no_l2_loss() {
+    let ops = 25_000;
+    let base = slice_runs(&SystemConfig::baseline_exclusive(), ops);
+    let no_l2 = slice_runs(
+        &SystemConfig::baseline_exclusive().without_l2(9728 << 10),
+        ops,
+    );
+    let catch2 = slice_runs(
+        &SystemConfig::baseline_exclusive()
+            .without_l2(9728 << 10)
+            .with_catch(),
+        ops,
+    );
+    let no_l2_ratio = geomean_ratio(&base, &no_l2);
+    let catch_ratio = geomean_ratio(&base, &catch2);
+    assert!(
+        catch_ratio > no_l2_ratio,
+        "CATCH must recover no-L2 loss: {catch_ratio:.3} vs {no_l2_ratio:.3}"
+    );
+    assert!(
+        catch_ratio > 0.98,
+        "two-level CATCH must be near or above baseline: {catch_ratio:.3}"
+    );
+}
+
+#[test]
+fn figure3_shape_l1_is_most_latency_sensitive() {
+    use catch_core::Level;
+    // Needs a steady-state window: at smaller scales cold misses dominate
+    // and over-weight the outer levels.
+    let ops = 60_000;
+    let base = slice_runs(&SystemConfig::baseline_exclusive(), ops);
+    let slow_l1 = slice_runs(
+        &SystemConfig::baseline_exclusive().with_extra_latency(Level::L1, 3),
+        ops,
+    );
+    let slow_llc = slice_runs(
+        &SystemConfig::baseline_exclusive().with_extra_latency(Level::Llc, 3),
+        ops,
+    );
+    let l1_impact = 1.0 - geomean_ratio(&base, &slow_l1);
+    let llc_impact = 1.0 - geomean_ratio(&base, &slow_llc);
+    assert!(
+        l1_impact > llc_impact,
+        "L1 latency (+{:.2}%) must matter more than LLC latency (+{:.2}%)",
+        100.0 * l1_impact,
+        100.0 * llc_impact
+    );
+}
+
+#[test]
+fn figure4_shape_noncritical_demotion_is_cheaper() {
+    use catch_core::Level;
+    use catch_criticality::DetectorConfig;
+    let ops = 25_000;
+    let base_cfg = SystemConfig::baseline_exclusive().oracle_study();
+    let base = slice_runs(&base_cfg, ops);
+    let all = slice_runs(
+        &base_cfg.clone().with_oracle(LoadOracle::Demote {
+            level: Level::L2,
+            only_noncritical: false,
+        }),
+        ops,
+    );
+    let noncrit = slice_runs(
+        &base_cfg
+            .clone()
+            .with_oracle(LoadOracle::Demote {
+                level: Level::L2,
+                only_noncritical: true,
+            })
+            .with_detector(DetectorConfig::paper().with_track_levels(&[Level::L2])),
+        ops,
+    );
+    let all_loss = 1.0 - geomean_ratio(&base, &all);
+    let noncrit_loss = 1.0 - geomean_ratio(&base, &noncrit);
+    assert!(
+        noncrit_loss < all_loss,
+        "sparing critical L2 hits must reduce the loss: all {:.3} vs noncrit {:.3}",
+        all_loss,
+        noncrit_loss
+    );
+}
+
+#[test]
+fn figure5_shape_oracle_prefetch_gains() {
+    let ops = 25_000;
+    let base_cfg = SystemConfig::baseline_exclusive().oracle_study();
+    let base = slice_runs(&base_cfg, ops);
+    let oracle = slice_runs(
+        &base_cfg.clone().with_oracle(LoadOracle::CriticalPrefetch),
+        ops,
+    );
+    let ratio = geomean_ratio(&base, &oracle);
+    assert!(
+        ratio > 1.0,
+        "serving critical L2/LLC hits at L1 latency must gain: {ratio:.3}"
+    );
+}
+
+#[test]
+fn experiments_registry_runs_quickly() {
+    // Smoke-test the registry glue on the full suite at tiny scale.
+    let report = catch_core::experiments::run("tab1", &eval());
+    assert!(report.to_string().contains("TOTAL"));
+    let report = catch_core::experiments::run("tab2", &eval());
+    assert!(report.to_string().contains("mcf_like"));
+}
+
+#[test]
+fn full_suite_baseline_sanity() {
+    let runs = run_suite(&SystemConfig::baseline_exclusive(), &EvalConfig::quick());
+    assert_eq!(runs.len(), 28);
+    for r in &runs {
+        assert!(r.ipc() > 0.02, "{} IPC {}", r.workload, r.ipc());
+    }
+}

@@ -1,0 +1,153 @@
+//! Cross-crate integration tests: workloads → core → hierarchy → metrics.
+
+use catch_core::{System, SystemConfig};
+use catch_workloads::suite;
+
+fn run(config: SystemConfig, workload: &str, ops: usize) -> catch_core::RunResult {
+    let trace = suite::by_name(workload)
+        .expect("known workload")
+        .generate(ops, 42);
+    System::new(config).run_st(trace)
+}
+
+#[test]
+fn baseline_runs_every_workload() {
+    for spec in suite::all() {
+        let r = run(SystemConfig::baseline_exclusive(), spec.name, 6_000);
+        assert!(
+            r.ipc() > 0.02 && r.ipc() < 4.0,
+            "{}: implausible IPC {}",
+            spec.name,
+            r.ipc()
+        );
+        assert_eq!(r.core.instructions as usize, {
+            let t = suite::by_name(spec.name).unwrap().generate(6_000, 42);
+            t.len()
+        });
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = run(SystemConfig::baseline_exclusive(), "mcf_like", 8_000);
+    let b = run(SystemConfig::baseline_exclusive(), "mcf_like", 8_000);
+    assert_eq!(a.core.cycles, b.core.cycles);
+    assert_eq!(a.hierarchy.llc, b.hierarchy.llc);
+    assert_eq!(a.dram, b.dram);
+}
+
+#[test]
+fn l2_resident_workload_hits_l2() {
+    // astar-like chases pointers in a 384 KB ring: misses L1 (32 KB) but
+    // fits in the 1 MB L2 after warm-up.
+    let r = run(SystemConfig::baseline_exclusive(), "astar_like", 40_000);
+    let l2 = &r.hierarchy.l2[0];
+    assert!(
+        l2.hit_rate() > 0.4,
+        "astar chase should hit the L2 after warm-up: {}",
+        l2.hit_rate()
+    );
+}
+
+#[test]
+fn streaming_workload_misses_caches_and_prefetches() {
+    let r = run(SystemConfig::baseline_exclusive(), "lbm_like", 30_000);
+    assert!(
+        r.core.memory.stream_prefetches > 100,
+        "stream prefetcher must engage: {}",
+        r.core.memory.stream_prefetches
+    );
+    assert!(r.hierarchy.traffic.dram_reads > 100);
+}
+
+#[test]
+fn server_workload_misses_icache() {
+    let r = run(SystemConfig::baseline_exclusive(), "tpcc_like", 30_000);
+    assert!(
+        r.core.frontend.icache_misses > 100,
+        "384 KB of code cannot fit the 32 KB L1I: {}",
+        r.core.frontend.icache_misses
+    );
+}
+
+#[test]
+fn removing_l2_hurts_l2_resident_workloads() {
+    let ops = 40_000;
+    let base = run(SystemConfig::baseline_exclusive(), "astar_like", ops);
+    let no_l2 = run(
+        SystemConfig::baseline_exclusive().without_l2(6656 << 10),
+        "astar_like",
+        ops,
+    );
+    assert!(
+        no_l2.ipc() < base.ipc(),
+        "L2-resident chase must lose without the L2: {} vs {}",
+        no_l2.ipc(),
+        base.ipc()
+    );
+}
+
+#[test]
+fn catch_detects_critical_loads_and_prefetches() {
+    let r = run(
+        SystemConfig::baseline_exclusive()
+            .without_l2(9728 << 10)
+            .with_catch(),
+        "xalanc_like",
+        40_000,
+    );
+    assert!(
+        r.core.detector.critical_load_observations > 0,
+        "detector must observe critical loads"
+    );
+    assert!(
+        r.core.memory.tact_prefetches > 0,
+        "TACT must issue prefetches"
+    );
+    assert!(
+        r.hierarchy.timeliness.issued > 0,
+        "hierarchy must see TACT prefetches"
+    );
+}
+
+#[test]
+fn dram_stats_are_recovered_through_backend() {
+    let r = run(SystemConfig::baseline_exclusive(), "mcf_like", 10_000);
+    let dram = r.dram.expect("dram backend");
+    assert!(dram.reads > 0);
+    assert_eq!(
+        dram.reads, r.hierarchy.traffic.dram_reads,
+        "hierarchy and DRAM counters must agree on reads"
+    );
+}
+
+#[test]
+fn inclusive_hierarchy_runs_and_back_invalidates() {
+    let r = run(SystemConfig::baseline_inclusive(), "mcf_like", 30_000);
+    assert!(r.ipc() > 0.02);
+    // The 8 MB inclusive LLC sees enough traffic to evict and
+    // back-invalidate at this footprint? mcf touches ~1 MB per 30K ops,
+    // so back-invalidates may be zero; just verify counters are sane.
+    let s = &r.hierarchy;
+    assert!(s.llc.fills > 0);
+}
+
+#[test]
+fn mp_shared_llc_sees_contention() {
+    let spec = suite::by_name("stencil_like").unwrap();
+    let traces = [
+        spec.generate(8_000, 1),
+        spec.generate(8_000, 2),
+        spec.generate(8_000, 3),
+        spec.generate(8_000, 4),
+    ];
+    let alone = System::new(SystemConfig::baseline_exclusive()).run_st(traces[0].clone());
+    let mp = System::new(SystemConfig::baseline_exclusive().with_cores(4)).run_mp(traces);
+    // Four streaming cores share the LLC and DRAM: per-core IPC cannot
+    // beat running alone.
+    for r in &mp.per_core {
+        assert!(r.ipc() <= alone.ipc() * 1.1);
+    }
+    let ws = mp.weighted_speedup(&[alone.ipc(); 4]);
+    assert!(ws > 1.0 && ws <= 4.4, "weighted speedup {ws}");
+}

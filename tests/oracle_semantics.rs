@@ -1,0 +1,140 @@
+//! Precise semantics of the motivation-study oracles (Figures 3–5).
+
+use catch_core::{Level, LoadOracle, System, SystemConfig};
+use catch_criticality::DetectorConfig;
+use catch_trace::{Addr, ArchReg, TraceBuilder};
+
+/// A trace whose steady state is known exactly: one loop re-reading an
+/// L2-resident working set (64 KB > L1, < L2), so almost every load is an
+/// L2 hit after the first pass.
+fn l2_resident_trace(ops: usize) -> catch_trace::Trace {
+    let mut b = TraceBuilder::new("l2_resident");
+    let r1 = ArchReg::new(1);
+    let top = b.label();
+    let lines = 1024u64; // 64 KB
+    let mut i = 0u64;
+    loop {
+        b.jump_to(top);
+        b.load(r1, Addr::new((i % lines) * 64), 0);
+        b.alu(ArchReg::new(2), &[r1]);
+        let more = b.len() < ops;
+        b.backedge(top, more);
+        i += 1;
+        if !more {
+            break;
+        }
+    }
+    b.build()
+}
+
+fn config_base() -> SystemConfig {
+    SystemConfig::baseline_exclusive().oracle_study()
+}
+
+#[test]
+fn demote_l2_converts_exactly_the_l2_hits() {
+    let trace = l2_resident_trace(30_000);
+    let demoted = System::new(config_base().with_oracle(LoadOracle::Demote {
+        level: Level::L2,
+        only_noncritical: false,
+    }))
+    .run_st_warm(trace.clone(), 10_000);
+    // In steady state every load hits the L2 (the set exceeds the L1).
+    let l2_hits = demoted.core.memory.loads_by_level[1];
+    assert_eq!(
+        demoted.core.memory.oracle_converted, l2_hits,
+        "every measured L2 hit must be demoted"
+    );
+    assert!(demoted.core.memory.converted_fraction() > 0.8);
+}
+
+#[test]
+fn demote_slows_demoted_level_only() {
+    let trace = l2_resident_trace(30_000);
+    let plain = System::new(config_base()).run_st_warm(trace.clone(), 10_000);
+    let demote_l2 = System::new(config_base().with_oracle(LoadOracle::Demote {
+        level: Level::L2,
+        only_noncritical: false,
+    }))
+    .run_st_warm(trace.clone(), 10_000);
+    let demote_llc = System::new(config_base().with_oracle(LoadOracle::Demote {
+        level: Level::Llc,
+        only_noncritical: false,
+    }))
+    .run_st_warm(trace, 10_000);
+    assert!(
+        demote_l2.ipc() < plain.ipc(),
+        "L2 demotion must slow an L2-resident loop: {} vs {}",
+        demote_l2.ipc(),
+        plain.ipc()
+    );
+    // The loop has no LLC hits in steady state, so LLC demotion is free.
+    assert!(demote_llc.ipc() > 0.95 * plain.ipc());
+    assert_eq!(demote_llc.core.memory.oracle_converted, 0);
+}
+
+#[test]
+fn critical_prefetch_oracle_accelerates_l2_resident_chain() {
+    // A *dependent* chain through the L2-resident set, so the loads are
+    // critical and the oracle's zero-time prefetch matters.
+    let mut b = TraceBuilder::new("l2_chain");
+    let r1 = ArchReg::new(1);
+    let top = b.label();
+    let lines = 1024u64;
+    let mut i = 0u64;
+    loop {
+        b.jump_to(top);
+        b.load_dep(r1, Addr::new((i * 379 % lines) * 64), 0, &[r1]);
+        let more = b.len() < 30_000;
+        b.backedge(top, more);
+        i += 1;
+        if !more {
+            break;
+        }
+    }
+    let trace = b.build();
+
+    let plain = System::new(config_base()).run_st_warm(trace.clone(), 10_000);
+    let oracle = System::new(config_base().with_oracle(LoadOracle::CriticalPrefetch))
+        .run_st_warm(trace, 10_000);
+    assert!(
+        oracle.ipc() > 1.5 * plain.ipc(),
+        "a serial L2-hit chain at L1 latency must speed up ~3x: {} vs {}",
+        oracle.ipc(),
+        plain.ipc()
+    );
+    assert!(oracle.core.memory.oracle_converted > 0);
+}
+
+#[test]
+fn prefetch_all_upper_bounds_critical_prefetch() {
+    let spec = catch_workloads::suite::by_name("xalanc_like").expect("known");
+    let trace = spec.generate(40_000, 42);
+    let critical = System::new(config_base().with_oracle(LoadOracle::CriticalPrefetch))
+        .run_st_warm(trace.clone(), 12_000);
+    let all = System::new(config_base().with_oracle(LoadOracle::PrefetchAll))
+        .run_st_warm(trace, 12_000);
+    // "All PCs" converts a superset of loads.
+    assert!(all.core.memory.oracle_converted >= critical.core.memory.oracle_converted);
+}
+
+#[test]
+fn table_size_bounds_oracle_tracking() {
+    // With a 1-entry critical table, at most one PC can be saturated at a
+    // time; conversions must be no more than with the 32-entry table.
+    let spec = catch_workloads::suite::by_name("xalanc_like").expect("known");
+    let trace = spec.generate(40_000, 42);
+    let small = System::new(
+        config_base()
+            .with_oracle(LoadOracle::CriticalPrefetch)
+            .with_detector(DetectorConfig::paper().with_table_entries(1)),
+    )
+    .run_st_warm(trace.clone(), 12_000);
+    let big = System::new(
+        config_base()
+            .with_oracle(LoadOracle::CriticalPrefetch)
+            .with_detector(DetectorConfig::paper().with_table_entries(32)),
+    )
+    .run_st_warm(trace, 12_000);
+    assert!(small.core.memory.oracle_converted <= big.core.memory.oracle_converted);
+}

@@ -1,0 +1,145 @@
+//! Property-based tests over the simulator's core invariants.
+
+use catch_cache::{
+    AccessKind, CacheArray, CacheConfig, CacheHierarchy, FixedLatencyBackend, HierarchyConfig,
+    Level,
+};
+use catch_trace::{Addr, ArchReg, LineAddr, TraceBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A cache never holds more lines than its capacity, and a line just
+    /// filled is always present.
+    #[test]
+    fn cache_array_capacity_and_presence(
+        lines in proptest::collection::vec(0u64..256, 1..200),
+    ) {
+        let config = CacheConfig::new("t", 16 * 64, 4, 1).expect("valid");
+        let mut cache = CacheArray::new(&config);
+        for &l in &lines {
+            let line = LineAddr::new(l);
+            cache.fill(line, false, false);
+            prop_assert!(cache.probe(line));
+            prop_assert!(cache.occupancy() <= 16);
+        }
+    }
+
+    /// Invalidate after fill always finds the line; double-invalidate
+    /// finds nothing.
+    #[test]
+    fn cache_array_invalidate_roundtrip(l in 0u64..10_000, dirty: bool) {
+        let config = CacheConfig::new("t", 64 * 64, 8, 1).expect("valid");
+        let mut cache = CacheArray::new(&config);
+        let line = LineAddr::new(l);
+        cache.fill(line, dirty, false);
+        prop_assert_eq!(cache.invalidate(line), Some(dirty));
+        prop_assert_eq!(cache.invalidate(line), None);
+    }
+
+    /// Demand access latency equals the level's latency for resident
+    /// lines, and repeated accesses are monotonically non-increasing in
+    /// level (a touched line never moves outward).
+    #[test]
+    fn hierarchy_access_levels_monotone(
+        addrs in proptest::collection::vec(0u64..2048, 1..100),
+    ) {
+        let mut hier = CacheHierarchy::new(
+            &HierarchyConfig::skylake_server(1),
+            Box::new(FixedLatencyBackend::new(200)),
+        );
+        let mut cycle = 0;
+        for &a in &addrs {
+            let line = LineAddr::new(a);
+            let first = hier.access(0, AccessKind::Load, line, cycle);
+            cycle = first.ready_at(cycle) + 10;
+            let second = hier.access(0, AccessKind::Load, line, cycle);
+            cycle += 10;
+            prop_assert_eq!(second.hit_level, Level::L1,
+                "a just-loaded line must hit the L1");
+            prop_assert!(second.latency <= first.latency);
+        }
+    }
+
+    /// The same trace always produces the same cycle count (simulator
+    /// determinism over arbitrary small traces).
+    #[test]
+    fn core_is_deterministic(
+        loads in proptest::collection::vec((0u64..1u64 << 20, 0u64..64), 10..80),
+    ) {
+        use catch_cpu::{Core, CoreConfig};
+        let build = || {
+            let mut b = TraceBuilder::new("prop");
+            for &(addr, chain) in &loads {
+                b.load(ArchReg::new(1), Addr::new(addr * 8), addr);
+                for _ in 0..(chain % 4) {
+                    b.alu(ArchReg::new(2), &[ArchReg::new(1)]);
+                }
+            }
+            b.build()
+        };
+        let run = || {
+            let mut hier = CacheHierarchy::new(
+                &HierarchyConfig::skylake_server(1),
+                Box::new(FixedLatencyBackend::new(200)),
+            );
+            let mut core = Core::new(0, build(), CoreConfig::baseline());
+            core.run_to_completion(&mut hier).cycles
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Retired-instruction count always equals trace length, whatever the
+    /// branch/mispredict structure.
+    #[test]
+    fn all_fetched_ops_retire(
+        branches in proptest::collection::vec(any::<bool>(), 5..60),
+    ) {
+        use catch_cpu::{Core, CoreConfig};
+        let mut b = TraceBuilder::new("prop");
+        for &taken in &branches {
+            b.alu(ArchReg::new(1), &[]);
+            let target = b.cursor().advance(8);
+            b.cond_branch(taken, target, &[ArchReg::new(1)]);
+        }
+        let trace = b.build();
+        let expect = trace.len() as u64;
+        let mut hier = CacheHierarchy::new(
+            &HierarchyConfig::skylake_server(1),
+            Box::new(FixedLatencyBackend::new(200)),
+        );
+        let mut core = Core::new(0, trace, CoreConfig::baseline());
+        let stats = core.run_to_completion(&mut hier);
+        prop_assert_eq!(stats.instructions, expect);
+    }
+
+    /// The criticality detector's critical PCs are always drawn from the
+    /// PCs actually fed to it.
+    #[test]
+    fn detector_reports_only_seen_pcs(
+        lat in proptest::collection::vec(1u64..60, 30..200),
+    ) {
+        use catch_criticality::{CriticalityDetector, DetectorConfig, RetiredInst};
+        let config = DetectorConfig {
+            rob_size: 8,
+            ..DetectorConfig::paper()
+        };
+        let mut det = CriticalityDetector::new(config);
+        let mut seen = Vec::new();
+        for (i, &l) in lat.iter().enumerate() {
+            let pc = catch_trace::Pc::new(0x1000 + (i as u64 % 7) * 4);
+            seen.push(pc);
+            let seq = det.next_seq();
+            let inst = if i % 3 == 0 {
+                RetiredInst::new(pc, l).as_load(Level::L2)
+            } else {
+                RetiredInst::compute(pc, l, &[seq.saturating_sub(1)])
+            };
+            det.on_retire(inst);
+        }
+        for pc in det.critical_pcs() {
+            prop_assert!(seen.contains(&pc));
+        }
+    }
+}
