@@ -1,97 +1,77 @@
-//! Criterion microbenchmarks of the simulator's hot paths: cache array
-//! lookups, hierarchy walks, DDG insertion and whole-core simulation
-//! throughput.
+//! Microbenchmarks of the simulator's hot paths: cache array lookups,
+//! hierarchy walks, DDG insertion and whole-core simulation throughput.
+//!
+//! Runs on the first-party [`catch_harness`] bench harness; each hot
+//! path is timed as a batch of `OPS` inner operations per iteration so
+//! the Mops/s column reports per-operation throughput.
 
 use catch_cache::{
     AccessKind, CacheArray, CacheConfig, CacheHierarchy, FixedLatencyBackend, HierarchyConfig,
 };
 use catch_cpu::{Core, CoreConfig};
 use catch_criticality::{CriticalityDetector, DetectorConfig, RetiredInst};
+use catch_harness::Harness;
 use catch_trace::{LineAddr, Pc};
 use catch_workloads::suite;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-fn bench_cache_array(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache_array");
-    group.throughput(Throughput::Elements(1));
+/// Inner operations per timed iteration for the per-structure paths.
+const OPS: u64 = 100_000;
+
+fn main() {
+    let mut harness = Harness::new("simulator_microbench");
+
     let config = CacheConfig::new("L2", 1 << 20, 16, 15).expect("valid");
     let mut cache = CacheArray::new(&config);
     let mut i = 0u64;
-    group.bench_function("lookup_fill_mix", |b| {
-        b.iter(|| {
+    harness.bench("cache_array/lookup_fill_mix", OPS, || {
+        for _ in 0..OPS {
             i = i.wrapping_mul(6364136223846793005).wrapping_add(13);
             let line = LineAddr::new(i % 32768);
             if !cache.lookup(line) {
                 cache.fill(line, false, false);
             }
-        })
+        }
     });
-    group.finish();
-}
 
-fn bench_hierarchy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hierarchy");
-    group.throughput(Throughput::Elements(1));
     let mut hier = CacheHierarchy::new(
         &HierarchyConfig::skylake_server(1),
         Box::new(FixedLatencyBackend::new(200)),
     );
-    let mut i = 0u64;
+    let mut j = 0u64;
     let mut cycle = 0u64;
-    group.bench_function("demand_load", |b| {
-        b.iter(|| {
-            i = i.wrapping_mul(6364136223846793005).wrapping_add(13);
+    harness.bench("hierarchy/demand_load", OPS, || {
+        for _ in 0..OPS {
+            j = j.wrapping_mul(6364136223846793005).wrapping_add(13);
             cycle += 4;
-            hier.access(0, AccessKind::Load, LineAddr::new(i % 65536), cycle)
-        })
+            hier.access(0, AccessKind::Load, LineAddr::new(j % 65536), cycle);
+        }
     });
-    group.finish();
-}
 
-fn bench_ddg(c: &mut Criterion) {
-    let mut group = c.benchmark_group("criticality");
-    group.throughput(Throughput::Elements(1));
     let mut det = CriticalityDetector::new(DetectorConfig::paper());
-    let mut i = 0u64;
-    group.bench_function("retire_and_walk", |b| {
-        b.iter(|| {
-            i += 1;
+    let mut k = 0u64;
+    harness.bench("criticality/retire_and_walk", OPS, || {
+        for _ in 0..OPS {
+            k += 1;
             let seq = det.next_seq();
             det.on_retire(RetiredInst::compute(
-                Pc::new(0x1000 + (i % 64) * 4),
-                (i % 17) + 1,
-                &[seq.saturating_sub(1 + i % 3)],
+                Pc::new(0x1000 + (k % 64) * 4),
+                (k % 17) + 1,
+                &[seq.saturating_sub(1 + k % 3)],
             ));
-        })
+        }
     });
-    group.finish();
-}
 
-fn bench_core(c: &mut Criterion) {
-    let mut group = c.benchmark_group("core");
     let trace = suite::by_name("xalanc_like")
         .expect("known workload")
         .generate(20_000, 42);
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.sample_size(10);
-    group.bench_function("xalanc_20k_baseline", |b| {
-        b.iter(|| {
-            let mut hier = CacheHierarchy::new(
-                &HierarchyConfig::skylake_server(1),
-                Box::new(FixedLatencyBackend::new(200)),
-            );
-            let mut core = Core::new(0, trace.clone(), CoreConfig::baseline());
-            core.run_to_completion(&mut hier)
-        })
+    harness.bench("core/run_to_completion", trace.len() as u64, || {
+        let mut hier = CacheHierarchy::new(
+            &HierarchyConfig::skylake_server(1),
+            Box::new(FixedLatencyBackend::new(200)),
+        );
+        let mut core = Core::new(0, trace.clone(), CoreConfig::baseline());
+        core.run_to_completion(&mut hier);
     });
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_cache_array,
-    bench_hierarchy,
-    bench_ddg,
-    bench_core
-);
-criterion_main!(benches);
+    harness.report();
+}

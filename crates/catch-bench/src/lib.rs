@@ -2,18 +2,24 @@
 //!
 //! Each `cargo bench` target under `benches/` regenerates one table or
 //! figure of the CATCH paper by calling [`run_experiment`] with its
-//! experiment id. The evaluation scale can be adjusted with environment
-//! variables:
+//! experiment id, timed by the first-party [`catch_harness`] bench
+//! harness (warm-up + timed iterations, min/median/mean wall clock and
+//! throughput; no external bench framework). The evaluation scale can be
+//! adjusted with environment variables:
 //!
 //! * `CATCH_OPS` — micro-ops per workload (default: the standard scale).
 //! * `CATCH_WARMUP` — warm-up micro-ops excluded from measurement.
 //! * `CATCH_SEED` — trace-generation seed.
+//! * `CATCH_JOBS` — worker threads for suite runs (default: all cores).
+//! * `CATCH_BENCH_ITERS` / `CATCH_BENCH_WARMUP_ITERS` — timed and
+//!   warm-up iterations of the whole experiment (defaults 3 and 1).
+//! * `CATCH_BENCH_JSON` — also print a machine-readable JSON summary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use catch_core::experiments::{self, EvalConfig};
-use std::time::Instant;
+use catch_harness::Harness;
 
 /// Reads the evaluation scale from the environment (see crate docs).
 pub fn eval_from_env() -> EvalConfig {
@@ -27,22 +33,32 @@ pub fn eval_from_env() -> EvalConfig {
     {
         eval.warmup = warmup;
     }
-    if let Some(seed) = std::env::var("CATCH_SEED").ok().and_then(|v| v.parse().ok()) {
+    if let Some(seed) = std::env::var("CATCH_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
         eval.seed = seed;
     }
     eval
 }
 
-/// Runs one experiment by id and prints its report (the same rows/series
-/// the paper's figure or table reports).
+/// Runs one experiment by id, prints its report (the same rows/series
+/// the paper's figure or table reports) and a wall-clock summary from
+/// the bench harness.
 pub fn run_experiment(id: &str) {
     let eval = eval_from_env();
     eprintln!(
         "[catch-bench] running {id} at ops={} warmup={} seed={}",
         eval.ops, eval.warmup, eval.seed
     );
-    let start = Instant::now();
-    let report = experiments::run(id, &eval);
-    println!("{report}");
-    eprintln!("[catch-bench] {id} finished in {:.1}s", start.elapsed().as_secs_f64());
+    let mut harness = Harness::new(format!("experiment {id}"));
+    let mut report = None;
+    // Nominal throughput unit: µops of one workload trace (experiments
+    // differ in how many (workload, config) runs they fan out, so this is
+    // a relative, not absolute, simulation rate).
+    harness.bench(id, eval.ops as u64, || {
+        report = Some(experiments::run(id, &eval));
+    });
+    println!("{}", report.expect("at least one timed iteration"));
+    harness.report();
 }

@@ -144,27 +144,27 @@ impl CacheArray {
             return None;
         }
         let set = self.set_of(line);
-        let (way, victim) = match (0..self.ways).find(|&w| self.entries[self.slot(set, w)].is_none())
-        {
-            Some(way) => (way, None),
-            None => {
-                let way = self.repl.victim(set);
-                debug_assert!(way < self.ways, "policy returned an in-range way");
-                let slot = self.slot(set, way);
-                let old = self.entries[slot].expect("full set has no empty ways");
-                self.stats.evictions += 1;
-                if old.dirty {
-                    self.stats.dirty_evictions += 1;
+        let (way, victim) =
+            match (0..self.ways).find(|&w| self.entries[self.slot(set, w)].is_none()) {
+                Some(way) => (way, None),
+                None => {
+                    let way = self.repl.victim(set);
+                    debug_assert!(way < self.ways, "policy returned an in-range way");
+                    let slot = self.slot(set, way);
+                    let old = self.entries[slot].expect("full set has no empty ways");
+                    self.stats.evictions += 1;
+                    if old.dirty {
+                        self.stats.dirty_evictions += 1;
+                    }
+                    (
+                        way,
+                        Some(Victim {
+                            line: old.line,
+                            dirty: old.dirty,
+                        }),
+                    )
                 }
-                (
-                    way,
-                    Some(Victim {
-                        line: old.line,
-                        dirty: old.dirty,
-                    }),
-                )
-            }
-        };
+            };
         let slot = self.slot(set, way);
         self.entries[slot] = Some(Entry { line, dirty });
         self.repl.on_fill(set, way, prefetched);
@@ -232,7 +232,13 @@ mod tests {
         c.fill(line(2), true, false);
         c.lookup(line(0)); // 2 becomes LRU
         let v = c.fill(line(4), false, false).unwrap();
-        assert_eq!(v, Victim { line: line(2), dirty: true });
+        assert_eq!(
+            v,
+            Victim {
+                line: line(2),
+                dirty: true
+            }
+        );
         assert!(c.probe(line(0)));
         assert!(c.probe(line(4)));
         assert!(!c.probe(line(2)));

@@ -1,7 +1,6 @@
 //! Cache and hierarchy configuration.
 
 use crate::replacement::ReplKind;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Error returned when a cache geometry is invalid.
@@ -33,7 +32,7 @@ impl fmt::Display for CacheConfigError {
 impl std::error::Error for CacheConfigError {}
 
 /// Geometry and latency of one cache.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CacheConfig {
     /// Human-readable name ("L1D", "LLC"...).
     pub name: String,
@@ -89,7 +88,9 @@ impl CacheConfig {
             return Err(CacheConfigError::Zero);
         }
         let lines = self.bytes / catch_trace::LINE_BYTES;
-        if !self.bytes.is_multiple_of(catch_trace::LINE_BYTES) || !lines.is_multiple_of(self.ways as u64) {
+        if !self.bytes.is_multiple_of(catch_trace::LINE_BYTES)
+            || !lines.is_multiple_of(self.ways as u64)
+        {
             return Err(CacheConfigError::Indivisible {
                 bytes: self.bytes,
                 ways: self.ways,
@@ -105,7 +106,7 @@ impl CacheConfig {
 }
 
 /// Which multi-level organisation the hierarchy uses.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum HierarchyKind {
     /// Private L1 + private L2, shared LLC exclusive of L2 (Skylake server).
     ThreeLevelExclusive,
@@ -117,7 +118,7 @@ pub enum HierarchyKind {
 
 /// Distributed (NUCA) LLC over a ring interconnect: the LLC is sliced
 /// per core and an access pays hop latency to the slice holding the line.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct RingConfig {
     /// Cycles per ring hop (one direction; the shorter way is taken).
     pub hop_cycles: u64,
@@ -126,7 +127,7 @@ pub struct RingConfig {
 }
 
 /// Full hierarchy configuration for `cores` cores.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HierarchyConfig {
     /// Organisation.
     pub kind: HierarchyKind,
@@ -185,14 +186,8 @@ impl HierarchyConfig {
         } else {
             self.llc.ways
         };
-        self.llc = CacheConfig::with_repl(
-            "LLC",
-            llc_bytes,
-            ways,
-            self.llc.latency,
-            self.llc.repl,
-        )
-        .expect("valid grown-LLC geometry");
+        self.llc = CacheConfig::with_repl("LLC", llc_bytes, ways, self.llc.latency, self.llc.repl)
+            .expect("valid grown-LLC geometry");
         self
     }
 

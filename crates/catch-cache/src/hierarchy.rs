@@ -68,7 +68,10 @@ pub enum AccessKind {
 impl AccessKind {
     /// True for demand (non-prefetch) requests.
     pub fn is_demand(self) -> bool {
-        matches!(self, AccessKind::Code | AccessKind::Load | AccessKind::Store)
+        matches!(
+            self,
+            AccessKind::Code | AccessKind::Load | AccessKind::Store
+        )
     }
 
     /// True for requests that use the instruction L1.
@@ -272,6 +275,28 @@ impl CacheHierarchy {
         Level::Memory
     }
 
+    /// Every level where `line` is simultaneously resident for `core`,
+    /// innermost first (pure tag inspection; no state disturbed). Unlike
+    /// [`CacheHierarchy::probe_level`], which stops at the innermost hit,
+    /// this reports *all* copies — the invariant tests use it to check
+    /// exclusivity (a line never duplicated between L2 and an exclusive
+    /// LLC) and inclusion (upper copies always backed by the LLC).
+    pub fn resident_levels(&self, core: usize, code: bool, line: LineAddr) -> Vec<Level> {
+        let c = &self.cores[core];
+        let mut levels = Vec::new();
+        let l1 = if code { &c.l1i } else { &c.l1d };
+        if l1.probe(line) {
+            levels.push(Level::L1);
+        }
+        if c.l2.as_ref().is_some_and(|l2| l2.probe(line)) {
+            levels.push(Level::L2);
+        }
+        if self.llc.probe(line) {
+            levels.push(Level::Llc);
+        }
+        levels
+    }
+
     /// True if a fill of `line` into core `core`'s L1 is still in flight.
     pub fn is_fill_pending(&self, core: usize, code: bool, line: LineAddr, now: u64) -> bool {
         let c = &self.cores[core];
@@ -338,7 +363,11 @@ impl CacheHierarchy {
         if l1_hit {
             // Possibly an in-flight fill: pay the remaining latency.
             let c = &mut self.cores[core];
-            let ledger = if code { &mut c.ledger_i } else { &mut c.ledger_d };
+            let ledger = if code {
+                &mut c.ledger_i
+            } else {
+                &mut c.ledger_d
+            };
             if let Some(fill) = ledger.consume(line) {
                 let remaining = fill.remaining(cycle);
                 let latency = l1_latency.max(remaining);
@@ -371,7 +400,11 @@ impl CacheHierarchy {
         // 3. Fill into L1 (write-allocate for stores).
         self.fill_l1(core, code, line, is_store, false);
         let c = &mut self.cores[core];
-        let ledger = if code { &mut c.ledger_i } else { &mut c.ledger_d };
+        let ledger = if code {
+            &mut c.ledger_i
+        } else {
+            &mut c.ledger_d
+        };
         ledger.insert(
             line,
             InFlight {
@@ -418,7 +451,11 @@ impl CacheHierarchy {
                 let (source, total_latency) = self.outer_walk(core, code, line, cycle, true);
                 self.fill_l1(core, code, line, false, true);
                 let c = &mut self.cores[core];
-                let ledger = if code { &mut c.ledger_i } else { &mut c.ledger_d };
+                let ledger = if code {
+                    &mut c.ledger_i
+                } else {
+                    &mut c.ledger_d
+                };
                 ledger.insert(
                     line,
                     InFlight {
@@ -653,12 +690,23 @@ impl CacheHierarchy {
         if let Some(v) = victim {
             {
                 let c = &mut self.cores[core];
-                let ledger = if code { &mut c.ledger_i } else { &mut c.ledger_d };
+                let ledger = if code {
+                    &mut c.ledger_i
+                } else {
+                    &mut c.ledger_d
+                };
                 ledger.evict(v.line);
             }
             if v.dirty {
                 if self.cores[core].l2.is_some() {
-                    // Dirty L1 victims merge into the L2.
+                    // Dirty L1 victims merge into the L2. Under exclusion
+                    // the line may have been L2-evicted into the LLC while
+                    // still live in the L1; the newer dirty data supersedes
+                    // that stale LLC copy, so drop it to restore the
+                    // single-on-die-copy invariant.
+                    if self.kind == HierarchyKind::ThreeLevelExclusive {
+                        self.llc.invalidate(v.line);
+                    }
                     self.fill_l2(core, v.line, true, false);
                 } else {
                     // Two-level: dirty L1 victims write to the LLC.

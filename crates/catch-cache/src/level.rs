@@ -1,10 +1,9 @@
 //! The [`Level`] enum naming each tier of the hierarchy.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A tier of the memory hierarchy where a request can be satisfied.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Level {
     /// Level-1 cache (instruction or data, 5-cycle hits in the baseline).
     L1,

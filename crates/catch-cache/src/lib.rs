@@ -42,7 +42,9 @@ mod stats;
 
 pub use array::{CacheArray, Victim};
 pub use config::{CacheConfig, CacheConfigError, HierarchyConfig, HierarchyKind, RingConfig};
-pub use hierarchy::{AccessKind, AccessOutcome, CacheHierarchy, FixedLatencyBackend, MemoryBackend};
+pub use hierarchy::{
+    AccessKind, AccessOutcome, CacheHierarchy, FixedLatencyBackend, MemoryBackend,
+};
 pub use ledger::{FillOrigin, InFlightLedger};
 pub use level::Level;
 pub use replacement::{Lru, RandomRepl, ReplKind, ReplacementPolicy, Srrip};

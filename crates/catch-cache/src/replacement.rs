@@ -1,12 +1,10 @@
 //! Replacement policies for [`crate::CacheArray`].
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use catch_trace::rng::SplitMix64;
 use std::fmt::Debug;
 
 /// Selects which policy a [`crate::CacheConfig`] instantiates.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
 pub enum ReplKind {
     /// True least-recently-used; prefetches insert at MRU.
     #[default]
@@ -161,7 +159,7 @@ impl ReplacementPolicy for Srrip {
 #[derive(Debug)]
 pub struct RandomRepl {
     ways: usize,
-    rng: SmallRng,
+    rng: SplitMix64,
 }
 
 impl RandomRepl {
@@ -169,7 +167,7 @@ impl RandomRepl {
     pub fn new(_sets: usize, ways: usize, seed: u64) -> Self {
         RandomRepl {
             ways,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
         }
     }
 }

@@ -1,10 +1,10 @@
 //! Statistics for caches, traffic and prefetch timeliness.
 
-use serde::{Deserialize, Serialize};
+use catch_trace::counters::{join_prefix, push_counter, CounterVec, Counters};
 use std::fmt;
 
 /// Counters for one cache array.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups (demand + prefetch walks).
     pub accesses: u64,
@@ -20,6 +20,18 @@ pub struct CacheStats {
     pub dirty_evictions: u64,
     /// Lines removed by invalidation (back-invalidates, exclusive moves).
     pub invalidations: u64,
+}
+
+impl Counters for CacheStats {
+    fn counters_into(&self, prefix: &str, out: &mut CounterVec) {
+        push_counter(out, prefix, "accesses", self.accesses);
+        push_counter(out, prefix, "hits", self.hits);
+        push_counter(out, prefix, "misses", self.misses);
+        push_counter(out, prefix, "fills", self.fills);
+        push_counter(out, prefix, "evictions", self.evictions);
+        push_counter(out, prefix, "dirty_evictions", self.dirty_evictions);
+        push_counter(out, prefix, "invalidations", self.invalidations);
+    }
 }
 
 impl CacheStats {
@@ -54,7 +66,7 @@ impl fmt::Display for CacheStats {
 
 /// Messages crossing hierarchy boundaries; feeds the energy model and the
 /// Section VI-E traffic analysis.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct TrafficStats {
     /// Requests from the private side to the shared LLC.
     pub llc_requests: u64,
@@ -71,6 +83,18 @@ pub struct TrafficStats {
     pub dram_reads: u64,
     /// DRAM write accesses.
     pub dram_writes: u64,
+}
+
+impl Counters for TrafficStats {
+    fn counters_into(&self, prefix: &str, out: &mut CounterVec) {
+        push_counter(out, prefix, "llc_requests", self.llc_requests);
+        push_counter(out, prefix, "llc_replies", self.llc_replies);
+        push_counter(out, prefix, "llc_writebacks", self.llc_writebacks);
+        push_counter(out, prefix, "back_invalidates", self.back_invalidates);
+        push_counter(out, prefix, "c2c_transfers", self.c2c_transfers);
+        push_counter(out, prefix, "dram_reads", self.dram_reads);
+        push_counter(out, prefix, "dram_writes", self.dram_writes);
+    }
 }
 
 impl TrafficStats {
@@ -95,7 +119,7 @@ impl TrafficStats {
 /// A used prefetch saved `source_latency - observed_latency` cycles for its
 /// first demand consumer; buckets are expressed as a fraction of the LLC
 /// hit latency.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct PrefetchTimeliness {
     /// TACT prefetches issued (post-dedup).
     pub issued: u64,
@@ -113,6 +137,19 @@ pub struct PrefetchTimeliness {
     pub saved_10_to_80: u64,
     /// Used prefetches saving less than 10% of the LLC hit latency.
     pub saved_under_10: u64,
+}
+
+impl Counters for PrefetchTimeliness {
+    fn counters_into(&self, prefix: &str, out: &mut CounterVec) {
+        push_counter(out, prefix, "issued", self.issued);
+        push_counter(out, prefix, "from_llc", self.from_llc);
+        push_counter(out, prefix, "from_l2", self.from_l2);
+        push_counter(out, prefix, "from_memory", self.from_memory);
+        push_counter(out, prefix, "used", self.used);
+        push_counter(out, prefix, "saved_over_80", self.saved_over_80);
+        push_counter(out, prefix, "saved_10_to_80", self.saved_10_to_80);
+        push_counter(out, prefix, "saved_under_10", self.saved_under_10);
+    }
 }
 
 impl PrefetchTimeliness {
@@ -137,7 +174,7 @@ impl PrefetchTimeliness {
 }
 
 /// Aggregated hierarchy statistics snapshot.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct HierarchyStats {
     /// Per-core L1 instruction cache stats.
     pub l1i: Vec<CacheStats>,
@@ -151,6 +188,21 @@ pub struct HierarchyStats {
     pub traffic: TrafficStats,
     /// TACT timeliness.
     pub timeliness: PrefetchTimeliness,
+}
+
+impl Counters for HierarchyStats {
+    fn counters_into(&self, prefix: &str, out: &mut CounterVec) {
+        for (name, per_core) in [("l1i", &self.l1i), ("l1d", &self.l1d), ("l2", &self.l2)] {
+            for (i, s) in per_core.iter().enumerate() {
+                s.counters_into(&join_prefix(prefix, &format!("{name}{i}")), out);
+            }
+        }
+        self.llc.counters_into(&join_prefix(prefix, "llc"), out);
+        self.traffic
+            .counters_into(&join_prefix(prefix, "traffic"), out);
+        self.timeliness
+            .counters_into(&join_prefix(prefix, "timeliness"), out);
+    }
 }
 
 #[cfg(test)]

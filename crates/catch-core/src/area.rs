@@ -7,10 +7,9 @@
 //! design-space example and tests can reproduce that arithmetic.
 
 use catch_cache::{HierarchyConfig, HierarchyKind};
-use serde::{Deserialize, Serialize};
 
 /// Area constants (mm²) for a 14 nm-class process.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct AreaConstants {
     /// SRAM plus tag/periphery per MB of cache.
     pub mm2_per_mb: f64,
@@ -44,7 +43,7 @@ impl Default for AreaConstants {
 }
 
 /// Area breakdown of a hierarchy configuration (mm²).
-#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
 pub struct AreaBreakdown {
     /// All private L1 arrays.
     pub l1_mm2: f64,

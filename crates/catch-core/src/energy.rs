@@ -8,10 +8,9 @@
 //! lifted from published CACTI 6.0 sweeps.
 
 use crate::metrics::RunResult;
-use serde::{Deserialize, Serialize};
 
 /// Per-event energy constants (picojoules).
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct EnergyConstants {
     /// L1 access (32 KB, 8-way).
     pub l1_access_pj: f64,
@@ -50,7 +49,7 @@ impl Default for EnergyConstants {
 }
 
 /// Energy breakdown of one run, in microjoules.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// L1 dynamic energy.
     pub l1_uj: f64,
@@ -84,12 +83,7 @@ pub fn energy_of(
     let pj_to_uj = 1e-6;
     let h = &result.hierarchy;
 
-    let l1_activity: u64 = h
-        .l1i
-        .iter()
-        .chain(h.l1d.iter())
-        .map(|s| s.activity())
-        .sum();
+    let l1_activity: u64 = h.l1i.iter().chain(h.l1d.iter()).map(|s| s.activity()).sum();
     let l2_activity: u64 = h.l2.iter().map(|s| s.activity()).sum();
     let llc_activity = h.llc.activity();
 

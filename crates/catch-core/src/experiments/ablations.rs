@@ -45,7 +45,10 @@ pub fn ablations(eval: &EvalConfig) -> ExperimentReport {
         vec!["gain".into()],
         ValueKind::PercentDelta,
     );
-    for (label, repl) in [("MRU insertion (default)", ReplKind::Lru), ("LIP insertion", ReplKind::LruLip)] {
+    for (label, repl) in [
+        ("MRU insertion (default)", ReplKind::Lru),
+        ("LIP insertion", ReplKind::LruLip),
+    ] {
         let mut config = SystemConfig::baseline_exclusive().with_catch();
         config.hierarchy.l1d.repl = repl;
         config.hierarchy.l1i.repl = repl;

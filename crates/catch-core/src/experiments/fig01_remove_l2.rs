@@ -31,8 +31,7 @@ pub fn fig01_remove_l2(eval: &EvalConfig) -> ExperimentReport {
         title: "Performance impact of removing L2".into(),
         tables: vec![table],
         notes: vec![
-            "paper: NoL2+6.5MB loses ~7.8% geomean, NoL2+9.5MB (iso-area) still loses ~5.1%"
-                .into(),
+            "paper: NoL2+6.5MB loses ~7.8% geomean, NoL2+9.5MB (iso-area) still loses ~5.1%".into(),
         ],
     }
 }

@@ -12,10 +12,11 @@ fn mean_converted(results: &[RunResult]) -> f64 {
     if results.is_empty() {
         return 0.0;
     }
-    100.0 * results
-        .iter()
-        .map(|r| r.core.memory.converted_fraction())
-        .sum::<f64>()
+    100.0
+        * results
+            .iter()
+            .map(|r| r.core.memory.converted_fraction())
+            .sum::<f64>()
         / results.len() as f64
 }
 
@@ -46,13 +47,15 @@ pub fn fig04_criticality_oracle(eval: &EvalConfig) -> ExperimentReport {
                 })
                 .named(format!(
                     "{label} {}",
-                    if only_noncritical { "NonCritical" } else { "ALL" }
+                    if only_noncritical {
+                        "NonCritical"
+                    } else {
+                        "ALL"
+                    }
                 ));
             if only_noncritical {
                 // Criticality must be judged *at the demoted level*.
-                config = config.with_detector(
-                    DetectorConfig::paper().with_track_levels(&[level]),
-                );
+                config = config.with_detector(DetectorConfig::paper().with_track_levels(&[level]));
             }
             let runs = run_suite(&config, eval);
             table.push_row(

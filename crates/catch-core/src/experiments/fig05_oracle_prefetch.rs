@@ -9,10 +9,11 @@ use catch_cpu::LoadOracle;
 use catch_criticality::DetectorConfig;
 
 fn mean_converted(results: &[RunResult]) -> f64 {
-    100.0 * results
-        .iter()
-        .map(|r| r.core.memory.converted_fraction())
-        .sum::<f64>()
+    100.0
+        * results
+            .iter()
+            .map(|r| r.core.memory.converted_fraction())
+            .sum::<f64>()
         / results.len().max(1) as f64
 }
 

@@ -19,7 +19,9 @@ pub fn fig10_catch_exclusive(eval: &EvalConfig) -> ExperimentReport {
         SystemConfig::baseline_exclusive()
             .without_l2(9728 << 10)
             .with_catch(),
-        SystemConfig::baseline_exclusive().with_catch().named("CATCH"),
+        SystemConfig::baseline_exclusive()
+            .with_catch()
+            .named("CATCH"),
     ];
 
     let mut table = Table::new(

@@ -41,7 +41,13 @@ pub fn fig11_timeliness(eval: &EvalConfig) -> ExperimentReport {
             mid += t.saved_10_to_80;
             lo += t.saved_under_10;
         }
-        let pct = |n: u64, d: u64| if d == 0 { 0.0 } else { 100.0 * n as f64 / d as f64 };
+        let pct = |n: u64, d: u64| {
+            if d == 0 {
+                0.0
+            } else {
+                100.0 * n as f64 / d as f64
+            }
+        };
         table.push_row(
             label,
             vec![

@@ -39,11 +39,7 @@ pub fn fig12_scurve(eval: &EvalConfig) -> ExperimentReport {
 
     let mut table = Table::new(
         "per-workload performance ratio vs baseline (sorted by CATCH)",
-        vec![
-            "NoL2+6.5MB".into(),
-            "NoL2+9.5+CATCH".into(),
-            "CATCH".into(),
-        ],
+        vec!["NoL2+6.5MB".into(), "NoL2+9.5+CATCH".into(), "CATCH".into()],
         ValueKind::Ratio,
     );
     for (label, values) in rows {

@@ -18,7 +18,10 @@ pub fn fig14_mp(eval: &EvalConfig) -> ExperimentReport {
         .step_by(7) // every 7th of 20 → 3 spread-out rate4 mixes
         .take(MIX_COUNT / 2)
         .collect();
-    mixes.extend(catch_workloads::mp::random_mixes(MIX_COUNT - mixes.len(), eval.seed));
+    mixes.extend(catch_workloads::mp::random_mixes(
+        MIX_COUNT - mixes.len(),
+        eval.seed,
+    ));
 
     let baseline = SystemConfig::baseline_exclusive().with_cores(4);
     let configs = [

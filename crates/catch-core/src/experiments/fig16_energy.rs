@@ -34,14 +34,13 @@ pub fn fig16_energy(eval: &EvalConfig) -> ExperimentReport {
         vec!["savings".into()],
         ValueKind::Percent,
     );
-    let savings =
-        |idx: Vec<usize>| -> f64 {
-            let ratios: Vec<f64> = idx
-                .iter()
-                .map(|&i| catch_energy[i] / base_energy[i])
-                .collect();
-            100.0 * (1.0 - geomean(&ratios))
-        };
+    let savings = |idx: Vec<usize>| -> f64 {
+        let ratios: Vec<f64> = idx
+            .iter()
+            .map(|&i| catch_energy[i] / base_energy[i])
+            .collect();
+        100.0 * (1.0 - geomean(&ratios))
+    };
     for cat in Category::ALL {
         let idx: Vec<usize> = base
             .iter()

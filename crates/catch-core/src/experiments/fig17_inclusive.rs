@@ -21,7 +21,9 @@ pub fn fig17_inclusive(eval: &EvalConfig) -> ExperimentReport {
             .without_l2(9 << 20)
             .with_catch()
             .named("noL2+CATCH+9MB_L3"),
-        SystemConfig::baseline_inclusive().with_catch().named("CATCH"),
+        SystemConfig::baseline_inclusive()
+            .with_catch()
+            .named("CATCH"),
     ];
 
     let mut table = Table::new(

@@ -57,10 +57,11 @@ pub fn heuristic_detector(eval: &EvalConfig) -> ExperimentReport {
         ],
         ValueKind::Raw,
     );
-    for (label, runs) in [("graph walk (paper)", &graph), ("symptom heuristics", &heur)] {
-        let per_10k = |n: f64, r: &[RunResult]| {
-            n / (sum(r, |x| x.core.instructions) / 10_000.0)
-        };
+    for (label, runs) in [
+        ("graph walk (paper)", &graph),
+        ("symptom heuristics", &heur),
+    ] {
+        let per_10k = |n: f64, r: &[RunResult]| n / (sum(r, |x| x.core.instructions) / 10_000.0);
         table.push_row(
             label,
             vec![

@@ -20,6 +20,7 @@ mod fig15_llc_latency;
 mod fig16_energy;
 mod fig17_inclusive;
 mod heuristic_detector;
+pub mod runner;
 mod tables;
 
 pub use ablations::ablations;
@@ -37,15 +38,15 @@ pub use fig15_llc_latency::fig15_llc_latency;
 pub use fig16_energy::fig16_energy;
 pub use fig17_inclusive::fig17_inclusive;
 pub use heuristic_detector::heuristic_detector;
+pub use runner::Runner;
 pub use tables::{fig09_tact_area, sec6d2_table_size, tab1_area, tab2_workloads};
 
 use crate::metrics::RunResult;
 use crate::report::ExperimentReport;
 use crate::system::{System, SystemConfig};
-use serde::{Deserialize, Serialize};
 
 /// Evaluation scale: instruction budget per workload and the trace seed.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct EvalConfig {
     /// Micro-ops per workload trace.
     pub ops: usize,
@@ -81,13 +82,34 @@ impl Default for EvalConfig {
     }
 }
 
-/// Runs the whole ST suite under one configuration.
+/// Runs the whole ST suite under one configuration, parallelised across
+/// workloads with the environment-sized [`Runner`] (`CATCH_JOBS`, else all
+/// cores). Results are index-ordered and bit-identical to a serial run.
 pub fn run_suite(config: &SystemConfig, eval: &EvalConfig) -> Vec<RunResult> {
+    run_suite_parallel(config, eval, None)
+}
+
+/// Runs the whole ST suite under one configuration with an explicit
+/// worker count (`None` defers to [`Runner::from_env`]).
+///
+/// Each (workload, config) job regenerates its trace from the eval seed
+/// and simulates on a private core + hierarchy, so worker count and
+/// scheduling cannot affect any counter — the `harness_parity` suite in
+/// `catch-tests` asserts byte-identical results across job counts.
+pub fn run_suite_parallel(
+    config: &SystemConfig,
+    eval: &EvalConfig,
+    jobs: Option<usize>,
+) -> Vec<RunResult> {
+    let runner = match jobs {
+        Some(n) => Runner::with_jobs(n),
+        None => Runner::from_env(),
+    };
     let system = System::new(config.clone());
-    catch_workloads::suite::all()
-        .iter()
-        .map(|w| system.run_st_warm(w.generate(eval.ops, eval.seed), eval.warmup))
-        .collect()
+    let workloads = catch_workloads::suite::all();
+    runner.run(&workloads, |_, w| {
+        system.run_st_warm(w.generate(eval.ops, eval.seed), eval.warmup)
+    })
 }
 
 /// Percent delta of a ratio (1.084 → +8.4).
@@ -117,8 +139,25 @@ pub(crate) fn category_pct_row(base: &[RunResult], new: &[RunResult]) -> Vec<f64
 /// All experiment ids in paper order.
 pub fn all_ids() -> Vec<&'static str> {
     vec![
-        "fig1", "fig2", "fig3", "fig4", "fig5", "fig9", "tab1", "tab2", "fig10", "fig11", "fig12", "fig13",
-        "fig14", "fig15", "fig16", "fig17", "sec6d2", "ablations", "heuristic",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig9",
+        "tab1",
+        "tab2",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "sec6d2",
+        "ablations",
+        "heuristic",
     ]
 }
 

@@ -1,0 +1,152 @@
+//! Parallel experiment execution.
+//!
+//! Every experiment in the registry reduces to a bag of independent
+//! (workload, configuration) simulation jobs: each job builds its own
+//! core + hierarchy from a [`SystemConfig`](crate::SystemConfig) and its
+//! own trace from a deterministic seed, so jobs share no mutable state.
+//! [`Runner`] exploits that with a scoped-thread worker pool over a
+//! lock-free work queue, and an **index-ordered reduction**: results are
+//! written into the slot of the job that produced them, so the output
+//! vector is byte-identical to a serial run regardless of worker count or
+//! scheduling (asserted by the `harness_parity` suite in `catch-tests`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker count (like `make -j`).
+pub const JOBS_ENV: &str = "CATCH_JOBS";
+
+/// A scoped-thread worker pool executing independent jobs with a
+/// deterministic, serial-identical result order.
+#[derive(Copy, Clone, Debug)]
+pub struct Runner {
+    jobs: usize,
+}
+
+impl Runner {
+    /// A runner with exactly `jobs` workers (clamped to at least 1).
+    pub fn with_jobs(jobs: usize) -> Self {
+        Runner { jobs: jobs.max(1) }
+    }
+
+    /// A runner sized from the environment: `CATCH_JOBS` if set and
+    /// parseable, otherwise the machine's available parallelism.
+    pub fn from_env() -> Self {
+        let jobs = std::env::var(JOBS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Runner::with_jobs(jobs)
+    }
+
+    /// Worker count this runner will spawn.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `f` over every job and returns the results **in job order**
+    /// (index-ordered reduction — bit-identical to a serial map).
+    ///
+    /// Workers pull indices from a shared atomic cursor, so long jobs do
+    /// not convoy short ones. With one worker (or one job) no threads are
+    /// spawned and `f` runs on the caller.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first worker panic after all workers have stopped.
+    pub fn run<J, R, F>(&self, jobs: &[J], f: F) -> Vec<R>
+    where
+        J: Sync,
+        R: Send,
+        F: Fn(usize, &J) -> R + Sync,
+    {
+        let n = jobs.len();
+        if self.jobs == 1 || n <= 1 {
+            return jobs.iter().enumerate().map(|(i, j)| f(i, j)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..self.jobs.min(n) {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = f(i, &jobs[i]);
+                    slots.lock().expect("result slots poisoned")[i] = Some(result);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("result slots poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("every job fills its slot"))
+            .collect()
+    }
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_index_ordered() {
+        let jobs: Vec<usize> = (0..100).collect();
+        for workers in [1, 2, 4, 7] {
+            let out = Runner::with_jobs(workers).run(&jobs, |i, &j| {
+                assert_eq!(i, j);
+                j * 3
+            });
+            assert_eq!(out, (0..100).map(|j| j * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let jobs: Vec<u64> = (0..64).collect();
+        let work = |_: usize, &j: &u64| {
+            // A little arithmetic so jobs finish out of order.
+            (0..(j % 7) * 1000).fold(j, |acc, x| acc.wrapping_mul(31).wrapping_add(x))
+        };
+        let serial = Runner::with_jobs(1).run(&jobs, work);
+        let parallel = Runner::with_jobs(8).run(&jobs, work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        assert_eq!(Runner::with_jobs(0).jobs(), 1);
+        let out = Runner::with_jobs(0).run(&[1, 2, 3], |_, &j| j);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let out: Vec<u32> = Runner::with_jobs(4).run(&[], |_, j: &u32| *j);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn worker_panics_propagate() {
+        let jobs: Vec<usize> = (0..8).collect();
+        Runner::with_jobs(2).run(&jobs, |_, &j| {
+            if j == 5 {
+                panic!("boom");
+            }
+            j
+        });
+    }
+}

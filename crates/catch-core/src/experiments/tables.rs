@@ -14,14 +14,22 @@ pub fn tab1_area() -> ExperimentReport {
         vec!["bits".into()],
         ValueKind::Raw,
     );
-    edges.push_row("D-D,C-C,D-E,C-D (implicit)", vec![EDGE_BITS.implicit as f64]);
-    edges.push_row("E-C (exec latency, quantised)", vec![
-        EDGE_BITS.execution_latency as f64,
-    ]);
-    edges.push_row("E-E (3 src + mem dep, 9b each)", vec![
-        EDGE_BITS.data_dependence as f64,
-    ]);
-    edges.push_row("E-D (bad speculation)", vec![EDGE_BITS.bad_speculation as f64]);
+    edges.push_row(
+        "D-D,C-C,D-E,C-D (implicit)",
+        vec![EDGE_BITS.implicit as f64],
+    );
+    edges.push_row(
+        "E-C (exec latency, quantised)",
+        vec![EDGE_BITS.execution_latency as f64],
+    );
+    edges.push_row(
+        "E-E (3 src + mem dep, 9b each)",
+        vec![EDGE_BITS.data_dependence as f64],
+    );
+    edges.push_row(
+        "E-D (bad speculation)",
+        vec![EDGE_BITS.bad_speculation as f64],
+    );
     edges.push_row("hashed PC", vec![HASHED_PC_BITS as f64]);
 
     let budget = AreaBudget::for_rob(224);
@@ -33,7 +41,10 @@ pub fn tab1_area() -> ExperimentReport {
     let kb = |b: u64| b as f64 / 1024.0;
     totals.push_row("graph buffer (2x ROB window)", vec![kb(budget.graph_bytes)]);
     totals.push_row("hashed PCs (2.5x ROB)", vec![kb(budget.pc_bytes)]);
-    totals.push_row("critical-load table (32 x 8-way)", vec![kb(budget.table_bytes)]);
+    totals.push_row(
+        "critical-load table (32 x 8-way)",
+        vec![kb(budget.table_bytes)],
+    );
     totals.push_row("TOTAL", vec![kb(budget.total_bytes())]);
 
     ExperimentReport {
@@ -52,19 +63,26 @@ pub fn fig09_tact_area() -> ExperimentReport {
         vec!["bytes".into()],
         ValueKind::Raw,
     );
-    table.push_row("Critical Target PC table (32)", vec![
-        FIGURE_9.target_table_bytes as f64,
-    ]);
-    table.push_row("Feeder PC table (32)", vec![FIGURE_9.feeder_table_bytes as f64]);
-    table.push_row("Feeder tracking (16 arch regs)", vec![
-        FIGURE_9.feeder_tracking_bytes as f64,
-    ]);
-    table.push_row("Trigger cache (8 set x 8 way)", vec![
-        FIGURE_9.trigger_cache_bytes as f64,
-    ]);
-    table.push_row("CROSS PC candidates (32)", vec![
-        FIGURE_9.cross_candidates_bytes as f64,
-    ]);
+    table.push_row(
+        "Critical Target PC table (32)",
+        vec![FIGURE_9.target_table_bytes as f64],
+    );
+    table.push_row(
+        "Feeder PC table (32)",
+        vec![FIGURE_9.feeder_table_bytes as f64],
+    );
+    table.push_row(
+        "Feeder tracking (16 arch regs)",
+        vec![FIGURE_9.feeder_tracking_bytes as f64],
+    );
+    table.push_row(
+        "Trigger cache (8 set x 8 way)",
+        vec![FIGURE_9.trigger_cache_bytes as f64],
+    );
+    table.push_row(
+        "CROSS PC candidates (32)",
+        vec![FIGURE_9.cross_candidates_bytes as f64],
+    );
     table.push_row("Code CNPIP", vec![FIGURE_9.code_cnpip_bytes as f64]);
     table.push_row("TOTAL", vec![FIGURE_9.total_bytes() as f64]);
     ExperimentReport {

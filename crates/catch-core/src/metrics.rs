@@ -3,11 +3,11 @@
 use catch_cache::{CacheHierarchy, HierarchyStats};
 use catch_cpu::CoreStats;
 use catch_dram::{DramStats, DramSystem};
+use catch_trace::counters::{join_prefix, CounterVec, Counters};
 use catch_trace::Category;
-use serde::{Deserialize, Serialize};
 
 /// Everything measured over one core's run under one configuration.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RunResult {
     /// Workload name.
     pub workload: String,
@@ -21,6 +21,17 @@ pub struct RunResult {
     pub hierarchy: HierarchyStats,
     /// DRAM statistics, when the backend is the DRAM model.
     pub dram: Option<DramStats>,
+}
+
+impl Counters for RunResult {
+    fn counters_into(&self, prefix: &str, out: &mut CounterVec) {
+        self.core.counters_into(&join_prefix(prefix, "core"), out);
+        self.hierarchy
+            .counters_into(&join_prefix(prefix, "hierarchy"), out);
+        if let Some(dram) = &self.dram {
+            dram.counters_into(&join_prefix(prefix, "dram"), out);
+        }
+    }
 }
 
 impl RunResult {
@@ -54,7 +65,7 @@ impl RunResult {
 }
 
 /// Result of a 4-way multi-programmed run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MpResult {
     /// Configuration name.
     pub config: String,

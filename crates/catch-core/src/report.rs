@@ -1,10 +1,11 @@
 //! Plain-text rendering of experiment reports.
 
-use serde::{Deserialize, Serialize};
+pub mod json;
+
 use std::fmt;
 
 /// How a table's values should be formatted.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum ValueKind {
     /// Percent deltas ("+8.41%").
     PercentDelta,
@@ -17,7 +18,7 @@ pub enum ValueKind {
 }
 
 /// One table of an experiment report.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Table caption.
     pub title: String,
@@ -120,7 +121,7 @@ impl fmt::Display for Table {
 }
 
 /// A full experiment report (one paper figure or table).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentReport {
     /// Stable experiment id ("fig10", "tab1", ...).
     pub id: String,

@@ -1,0 +1,101 @@
+//! Minimal JSON emission for experiment results.
+//!
+//! The workspace builds fully offline, so instead of an external
+//! serialisation crate we carry a small writer: enough to render counter
+//! maps, run results and bench summaries as stable, human-diffable JSON.
+//! Output is deterministic — insertion-ordered keys, two-space indent,
+//! `\n` separators — because the golden-stats regression test compares it
+//! byte-for-byte against a committed snapshot.
+//!
+//! There is deliberately no parser: nothing in the workspace reads JSON
+//! back, and emit-only keeps the surface trivially auditable.
+
+use catch_trace::counters::{CounterVec, Counters};
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a flat counter list as a JSON object, keys in list order,
+/// indented by `indent` two-space levels.
+pub fn counters_to_json(counters: &CounterVec, indent: usize) -> String {
+    let pad = "  ".repeat(indent);
+    let inner = "  ".repeat(indent + 1);
+    if counters.is_empty() {
+        return "{}".to_string();
+    }
+    let body: Vec<String> = counters
+        .iter()
+        .map(|(k, v)| format!("{inner}\"{}\": {v}", escape(k)))
+        .collect();
+    format!("{{\n{}\n{pad}}}", body.join(",\n"))
+}
+
+/// Renders one [`RunResult`](crate::RunResult) as a JSON object carrying
+/// its identity fields plus every counter.
+pub fn run_result_to_json(result: &crate::RunResult, indent: usize) -> String {
+    let pad = "  ".repeat(indent);
+    let inner = "  ".repeat(indent + 1);
+    let counters = result.counters("");
+    format!(
+        "{{\n{inner}\"workload\": \"{}\",\n{inner}\"category\": \"{}\",\n\
+         {inner}\"config\": \"{}\",\n{inner}\"counters\": {}\n{pad}}}",
+        escape(&result.workload),
+        escape(result.category.label()),
+        escape(&result.config),
+        counters_to_json(&counters, indent + 1),
+    )
+}
+
+/// Renders a slice of run results as a JSON array (the golden-snapshot
+/// format; ends with a trailing newline so the file is POSIX-clean).
+pub fn run_results_to_json(results: &[crate::RunResult]) -> String {
+    if results.is_empty() {
+        return "[]\n".to_string();
+    }
+    let body: Vec<String> = results
+        .iter()
+        .map(|r| format!("  {}", run_result_to_json(r, 1)))
+        .collect();
+    format!("[\n{}\n]\n", body.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn counters_render_in_order() {
+        let counters = vec![("b.x".to_string(), 2u64), ("a".to_string(), 1u64)];
+        let json = counters_to_json(&counters, 0);
+        let bx = json.find("b.x").expect("b.x present");
+        let a = json.find("\"a\"").expect("a present");
+        assert!(bx < a, "insertion order must be preserved");
+        assert_eq!(counters_to_json(&Vec::new(), 0), "{}");
+    }
+
+    #[test]
+    fn empty_results_render_as_empty_array() {
+        assert_eq!(run_results_to_json(&[]), "[]\n");
+    }
+}

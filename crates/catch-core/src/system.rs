@@ -6,12 +6,11 @@ use catch_cpu::{Core, CoreConfig, LoadOracle, TactMode};
 use catch_criticality::DetectorConfig;
 use catch_dram::{DramConfig, DramSystem};
 use catch_trace::Trace;
-use serde::{Deserialize, Serialize};
 
 /// One machine configuration: hierarchy organisation, core features and
 /// memory. Every configuration the paper evaluates is expressible through
 /// the preset constructors plus the `with_*` modifiers.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SystemConfig {
     /// Human-readable configuration name used in reports.
     pub name: String,
@@ -259,10 +258,9 @@ mod tests {
         // A serial pointer chase is directly gated by load-to-use latency.
         let trace = suite::by_name("astar_like").unwrap().generate(20_000, 1);
         let base = System::new(SystemConfig::baseline_exclusive()).run_st(trace.clone());
-        let slowed = System::new(
-            SystemConfig::baseline_exclusive().with_extra_latency(Level::L1, 3),
-        )
-        .run_st(trace);
+        let slowed =
+            System::new(SystemConfig::baseline_exclusive().with_extra_latency(Level::L1, 3))
+                .run_st(trace);
         assert!(
             slowed.ipc() < base.ipc(),
             "L1 +3cyc must slow a chase: {} vs {}",

@@ -2,10 +2,9 @@
 //! predictor.
 
 use catch_trace::{BranchInfo, BranchKind, Pc};
-use serde::{Deserialize, Serialize};
 
 /// Counters for the branch unit.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct BranchStats {
     /// Conditional branches predicted.
     pub conditional: u64,
@@ -15,6 +14,21 @@ pub struct BranchStats {
     pub indirect: u64,
     /// Indirect target mispredictions.
     pub indirect_mispredicts: u64,
+}
+
+impl catch_trace::counters::Counters for BranchStats {
+    fn counters_into(&self, prefix: &str, out: &mut catch_trace::counters::CounterVec) {
+        use catch_trace::counters::push_counter;
+        push_counter(out, prefix, "conditional", self.conditional);
+        push_counter(out, prefix, "cond_mispredicts", self.cond_mispredicts);
+        push_counter(out, prefix, "indirect", self.indirect);
+        push_counter(
+            out,
+            prefix,
+            "indirect_mispredicts",
+            self.indirect_mispredicts,
+        );
+    }
 }
 
 impl BranchStats {
@@ -182,7 +196,7 @@ mod tests {
         };
         assert!(b.predict_and_train(pc, info)); // cold miss
         assert!(!b.predict_and_train(pc, info)); // learned
-        // Target change mispredicts once.
+                                                 // Target change mispredicts once.
         let other = BranchInfo {
             target: Pc::new(0x900),
             ..info

@@ -4,10 +4,9 @@ use catch_cache::Level;
 use catch_criticality::{DetectorConfig, HeuristicConfig};
 use catch_prefetch::TactConfig;
 use catch_trace::OpClass;
-use serde::{Deserialize, Serialize};
 
 /// Execution latency per op class, in cycles.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct ExecLatencies {
     /// Simple integer ops.
     pub alu: u64,
@@ -61,7 +60,7 @@ impl Default for ExecLatencies {
 }
 
 /// Issue-port budget per cycle per class.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct PortConfig {
     /// Integer ALU / branch ports.
     pub int_ports: u32,
@@ -92,8 +91,7 @@ impl Default for PortConfig {
 }
 
 /// The latency oracles used by the paper's motivation studies.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub enum LoadOracle {
     /// Normal operation.
     #[default]
@@ -115,9 +113,8 @@ pub enum LoadOracle {
     PrefetchAll,
 }
 
-
 /// Which criticality-detection mechanism the core uses.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum DetectorKind {
     /// The paper's buffered-DDG graph walk.
     Graph,
@@ -127,7 +124,7 @@ pub enum DetectorKind {
 }
 
 /// Which TACT components the core drives.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TactMode {
     /// Data prefetchers (Cross/Deep/Feeder) — per-component flags live in
     /// [`TactConfig`].
@@ -155,7 +152,7 @@ impl TactMode {
 }
 
 /// Full configuration of one core.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CoreConfig {
     /// Fetch width (µops/cycle).
     pub fetch_width: usize,

@@ -146,7 +146,12 @@ impl Core {
         self.cycle += 1;
         if self.cycle.is_multiple_of(65_536) {
             hier.maintain(self.cycle);
-            let floor = self.rob.entries().front().map(|e| e.id).unwrap_or(self.next_id);
+            let floor = self
+                .rob
+                .entries()
+                .front()
+                .map(|e| e.id)
+                .unwrap_or(self.next_id);
             self.last_store.retain(|_, id| *id >= floor);
         }
     }
@@ -336,7 +341,10 @@ impl Core {
     }
 
     fn fetch_stage(&mut self, hier: &mut CacheHierarchy, cycle: u64) {
-        let space = self.config.fetch_buffer.saturating_sub(self.fetch_buffer.len());
+        let space = self
+            .config
+            .fetch_buffer
+            .saturating_sub(self.fetch_buffer.len());
         if space == 0 {
             return;
         }

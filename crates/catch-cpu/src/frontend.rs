@@ -6,10 +6,9 @@ use crate::config::CoreConfig;
 use catch_cache::{AccessKind, CacheHierarchy, Level};
 use catch_prefetch::CodeRunahead;
 use catch_trace::{LineAddr, MicroOp, OpClass, Trace};
-use serde::{Deserialize, Serialize};
 
 /// Front-end counters.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct FrontendStats {
     /// Micro-ops fetched.
     pub fetched: u64,
@@ -21,6 +20,17 @@ pub struct FrontendStats {
     pub mispredicts: u64,
     /// Cycles spent stalled on the instruction cache.
     pub icache_stall_cycles: u64,
+}
+
+impl catch_trace::counters::Counters for FrontendStats {
+    fn counters_into(&self, prefix: &str, out: &mut catch_trace::counters::CounterVec) {
+        use catch_trace::counters::push_counter;
+        push_counter(out, prefix, "fetched", self.fetched);
+        push_counter(out, prefix, "icache_misses", self.icache_misses);
+        push_counter(out, prefix, "code_prefetches", self.code_prefetches);
+        push_counter(out, prefix, "mispredicts", self.mispredicts);
+        push_counter(out, prefix, "icache_stall_cycles", self.icache_stall_cycles);
+    }
 }
 
 /// Fetches micro-ops in program order, consulting the L1I per code line

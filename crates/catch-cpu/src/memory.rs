@@ -4,12 +4,11 @@
 use crate::config::{CoreConfig, LoadOracle};
 use catch_cache::{AccessKind, CacheHierarchy, Level};
 use catch_criticality::AnyDetector;
-use catch_prefetch::{MemoryImage, StridePrefetcher, StreamPrefetcher, TactPrefetcher};
+use catch_prefetch::{MemoryImage, StreamPrefetcher, StridePrefetcher, TactPrefetcher};
 use catch_trace::{MicroOp, Pc};
-use serde::{Deserialize, Serialize};
 
 /// Counters kept by the memory interface.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Demand loads issued.
     pub loads: u64,
@@ -28,6 +27,29 @@ pub struct MemStats {
     /// Demand-load latency histogram; bucket upper bounds are
     /// [`MemStats::LATENCY_BUCKETS`] cycles (last bucket is unbounded).
     pub load_latency_hist: [u64; 6],
+}
+
+impl catch_trace::counters::Counters for MemStats {
+    fn counters_into(&self, prefix: &str, out: &mut catch_trace::counters::CounterVec) {
+        use catch_trace::counters::push_counter;
+        push_counter(out, prefix, "loads", self.loads);
+        push_counter(out, prefix, "forwarded", self.forwarded);
+        for (i, name) in ["l1", "l2", "llc", "memory"].iter().enumerate() {
+            push_counter(
+                out,
+                prefix,
+                &format!("loads_{name}"),
+                self.loads_by_level[i],
+            );
+        }
+        push_counter(out, prefix, "oracle_converted", self.oracle_converted);
+        push_counter(out, prefix, "stride_prefetches", self.stride_prefetches);
+        push_counter(out, prefix, "stream_prefetches", self.stream_prefetches);
+        push_counter(out, prefix, "tact_prefetches", self.tact_prefetches);
+        for (i, v) in self.load_latency_hist.iter().enumerate() {
+            push_counter(out, prefix, &format!("latency_bucket_{i}"), *v);
+        }
+    }
 }
 
 impl MemStats {

@@ -5,11 +5,10 @@ use crate::frontend::FrontendStats;
 use crate::memory::MemStats;
 use catch_criticality::DetectorStats;
 use catch_prefetch::TactStats;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Everything measured over one core's run.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
 pub struct CoreStats {
     /// Instructions (µops) retired.
     pub instructions: u64,
@@ -25,6 +24,23 @@ pub struct CoreStats {
     pub detector: DetectorStats,
     /// TACT counters.
     pub tact: TactStats,
+}
+
+impl catch_trace::counters::Counters for CoreStats {
+    fn counters_into(&self, prefix: &str, out: &mut catch_trace::counters::CounterVec) {
+        use catch_trace::counters::{join_prefix, push_counter};
+        push_counter(out, prefix, "instructions", self.instructions);
+        push_counter(out, prefix, "cycles", self.cycles);
+        self.frontend
+            .counters_into(&join_prefix(prefix, "frontend"), out);
+        self.branches
+            .counters_into(&join_prefix(prefix, "branches"), out);
+        self.memory
+            .counters_into(&join_prefix(prefix, "memory"), out);
+        self.detector
+            .counters_into(&join_prefix(prefix, "detector"), out);
+        self.tact.counters_into(&join_prefix(prefix, "tact"), out);
+    }
 }
 
 impl CoreStats {
@@ -67,10 +83,22 @@ impl CoreStats {
                 loads: f(self.memory.loads, earlier.memory.loads),
                 forwarded: f(self.memory.forwarded, earlier.memory.forwarded),
                 loads_by_level: [
-                    f(self.memory.loads_by_level[0], earlier.memory.loads_by_level[0]),
-                    f(self.memory.loads_by_level[1], earlier.memory.loads_by_level[1]),
-                    f(self.memory.loads_by_level[2], earlier.memory.loads_by_level[2]),
-                    f(self.memory.loads_by_level[3], earlier.memory.loads_by_level[3]),
+                    f(
+                        self.memory.loads_by_level[0],
+                        earlier.memory.loads_by_level[0],
+                    ),
+                    f(
+                        self.memory.loads_by_level[1],
+                        earlier.memory.loads_by_level[1],
+                    ),
+                    f(
+                        self.memory.loads_by_level[2],
+                        earlier.memory.loads_by_level[2],
+                    ),
+                    f(
+                        self.memory.loads_by_level[3],
+                        earlier.memory.loads_by_level[3],
+                    ),
                 ],
                 oracle_converted: f(
                     self.memory.oracle_converted,
@@ -104,10 +132,7 @@ impl CoreStats {
                 overflows: f(self.detector.overflows, earlier.detector.overflows),
             },
             tact: TactStats {
-                targets_allocated: f(
-                    self.tact.targets_allocated,
-                    earlier.tact.targets_allocated,
-                ),
+                targets_allocated: f(self.tact.targets_allocated, earlier.tact.targets_allocated),
                 deep_issued: f(self.tact.deep_issued, earlier.tact.deep_issued),
                 cross_issued: f(self.tact.cross_issued, earlier.tact.cross_issued),
                 feeder_issued: f(self.tact.feeder_issued, earlier.tact.feeder_issued),

@@ -1,9 +1,13 @@
 //! Timing properties of the out-of-order core model.
+//!
+//! Properties run on the in-repo deterministic case driver
+//! ([`catch_trace::rng::Cases`]); a failing case prints the seed that
+//! reproduces it.
 
 use catch_cache::{CacheHierarchy, FixedLatencyBackend, HierarchyConfig, Level};
 use catch_cpu::{Core, CoreConfig};
+use catch_trace::rng::{Cases, SplitMix64};
 use catch_trace::{Addr, ArchReg, TraceBuilder};
-use proptest::prelude::*;
 
 fn hier() -> CacheHierarchy {
     CacheHierarchy::new(
@@ -24,13 +28,30 @@ enum GenOp {
     Branch { taken: bool, src: u8 },
 }
 
-fn gen_op() -> impl Strategy<Value = GenOp> {
-    prop_oneof![
-        (1u8..8, 1u8..8).prop_map(|(dst, src)| GenOp::Alu { dst, src }),
-        (1u8..8, 0u64..256).prop_map(|(dst, line)| GenOp::Load { dst, line }),
-        (0u64..256, 1u8..8).prop_map(|(line, src)| GenOp::Store { line, src }),
-        (any::<bool>(), 1u8..8).prop_map(|(taken, src)| GenOp::Branch { taken, src }),
-    ]
+fn gen_op(rng: &mut SplitMix64) -> GenOp {
+    match rng.gen_range(0u64..4) {
+        0 => GenOp::Alu {
+            dst: rng.gen_range(1u64..8) as u8,
+            src: rng.gen_range(1u64..8) as u8,
+        },
+        1 => GenOp::Load {
+            dst: rng.gen_range(1u64..8) as u8,
+            line: rng.gen_range(0u64..256),
+        },
+        2 => GenOp::Store {
+            line: rng.gen_range(0u64..256),
+            src: rng.gen_range(1u64..8) as u8,
+        },
+        _ => GenOp::Branch {
+            taken: rng.gen_bool(0.5),
+            src: rng.gen_range(1u64..8) as u8,
+        },
+    }
+}
+
+fn gen_ops(rng: &mut SplitMix64, min: usize, max: usize) -> Vec<GenOp> {
+    let n = rng.gen_range(min..max);
+    (0..n).map(|_| gen_op(rng)).collect()
 }
 
 fn build(ops: &[GenOp]) -> catch_trace::Trace {
@@ -55,27 +76,33 @@ fn build(ops: &[GenOp]) -> catch_trace::Trace {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// IPC never exceeds the machine width, every op retires, and cycle
-    /// counts are deterministic.
-    #[test]
-    fn ipc_bounded_and_all_retire(ops in proptest::collection::vec(gen_op(), 1..300)) {
+/// IPC never exceeds the machine width, every op retires, and cycle
+/// counts are deterministic.
+#[test]
+fn ipc_bounded_and_all_retire() {
+    Cases::new(48).run(|rng| {
+        let ops = gen_ops(rng, 1, 300);
         let trace = build(&ops);
         let expect = trace.len() as u64;
         let mut config = CoreConfig::baseline();
         config.perfect_l1i = true;
         let mut core = Core::new(0, trace, config);
         let stats = core.run_to_completion(&mut hier());
-        prop_assert_eq!(stats.instructions, expect);
-        prop_assert!(stats.ipc() <= 4.0 + 1e-9, "IPC {} beyond width", stats.ipc());
-        prop_assert!(stats.cycles > 0);
-    }
+        assert_eq!(stats.instructions, expect);
+        assert!(
+            stats.ipc() <= 4.0 + 1e-9,
+            "IPC {} beyond width",
+            stats.ipc()
+        );
+        assert!(stats.cycles > 0);
+    });
+}
 
-    /// Monotonicity: making the L1 slower never speeds the program up.
-    #[test]
-    fn l1_latency_is_monotone(ops in proptest::collection::vec(gen_op(), 20..200)) {
+/// Monotonicity: making the L1 slower never speeds the program up.
+#[test]
+fn l1_latency_is_monotone() {
+    Cases::new(48).run(|rng| {
+        let ops = gen_ops(rng, 20, 200);
         let trace = build(&ops);
         let mut config = CoreConfig::baseline();
         config.perfect_l1i = true;
@@ -92,17 +119,20 @@ proptest! {
         // anomalies, so strict monotonicity does not hold cycle-for-cycle;
         // allow a small scheduling-slack tolerance.
         let slack = fast / 20 + 16;
-        prop_assert!(
+        assert!(
             slow + slack >= fast,
             "slower L1 gave materially fewer cycles: {slow} < {fast}"
         );
-    }
+    });
+}
 
-    /// Appending a suffix never makes the whole program finish sooner
-    /// than the prefix alone (inserting ops *within* a program can change
-    /// branch-predictor aliasing, so only suffix extension is monotone).
-    #[test]
-    fn suffix_extension_is_monotone(ops in proptest::collection::vec(gen_op(), 10..100)) {
+/// Appending a suffix never makes the whole program finish sooner
+/// than the prefix alone (inserting ops *within* a program can change
+/// branch-predictor aliasing, so only suffix extension is monotone).
+#[test]
+fn suffix_extension_is_monotone() {
+    Cases::new(48).run(|rng| {
+        let ops = gen_ops(rng, 10, 100);
         let prefix = build(&ops);
         let doubled: Vec<GenOp> = ops.iter().chain(ops.iter()).cloned().collect();
         let extended = build(&doubled);
@@ -114,8 +144,11 @@ proptest! {
         };
         let short = run(prefix);
         let long = run(extended);
-        prop_assert!(long >= short, "longer trace finished sooner: {long} < {short}");
-    }
+        assert!(
+            long >= short,
+            "longer trace finished sooner: {long} < {short}"
+        );
+    });
 }
 
 /// The ROB caps memory-level parallelism: a window of independent loads

@@ -6,10 +6,8 @@
 //! those numbers so they can be asserted in tests and printed by the
 //! `tab1_area` bench target.
 
-use serde::{Deserialize, Serialize};
-
 /// Bits of storage per instruction for each edge class (Table I).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct EdgeBits {
     /// D-D, C-C, D-E, C-D: implicit edges, no storage.
     pub implicit: u32,
@@ -38,7 +36,7 @@ impl EdgeBits {
 }
 
 /// Area summary of the full mechanism.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct AreaBudget {
     /// ROB size of the core.
     pub rob_size: usize,

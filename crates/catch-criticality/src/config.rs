@@ -1,10 +1,9 @@
 //! Detector configuration.
 
 use catch_cache::Level;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the criticality detector.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DetectorConfig {
     /// Reorder-buffer size of the core (224 in the paper's Skylake-like
     /// configuration).

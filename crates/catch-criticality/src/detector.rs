@@ -4,10 +4,9 @@ use crate::config::DetectorConfig;
 use crate::graph::{DdgGraph, RetiredInst};
 use crate::table::CriticalLoadTable;
 use catch_trace::Pc;
-use serde::{Deserialize, Serialize};
 
 /// Counters exposed by the detector.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct DetectorStats {
     /// Instructions observed at retirement.
     pub retired: u64,
@@ -23,6 +22,23 @@ pub struct DetectorStats {
     pub relearns: u64,
     /// Graph overflows (buffer discarded).
     pub overflows: u64,
+}
+
+impl catch_trace::counters::Counters for DetectorStats {
+    fn counters_into(&self, prefix: &str, out: &mut catch_trace::counters::CounterVec) {
+        use catch_trace::counters::push_counter;
+        push_counter(out, prefix, "retired", self.retired);
+        push_counter(out, prefix, "walks", self.walks);
+        push_counter(
+            out,
+            prefix,
+            "critical_load_observations",
+            self.critical_load_observations,
+        );
+        push_counter(out, prefix, "walk_steps", self.walk_steps);
+        push_counter(out, prefix, "relearns", self.relearns);
+        push_counter(out, prefix, "overflows", self.overflows);
+    }
 }
 
 /// Hardware-style criticality detector (paper Section IV-A).

@@ -18,11 +18,10 @@ use crate::detector::DetectorStats;
 use crate::graph::RetiredInst;
 use crate::table::CriticalLoadTable;
 use catch_trace::Pc;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Tuning knobs of the heuristic detector.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HeuristicConfig {
     /// Retired ops scanned backwards from a mispredicted branch
     /// ("shadow" window).
@@ -259,9 +258,7 @@ mod tests {
             // ...an independent producer for the branch...
             d.on_retire(RetiredInst::new(pc(6), 1));
             // ...and a mispredicted branch depending only on the ALU.
-            d.on_retire(
-                RetiredInst::compute(pc(7), 1, &[seq + 1]).as_mispredicted_branch(),
-            );
+            d.on_retire(RetiredInst::compute(pc(7), 1, &[seq + 1]).as_mispredicted_branch());
         }
         // The heuristic flags the unrelated load anyway — the
         // over-flagging the paper criticises (a graph walk would not).

@@ -40,13 +40,13 @@
 
 pub mod area;
 mod config;
-mod heuristic;
 mod detector;
 mod graph;
+mod heuristic;
 mod table;
 
 pub use config::DetectorConfig;
 pub use detector::{CriticalityDetector, DetectorStats};
-pub use heuristic::{AnyDetector, HeuristicConfig, HeuristicDetector};
 pub use graph::{DdgGraph, GraphNode, NodeKind, PathStep, RetiredInst};
+pub use heuristic::{AnyDetector, HeuristicConfig, HeuristicDetector};
 pub use table::CriticalLoadTable;

@@ -2,11 +2,15 @@
 //! computation must agree with a brute-force dynamic-programming pass
 //! over the same dependence graph, for arbitrary random instruction
 //! windows.
+//!
+//! Properties run on the in-repo deterministic case driver
+//! ([`catch_trace::rng::Cases`]); a failing case prints the seed that
+//! reproduces it.
 
 use catch_cache::Level;
 use catch_criticality::{DdgGraph, DetectorConfig, NodeKind, RetiredInst};
+use catch_trace::rng::{Cases, SplitMix64};
 use catch_trace::Pc;
-use proptest::prelude::*;
 
 /// A compact random instruction for graph generation.
 #[derive(Clone, Debug)]
@@ -63,29 +67,31 @@ fn reference_costs(insts: &[GenInst], cfg: &DetectorConfig) -> Vec<(u64, u64, u6
     costs
 }
 
-fn gen_inst() -> impl Strategy<Value = GenInst> {
-    (1u64..31, 0u64..4, 0u64..8, any::<bool>(), prop::bool::weighted(0.1)).prop_map(
-        |(latency, dep1, dep2, is_load, mispredict)| GenInst {
-            latency,
-            dep1,
-            dep2,
-            is_load,
-            mispredict,
-        },
-    )
+fn gen_inst(rng: &mut SplitMix64) -> GenInst {
+    GenInst {
+        latency: rng.gen_range(1u64..31),
+        dep1: rng.gen_range(0u64..4),
+        dep2: rng.gen_range(0u64..8),
+        is_load: rng.gen_bool(0.5),
+        mispredict: rng.gen_bool(0.1),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn gen_insts(rng: &mut SplitMix64, min: usize, max: usize) -> Vec<GenInst> {
+    let n = rng.gen_range(min..max);
+    (0..n).map(|_| gen_inst(rng)).collect()
+}
 
-    #[test]
-    fn incremental_costs_match_brute_force(
-        insts in proptest::collection::vec(gen_inst(), 2..40),
-        rob in 16usize..48,
-    ) {
+#[test]
+fn incremental_costs_match_brute_force() {
+    Cases::new(128).run(|rng| {
+        let insts = gen_insts(rng, 2, 40);
+        let rob = rng.gen_range(16usize..48);
         let cfg = config(rob);
         // Stay within the buffer so nothing is discarded mid-test.
-        prop_assume!(insts.len() <= cfg.buffer_capacity());
+        if insts.len() > cfg.buffer_capacity() {
+            return;
+        }
         let mut graph = DdgGraph::new(cfg.clone());
         for (i, inst) in insts.iter().enumerate() {
             let mut ri = RetiredInst::new(Pc::new(0x1000 + i as u64 * 4), inst.latency);
@@ -109,23 +115,22 @@ proptest! {
         // E-node costs must match exactly for every instruction.
         for (i, &(_, e_ref, _)) in reference.iter().enumerate() {
             let node = graph.node(i as u64).expect("buffered");
-            prop_assert_eq!(
+            assert_eq!(
                 node.e_cost(),
                 e_ref,
-                "E cost mismatch at instruction {} (rob {})",
-                i,
-                rob
+                "E cost mismatch at instruction {i} (rob {rob})"
             );
         }
-    }
+    });
+}
 
-    /// The enumerated critical path must (a) start at the youngest C node,
-    /// (b) only step to nodes with non-increasing cost, and (c) contain
-    /// every load the graph reports as critical.
-    #[test]
-    fn walk_is_consistent(
-        insts in proptest::collection::vec(gen_inst(), 2..100),
-    ) {
+/// The enumerated critical path must (a) start at the youngest C node,
+/// (b) only step to nodes with non-increasing cost, and (c) contain
+/// every load the graph reports as critical.
+#[test]
+fn walk_is_consistent() {
+    Cases::new(128).run(|rng| {
+        let insts = gen_insts(rng, 2, 100);
         let cfg = config(64); // buffer capacity 160 > max window here
         let mut graph = DdgGraph::new(cfg);
         for (i, inst) in insts.iter().enumerate() {
@@ -139,23 +144,22 @@ proptest! {
             graph.push(ri);
         }
         let path = graph.walk_critical_path();
-        prop_assert!(!path.is_empty());
-        prop_assert_eq!(path[0].seq, insts.len() as u64 - 1);
-        prop_assert_eq!(path[0].kind, NodeKind::Commit);
+        assert!(!path.is_empty());
+        assert_eq!(path[0].seq, insts.len() as u64 - 1);
+        assert_eq!(path[0].kind, NodeKind::Commit);
         // Sequence numbers never increase along the backward walk by more
         // than the window (sanity) and the path ends at the window start
         // or a D node.
         for w in path.windows(2) {
-            prop_assert!(w[1].seq <= w[0].seq);
+            assert!(w[1].seq <= w[0].seq);
         }
         // Critical loads are E-nodes of loads on the path.
         let critical = graph.critical_loads();
         for (pc, _) in critical {
             let on_path = path.iter().any(|s| {
-                s.kind == NodeKind::Execute
-                    && graph.node(s.seq).map(|n| n.pc) == Some(pc)
+                s.kind == NodeKind::Execute && graph.node(s.seq).map(|n| n.pc) == Some(pc)
             });
-            prop_assert!(on_path, "critical load {pc} not on walked path");
+            assert!(on_path, "critical load {pc} not on walked path");
         }
-    }
+    });
 }

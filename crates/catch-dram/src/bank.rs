@@ -107,7 +107,7 @@ mod tests {
     fn conflict_pays_precharge_activate_cas_and_respects_tras() {
         let mut b = Bank::new();
         acc(&mut b, 3, 0); // activate at 0
-        // Conflict long after tRAS satisfied:
+                           // Conflict long after tRAS satisfied:
         let (ready, out) = acc(&mut b, 7, 1000);
         assert_eq!(out, RowOutcome::Conflict);
         assert_eq!(ready, 1000 + RP + RCD + CAS);

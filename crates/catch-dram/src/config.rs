@@ -1,13 +1,11 @@
 //! DRAM configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry and timing of the memory system.
 ///
 /// Timing fields are in *DRAM command-clock* cycles; [`DramConfig::scale`]
 /// converts to core cycles (3.2 GHz core vs. 1200 MHz DDR4-2400 command
 /// clock ⇒ ratio ≈ 2.67).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DramConfig {
     /// Independent channels.
     pub channels: usize,

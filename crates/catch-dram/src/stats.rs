@@ -1,10 +1,9 @@
 //! Memory-system statistics.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Counters for the DRAM system.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct DramStats {
     /// Read accesses.
     pub reads: u64,
@@ -20,6 +19,19 @@ pub struct DramStats {
     pub total_read_latency: u64,
     /// Write batches drained.
     pub write_batches: u64,
+}
+
+impl catch_trace::counters::Counters for DramStats {
+    fn counters_into(&self, prefix: &str, out: &mut catch_trace::counters::CounterVec) {
+        use catch_trace::counters::push_counter;
+        push_counter(out, prefix, "reads", self.reads);
+        push_counter(out, prefix, "writes", self.writes);
+        push_counter(out, prefix, "row_hits", self.row_hits);
+        push_counter(out, prefix, "row_empties", self.row_empties);
+        push_counter(out, prefix, "row_conflicts", self.row_conflicts);
+        push_counter(out, prefix, "total_read_latency", self.total_read_latency);
+        push_counter(out, prefix, "write_batches", self.write_batches);
+    }
 }
 
 impl DramStats {

@@ -85,9 +85,8 @@ impl DramSystem {
 
     fn service(&mut self, line: LineAddr, cycle: u64) -> u64 {
         let (channel, bank, row) = self.map(line);
-        let (ready, outcome) = self.banks[bank].access(
-            row, cycle, self.t_cas, self.t_rcd, self.t_rp, self.t_ras,
-        );
+        let (ready, outcome) =
+            self.banks[bank].access(row, cycle, self.t_cas, self.t_rcd, self.t_rp, self.t_ras);
         self.record_outcome(outcome);
         // Data burst needs the channel bus.
         let burst_start = ready.max(self.bus_free[channel]);
@@ -205,7 +204,10 @@ mod tests {
             d2.write(LineAddr::new(2 * i), 0);
         }
         let delayed = d2.read(LineAddr::new(0), 0);
-        assert!(delayed > base, "drain should delay reads: {delayed} vs {base}");
+        assert!(
+            delayed > base,
+            "drain should delay reads: {delayed} vs {base}"
+        );
     }
 
     #[test]
@@ -223,7 +225,7 @@ mod tests {
         // Two reads to the same channel, different banks, same instant.
         let a = d.read(LineAddr::new(0), 0); // bank 0, channel 0
         let b = d.read(LineAddr::new(2), 0); // bank 1, channel 0
-        // Bank access can overlap but the data bursts can't.
+                                             // Bank access can overlap but the data bursts can't.
         assert!(b >= a || (a as i64 - b as i64).unsigned_abs() >= d.t_burst);
     }
 

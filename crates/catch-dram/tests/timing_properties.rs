@@ -1,45 +1,59 @@
 //! Property tests over the DDR4 timing model.
+//!
+//! Properties run on the in-repo deterministic case driver
+//! ([`catch_trace::rng::Cases`]); a failing case prints the seed that
+//! reproduces it.
 
 use catch_cache::MemoryBackend;
 use catch_dram::{DramConfig, DramSystem};
+use catch_trace::rng::{Cases, SplitMix64};
 use catch_trace::LineAddr;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn gen_lines(rng: &mut SplitMix64, max_line: u64, max_len: usize) -> Vec<u64> {
+    let n = rng.gen_range(1usize..max_len);
+    (0..n).map(|_| rng.gen_range(0u64..max_line)).collect()
+}
 
-    /// Read latency is bounded below by CAS + burst and above by the
-    /// worst-case tRAS + tRP + tRCD + tCAS + burst plus accumulated queue
-    /// delay that cannot exceed the requests in front of it.
-    #[test]
-    fn read_latency_bounds(
-        lines in proptest::collection::vec(0u64..4096, 1..200),
-    ) {
+fn gen_ops(rng: &mut SplitMix64, max_line: u64, max_len: usize) -> Vec<(u64, bool)> {
+    let n = rng.gen_range(1usize..max_len);
+    (0..n)
+        .map(|_| (rng.gen_range(0u64..max_line), rng.gen_bool(0.5)))
+        .collect()
+}
+
+/// Read latency is bounded below by CAS + burst and above by the
+/// worst-case tRAS + tRP + tRCD + tCAS + burst plus accumulated queue
+/// delay that cannot exceed the requests in front of it.
+#[test]
+fn read_latency_bounds() {
+    Cases::new(96).run(|rng| {
+        let lines = gen_lines(rng, 4096, 200);
         let config = DramConfig::ddr4_2400();
         let cas = config.scale(config.t_cas);
         let burst = config.scale(config.t_burst);
-        let worst_single = config.scale(config.t_ras + config.t_rp + config.t_rcd + config.t_cas)
-            + burst;
+        let worst_single =
+            config.scale(config.t_ras + config.t_rp + config.t_rcd + config.t_cas) + burst;
         let mut dram = DramSystem::new(config);
         let mut outstanding_bound = worst_single;
         for (cycle, &l) in lines.iter().enumerate() {
             let latency = dram.read(LineAddr::new(l), cycle as u64);
-            prop_assert!(latency >= cas + burst, "latency {latency} below CAS+burst");
-            prop_assert!(
+            assert!(latency >= cas + burst, "latency {latency} below CAS+burst");
+            assert!(
                 latency <= outstanding_bound,
                 "latency {latency} above accumulated bound {outstanding_bound}"
             );
             // Closely-spaced requests can queue behind each other.
             outstanding_bound += worst_single;
         }
-    }
+    });
+}
 
-    /// With large gaps between requests, every access is independent and
-    /// bounded by a single worst-case access.
-    #[test]
-    fn spaced_reads_are_independent(
-        lines in proptest::collection::vec(0u64..65536, 1..100),
-    ) {
+/// With large gaps between requests, every access is independent and
+/// bounded by a single worst-case access.
+#[test]
+fn spaced_reads_are_independent() {
+    Cases::new(96).run(|rng| {
+        let lines = gen_lines(rng, 65536, 100);
         let config = DramConfig::ddr4_2400();
         let worst = config.scale(config.t_ras + config.t_rp + config.t_rcd + config.t_cas)
             + config.scale(config.t_burst);
@@ -47,17 +61,18 @@ proptest! {
         let mut cycle = 0u64;
         for &l in &lines {
             let latency = dram.read(LineAddr::new(l), cycle);
-            prop_assert!(latency <= worst, "spaced read {latency} > worst {worst}");
+            assert!(latency <= worst, "spaced read {latency} > worst {worst}");
             cycle += 10_000;
         }
-    }
+    });
+}
 
-    /// Row-buffer accounting: hits + empties + conflicts equals services
-    /// performed (reads plus drained writes).
-    #[test]
-    fn row_outcome_accounting(
-        ops in proptest::collection::vec((0u64..2048, any::<bool>()), 1..300),
-    ) {
+/// Row-buffer accounting: hits + empties + conflicts equals services
+/// performed (reads plus drained writes).
+#[test]
+fn row_outcome_accounting() {
+    Cases::new(96).run(|rng| {
+        let ops = gen_ops(rng, 2048, 300);
         let mut dram = DramSystem::new(DramConfig::ddr4_2400());
         let mut cycle = 0u64;
         for &(l, write) in &ops {
@@ -68,16 +83,17 @@ proptest! {
         let serviced = s.row_hits + s.row_empties + s.row_conflicts;
         // Reads are serviced immediately; writes only when their batch
         // drains (16 per channel, 2 channels -> up to 31 may be pending).
-        prop_assert!(serviced >= s.reads);
-        prop_assert!(serviced <= s.reads + s.writes);
-        prop_assert!(s.writes + s.reads == ops.len() as u64);
-    }
+        assert!(serviced >= s.reads);
+        assert!(serviced <= s.reads + s.writes);
+        assert!(s.writes + s.reads == ops.len() as u64);
+    });
+}
 
-    /// Determinism: identical request sequences produce identical stats.
-    #[test]
-    fn model_is_deterministic(
-        ops in proptest::collection::vec((0u64..512, any::<bool>()), 1..150),
-    ) {
+/// Determinism: identical request sequences produce identical stats.
+#[test]
+fn model_is_deterministic() {
+    Cases::new(96).run(|rng| {
+        let ops = gen_ops(rng, 512, 150);
         let run = || {
             let mut dram = DramSystem::new(DramConfig::ddr4_2400());
             let mut cycle = 0u64;
@@ -88,8 +104,8 @@ proptest! {
             }
             (total, *dram.stats())
         };
-        prop_assert_eq!(run(), run());
-    }
+        assert_eq!(run(), run());
+    });
 }
 
 /// Deterministic unit check: sequential same-row reads settle into pure

@@ -23,11 +23,11 @@
 #![warn(missing_docs)]
 
 mod image;
-mod stride;
 mod stream;
+mod stride;
 pub mod tact;
 
 pub use image::MemoryImage;
-pub use stride::{StridePrefetcher, StrideStats};
 pub use stream::{StreamPrefetcher, StreamStats};
+pub use stride::{StridePrefetcher, StrideStats};
 pub use tact::{CodeRunahead, TactConfig, TactPrefetcher, TactStats};

@@ -2,7 +2,6 @@
 //! Dahlgren & Stenström style), prefetching into the mid-level cache.
 
 use catch_trace::{Addr, LineAddr, PageAddr};
-use serde::{Deserialize, Serialize};
 
 #[derive(Copy, Clone, Debug)]
 struct Stream {
@@ -14,7 +13,7 @@ struct Stream {
 }
 
 /// Counters for the stream prefetcher.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct StreamStats {
     /// Miss observations used for training.
     pub trains: u64,
@@ -47,7 +46,10 @@ impl StreamPrefetcher {
     ///
     /// Panics if `streams` or `degree` is zero.
     pub fn new(streams: usize, degree: usize, distance: usize) -> Self {
-        assert!(streams > 0 && degree > 0, "stream prefetcher needs capacity");
+        assert!(
+            streams > 0 && degree > 0,
+            "stream prefetcher needs capacity"
+        );
         StreamPrefetcher {
             streams: vec![None; streams],
             degree,
@@ -70,12 +72,7 @@ impl StreamPrefetcher {
         let line = addr.line();
 
         // Find the stream for this page.
-        if let Some(stream) = self
-            .streams
-            .iter_mut()
-            .flatten()
-            .find(|s| s.page == page)
-        {
+        if let Some(stream) = self.streams.iter_mut().flatten().find(|s| s.page == page) {
             stream.last_use = self.tick;
             let delta = line.get() as i64 - stream.last_line.get() as i64;
             if delta == 0 {

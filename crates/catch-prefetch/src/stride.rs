@@ -1,7 +1,6 @@
 //! Baseline PC-indexed stride prefetcher (Fu et al., MICRO'92 style).
 
 use catch_trace::{Addr, LineAddr, Pc};
-use serde::{Deserialize, Serialize};
 
 #[derive(Copy, Clone, Debug)]
 struct StrideEntry {
@@ -12,7 +11,7 @@ struct StrideEntry {
 }
 
 /// Counters for the stride prefetcher.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct StrideStats {
     /// Load observations.
     pub trains: u64,

@@ -12,10 +12,8 @@
 //! * Cross PC candidates — 32 × 2 B = 64 B
 //! * Code next-prefetch instruction pointer — 8 B
 
-use serde::{Deserialize, Serialize};
-
 /// Byte budget of each TACT structure (Figure 9).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct TactArea {
     /// Critical Target PC table (32 entries with per-component state).
     pub target_table_bytes: u64,

@@ -1,10 +1,9 @@
 //! TACT code runahead prefetching (paper Section IV-B2).
 
 use catch_trace::LineAddr;
-use serde::{Deserialize, Serialize};
 
 /// Counters for the code runahead prefetcher.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct CodeRunaheadStats {
     /// Stall events during which the runahead was activated.
     pub activations: u64,

@@ -34,11 +34,10 @@ pub use trigger_cache::TriggerCache;
 
 use crate::image::MemoryImage;
 use catch_trace::{Addr, MicroOp, OpClass, Pc};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Configuration of the TACT data prefetchers.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TactConfig {
     /// Critical target PCs tracked (paper: 32).
     pub max_targets: usize,
@@ -95,7 +94,7 @@ impl Default for TactConfig {
 }
 
 /// Counters for the TACT data prefetchers.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct TactStats {
     /// Critical targets allocated.
     pub targets_allocated: u64,
@@ -109,6 +108,18 @@ pub struct TactStats {
     pub cross_learned: u64,
     /// Feeder (trigger, scale, base) associations learned.
     pub feeder_learned: u64,
+}
+
+impl catch_trace::counters::Counters for TactStats {
+    fn counters_into(&self, prefix: &str, out: &mut catch_trace::counters::CounterVec) {
+        use catch_trace::counters::push_counter;
+        push_counter(out, prefix, "targets_allocated", self.targets_allocated);
+        push_counter(out, prefix, "deep_issued", self.deep_issued);
+        push_counter(out, prefix, "cross_issued", self.cross_issued);
+        push_counter(out, prefix, "feeder_issued", self.feeder_issued);
+        push_counter(out, prefix, "cross_learned", self.cross_learned);
+        push_counter(out, prefix, "feeder_learned", self.feeder_learned);
+    }
 }
 
 /// The TACT data-prefetch engine.
@@ -212,9 +223,7 @@ impl TactPrefetcher {
 
         // 1. Every load is a potential future cross trigger.
         self.trigger_cache.observe(addr.page(), pc);
-        if let std::collections::hash_map::Entry::Occupied(mut e) =
-            self.candidate_addrs.entry(pc)
-        {
+        if let std::collections::hash_map::Entry::Occupied(mut e) = self.candidate_addrs.entry(pc) {
             *e.get_mut() = addr;
         }
 
@@ -248,12 +257,7 @@ impl TactPrefetcher {
     }
 
     /// Training and Deep-Self emission for a critical target instance.
-    fn train_target(
-        &mut self,
-        op: &MicroOp,
-        addr: Addr,
-        feeder: Option<(Pc, u64)>,
-    ) -> Vec<Addr> {
+    fn train_target(&mut self, op: &MicroOp, addr: Addr, feeder: Option<(Pc, u64)>) -> Vec<Addr> {
         let pc = op.pc;
         let mut out = Vec::new();
 
@@ -357,21 +361,14 @@ impl TactPrefetcher {
     }
 
     /// Emits target prefetches when a confirmed feeder executes.
-    fn feeder_fire(
-        &mut self,
-        pc: Pc,
-        addr: Addr,
-        value: u64,
-        image: &MemoryImage,
-    ) -> Vec<Addr> {
+    fn feeder_fire(&mut self, pc: Pc, addr: Addr, value: u64, image: &MemoryImage) -> Vec<Addr> {
         let Some((self_stride, dependents)) = self.feeders.get_mut(&pc) else {
             return Vec::new();
         };
         // Train the feeder's own stride and predict future feeder
         // addresses (the paper prefetches the feeder up to distance 4 and
         // chains the returned data into target prefetches).
-        let feeder_future =
-            self_stride.train_and_predict_all(addr, self.config.feeder_distance);
+        let feeder_future = self_stride.train_and_predict_all(addr, self.config.feeder_distance);
         let dependents = dependents.clone();
 
         let mut out = Vec::new();
@@ -384,9 +381,7 @@ impl TactPrefetcher {
             };
             // Distance 0: the data just loaded points at the next target.
             out.push(Addr::new(
-                (scale as u64)
-                    .wrapping_mul(value)
-                    .wrapping_add(base as u64),
+                (scale as u64).wrapping_mul(value).wrapping_add(base as u64),
             ));
             // Deeper: chase future feeder instances through the image.
             for &fa in &feeder_future {

@@ -99,7 +99,13 @@ mod tests {
     #[test]
     fn youngest_feeder_for_dependent_load() {
         let mut f = FeederRegFile::new();
-        f.observe(&MicroOp::load(Pc::new(0x10), r(1), Addr::new(8), 0xBEEF, &[]));
+        f.observe(&MicroOp::load(
+            Pc::new(0x10),
+            r(1),
+            Addr::new(8),
+            0xBEEF,
+            &[],
+        ));
         let target = MicroOp::load(Pc::new(0x20), r(2), Addr::new(0xBEEF), 0, &[r(1)]);
         assert_eq!(f.youngest_feeder(&target), Some((Pc::new(0x10), 0xBEEF)));
     }

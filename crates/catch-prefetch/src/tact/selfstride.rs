@@ -119,7 +119,9 @@ impl SelfStride {
         let Some(stride) = self.stride() else {
             return Vec::new();
         };
-        (1..=distance as i64).map(|d| addr.offset(stride * d)).collect()
+        (1..=distance as i64)
+            .map(|d| addr.offset(stride * d))
+            .collect()
     }
 }
 
@@ -177,7 +179,11 @@ mod tests {
                 s.train(Addr::new(block * 100_000 + i * 64));
             }
         }
-        assert!(s.safe_len() <= 6, "safe length {} adapts down", s.safe_len());
+        assert!(
+            s.safe_len() <= 6,
+            "safe length {} adapts down",
+            s.safe_len()
+        );
     }
 
     #[test]

@@ -114,9 +114,7 @@ impl FeederState {
     /// confidence saturates.
     pub fn train_relation(&mut self, addr: catch_trace::Addr, value: u64) -> Option<(u8, i64)> {
         let scale = SCALES[self.scale_idx];
-        let base = addr
-            .get()
-            .wrapping_sub((scale as u64).wrapping_mul(value)) as i64;
+        let base = addr.get().wrapping_sub((scale as u64).wrapping_mul(value)) as i64;
         if base == self.base && self.base_conf > 0 {
             self.base_conf = (self.base_conf + 1).min(3);
         } else if self.base_conf > 0 {
@@ -222,10 +220,13 @@ impl TargetTable {
     pub fn get_mut(&mut self, pc: Pc) -> Option<&mut TargetEntry> {
         self.tick += 1;
         let tick = self.tick;
-        self.entries.iter_mut().find(|(p, _)| *p == pc).map(|(_, e)| {
-            e.last_use = tick;
-            e
-        })
+        self.entries
+            .iter_mut()
+            .find(|(p, _)| *p == pc)
+            .map(|(_, e)| {
+                e.last_use = tick;
+                e
+            })
     }
 
     /// All tracked PCs.

@@ -1,24 +1,25 @@
 //! Learning properties of the TACT prefetchers on synthetic access
 //! patterns.
+//!
+//! Properties run on the in-repo deterministic case driver
+//! ([`catch_trace::rng::Cases`]); a failing case prints the seed that
+//! reproduces it.
 
 use catch_prefetch::{MemoryImage, StridePrefetcher, TactConfig, TactPrefetcher};
+use catch_trace::rng::Cases;
 use catch_trace::{Addr, ArchReg, MicroOp, Pc};
-use proptest::prelude::*;
 
 fn load(pc: u64, addr: u64, value: u64) -> MicroOp {
     MicroOp::load(Pc::new(pc), ArchReg::new(1), Addr::new(addr), value, &[])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The stride prefetcher learns any non-zero line-crossing stride and
-    /// predicts exactly `addr + stride`.
-    #[test]
-    fn stride_learns_any_constant_stride(
-        base in 0u64..1 << 30,
-        stride in 64i64..4096,
-    ) {
+/// The stride prefetcher learns any non-zero line-crossing stride and
+/// predicts exactly `addr + stride`.
+#[test]
+fn stride_learns_any_constant_stride() {
+    Cases::new(64).run(|rng| {
+        let base = rng.gen_range(0u64..1 << 30);
+        let stride = rng.gen_range(64i64..4096);
         let mut p = StridePrefetcher::new(64);
         let pc = Pc::new(0x40);
         let mut predicted = None;
@@ -27,19 +28,20 @@ proptest! {
             last = (base as i64 + stride * i as i64) as u64;
             predicted = p.on_load(pc, Addr::new(last));
         }
-        prop_assert_eq!(
+        assert_eq!(
             predicted,
             Some(Addr::new((last as i64 + stride) as u64).line())
         );
-    }
+    });
+}
 
-    /// Deep-Self on a critical PC always prefetches along the stride
-    /// direction and never beyond 16 elements.
-    #[test]
-    fn deep_self_stays_within_distance(
-        stride in prop_oneof![Just(64i64), Just(128), Just(-64), Just(256)],
-        reps in 20usize..60,
-    ) {
+/// Deep-Self on a critical PC always prefetches along the stride
+/// direction and never beyond 16 elements.
+#[test]
+fn deep_self_stays_within_distance() {
+    Cases::new(64).run(|rng| {
+        let stride = [64i64, 128, -64, 256][rng.gen_range(0usize..4)];
+        let reps = rng.gen_range(20usize..60);
         let mut tact = TactPrefetcher::new(TactConfig::paper());
         let image = MemoryImage::new();
         let pc = 0x100u64;
@@ -50,22 +52,25 @@ proptest! {
             let out = tact.on_load(&load(pc, addr, 0), None, &image);
             for a in out {
                 let delta = a.get() as i64 - addr as i64;
-                prop_assert!(
+                assert!(
                     delta.signum() == stride.signum(),
                     "prefetch against stride direction: {delta}"
                 );
-                prop_assert!(
+                assert!(
                     delta.abs() <= stride.abs() * 16,
                     "prefetch {delta} beyond 16 elements of stride {stride}"
                 );
             }
         }
-    }
+    });
+}
 
-    /// Feeder learns pointer identity (scale 1, base 0): every emitted
-    /// prefetch address equals some pointer value the feeder loaded.
-    #[test]
-    fn feeder_prefetches_only_loaded_pointers(count in 20u64..80) {
+/// Feeder learns pointer identity (scale 1, base 0): every emitted
+/// prefetch address equals some pointer value the feeder loaded.
+#[test]
+fn feeder_prefetches_only_loaded_pointers() {
+    Cases::new(64).run(|rng| {
+        let count = rng.gen_range(20u64..80);
         let mut tact = TactPrefetcher::new(TactConfig::paper());
         let mut image = MemoryImage::new();
         // Feeder array: slot i at F + 8i holds pointer P_i.
@@ -100,16 +105,18 @@ proptest! {
         let feeder_region = feeder_base..feeder_base + (count + 16) * 8 + 1;
         for a in emitted {
             let ok = target_region.contains(&a.get()) || feeder_region.contains(&a.get());
-            prop_assert!(ok, "prefetch to unknown address {a}");
+            assert!(ok, "prefetch to unknown address {a}");
         }
-    }
+    });
+}
 
-    /// The prefetch-count cap holds for any input stream.
-    #[test]
-    fn per_event_cap_holds(
-        addrs in proptest::collection::vec(0u64..1 << 16, 1..200),
-        cap in 1usize..6,
-    ) {
+/// The prefetch-count cap holds for any input stream.
+#[test]
+fn per_event_cap_holds() {
+    Cases::new(64).run(|rng| {
+        let n = rng.gen_range(1usize..200);
+        let addrs: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..1 << 16)).collect();
+        let cap = rng.gen_range(1usize..6);
         let config = TactConfig {
             max_prefetches_per_event: cap,
             ..TactConfig::paper()
@@ -119,7 +126,7 @@ proptest! {
         tact.note_critical(Pc::new(0x100));
         for &a in &addrs {
             let out = tact.on_load(&load(0x100, a * 64, 0), None, &image);
-            prop_assert!(out.len() <= cap);
+            assert!(out.len() <= cap);
         }
-    }
+    });
 }

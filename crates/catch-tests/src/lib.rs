@@ -1,0 +1,22 @@
+//! Workspace-level test suites for the CATCH simulator.
+//!
+//! This crate carries no library code of its own: it exists so the
+//! integration, end-to-end, property and golden-stats regression suites
+//! under `tests/` build against the *public* API of the workspace crates,
+//! exactly as an external user would drive them.
+//!
+//! Suites:
+//!
+//! * `integration` — cross-crate smoke tests of the `catch-core` facade.
+//! * `end_to_end_catch` — full CATCH-vs-baseline experiment runs.
+//! * `oracle_semantics` — criticality-oracle semantics against the
+//!   detector.
+//! * `properties` — randomized invariants on the deterministic in-repo
+//!   case driver.
+//! * `golden_stats` — byte-exact per-counter regression snapshot of a
+//!   six-workload suite slice.
+//! * `harness_parity` — the parallel suite runner must reproduce the
+//!   serial runner's counters bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

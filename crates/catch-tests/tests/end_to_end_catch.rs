@@ -21,10 +21,17 @@ fn eval() -> EvalConfig {
 /// paper's effects are steady-state properties.
 fn slice_runs(config: &SystemConfig, ops: usize) -> Vec<catch_core::RunResult> {
     let system = System::new(config.clone());
-    ["xalanc_like", "astar_like", "bio_like", "sysmark_like", "tpcc_like", "excel_like"]
-        .iter()
-        .map(|n| system.run_st_warm(suite::by_name(n).unwrap().generate(ops, 42), ops / 3))
-        .collect()
+    [
+        "xalanc_like",
+        "astar_like",
+        "bio_like",
+        "sysmark_like",
+        "tpcc_like",
+        "excel_like",
+    ]
+    .iter()
+    .map(|n| system.run_st_warm(suite::by_name(n).unwrap().generate(ops, 42), ops / 3))
+    .collect()
 }
 
 #[test]

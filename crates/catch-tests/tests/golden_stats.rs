@@ -1,0 +1,92 @@
+//! Golden-stats regression test: a fixed six-workload slice of the
+//! suite, simulated at a pinned scale and seed, must reproduce the
+//! committed per-counter JSON snapshot *byte for byte*.
+//!
+//! Every counter of every stats block flows through [`Counters`] into
+//! the snapshot, so any behavioural change to the core, hierarchy,
+//! criticality or prefetch models — intended or not — shows up as a
+//! diff here. To re-bless after an intended change:
+//!
+//! ```sh
+//! CATCH_BLESS=1 cargo test -p catch-tests --test golden_stats
+//! git diff crates/catch-tests/tests/golden/suite_slice.json
+//! ```
+
+use catch_core::report::json::run_results_to_json;
+use catch_core::{RunResult, System, SystemConfig};
+use catch_workloads::suite;
+
+/// Pinned scale: large enough to exercise steady-state behaviour of
+/// every model, small enough to keep the test quick.
+const OPS: usize = 25_000;
+const WARMUP: usize = 8_000;
+const SEED: u64 = 42;
+
+/// Behaviour-diverse slice: one workload per paper category plus the
+/// two headline SPEC-like traces (same slice as the end-to-end tests).
+const SLICE: [&str; 6] = [
+    "xalanc_like",
+    "astar_like",
+    "bio_like",
+    "sysmark_like",
+    "tpcc_like",
+    "excel_like",
+];
+
+const GOLDEN_PATH: &str = "tests/golden/suite_slice.json";
+const GOLDEN: &str = include_str!("golden/suite_slice.json");
+
+fn slice_runs() -> Vec<RunResult> {
+    let system = System::new(SystemConfig::baseline_exclusive());
+    SLICE
+        .iter()
+        .map(|n| {
+            let trace = suite::by_name(n)
+                .expect("known workload")
+                .generate(OPS, SEED);
+            system.run_st_warm(trace, WARMUP)
+        })
+        .collect()
+}
+
+#[test]
+fn suite_slice_matches_golden_snapshot() {
+    let actual = run_results_to_json(&slice_runs());
+    if std::env::var_os("CATCH_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &actual).expect("write golden snapshot");
+        eprintln!("blessed {GOLDEN_PATH} ({} bytes)", actual.len());
+        return;
+    }
+    if actual != GOLDEN {
+        // Locate the first diverging line for a readable failure.
+        let mismatch = actual
+            .lines()
+            .zip(GOLDEN.lines())
+            .enumerate()
+            .find(|(_, (a, g))| a != g);
+        if let Some((i, (a, g))) = mismatch {
+            panic!(
+                "golden-stats mismatch at line {}:\n  actual: {a}\n  golden: {g}\n\
+                 re-bless with CATCH_BLESS=1 if the change is intended",
+                i + 1
+            );
+        }
+        panic!(
+            "golden-stats mismatch: lengths differ (actual {} bytes, golden {} bytes); \
+             re-bless with CATCH_BLESS=1 if the change is intended",
+            actual.len(),
+            GOLDEN.len()
+        );
+    }
+}
+
+#[test]
+fn golden_snapshot_covers_every_slice_workload() {
+    // Guards against a stale snapshot silently shrinking coverage.
+    for name in SLICE {
+        assert!(
+            GOLDEN.contains(&format!("\"workload\": \"{name}\"")),
+            "snapshot is missing workload {name}"
+        );
+    }
+}

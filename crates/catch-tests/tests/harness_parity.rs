@@ -1,0 +1,57 @@
+//! Parallel/serial parity: `run_suite_parallel` must produce results
+//! bit-identical to a serial run for every worker count — parallelism
+//! only changes wall-clock time, never the science.
+
+use catch_core::experiments::{run_suite_parallel, EvalConfig};
+use catch_core::report::json::run_results_to_json;
+use catch_core::SystemConfig;
+use catch_trace::counters::Counters;
+
+fn eval() -> EvalConfig {
+    EvalConfig {
+        ops: 4_000,
+        warmup: 1_000,
+        seed: 42,
+    }
+}
+
+#[test]
+fn parallel_suite_is_bit_identical_to_serial() {
+    let config = SystemConfig::baseline_exclusive();
+    let eval = eval();
+    let serial = run_suite_parallel(&config, &eval, Some(1));
+    let parallel = run_suite_parallel(&config, &eval, Some(4));
+
+    assert_eq!(serial.len(), parallel.len(), "suite length differs");
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.workload, p.workload, "workload order differs");
+        assert_eq!(s.config, p.config);
+        assert_eq!(
+            s.counters(""),
+            p.counters(""),
+            "counters diverge for workload {}",
+            s.workload
+        );
+    }
+    // The strongest form: the rendered JSON reports are byte-identical.
+    assert_eq!(
+        run_results_to_json(&serial),
+        run_results_to_json(&parallel),
+        "serial and parallel JSON reports differ"
+    );
+}
+
+#[test]
+fn oversubscribed_workers_are_still_identical() {
+    // More workers than jobs: excess workers find the queue drained and
+    // exit; the index-ordered reduction keeps the output stable.
+    let config = SystemConfig::baseline_exclusive();
+    let eval = eval();
+    let serial = run_suite_parallel(&config, &eval, Some(1));
+    let flooded = run_suite_parallel(&config, &eval, Some(64));
+    assert_eq!(
+        run_results_to_json(&serial),
+        run_results_to_json(&flooded),
+        "oversubscribed run diverged from serial"
+    );
+}

@@ -112,8 +112,8 @@ fn prefetch_all_upper_bounds_critical_prefetch() {
     let trace = spec.generate(40_000, 42);
     let critical = System::new(config_base().with_oracle(LoadOracle::CriticalPrefetch))
         .run_st_warm(trace.clone(), 12_000);
-    let all = System::new(config_base().with_oracle(LoadOracle::PrefetchAll))
-        .run_st_warm(trace, 12_000);
+    let all =
+        System::new(config_base().with_oracle(LoadOracle::PrefetchAll)).run_st_warm(trace, 12_000);
     // "All PCs" converts a superset of loads.
     assert!(all.core.memory.oracle_converted >= critical.core.memory.oracle_converted);
 }

@@ -1,50 +1,58 @@
 //! Property-based tests over the simulator's core invariants.
+//!
+//! Properties run on the in-repo deterministic case driver
+//! ([`catch_trace::rng::Cases`]); a failing case prints the seed that
+//! reproduces it.
 
 use catch_cache::{
     AccessKind, CacheArray, CacheConfig, CacheHierarchy, FixedLatencyBackend, HierarchyConfig,
     Level,
 };
+use catch_trace::rng::Cases;
 use catch_trace::{Addr, ArchReg, LineAddr, TraceBuilder};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// A cache never holds more lines than its capacity, and a line just
-    /// filled is always present.
-    #[test]
-    fn cache_array_capacity_and_presence(
-        lines in proptest::collection::vec(0u64..256, 1..200),
-    ) {
+/// A cache never holds more lines than its capacity, and a line just
+/// filled is always present.
+#[test]
+fn cache_array_capacity_and_presence() {
+    Cases::new(64).run(|rng| {
+        let n = rng.gen_range(1usize..200);
+        let lines: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..256)).collect();
         let config = CacheConfig::new("t", 16 * 64, 4, 1).expect("valid");
         let mut cache = CacheArray::new(&config);
         for &l in &lines {
             let line = LineAddr::new(l);
             cache.fill(line, false, false);
-            prop_assert!(cache.probe(line));
-            prop_assert!(cache.occupancy() <= 16);
+            assert!(cache.probe(line));
+            assert!(cache.occupancy() <= 16);
         }
-    }
+    });
+}
 
-    /// Invalidate after fill always finds the line; double-invalidate
-    /// finds nothing.
-    #[test]
-    fn cache_array_invalidate_roundtrip(l in 0u64..10_000, dirty: bool) {
+/// Invalidate after fill always finds the line; double-invalidate
+/// finds nothing.
+#[test]
+fn cache_array_invalidate_roundtrip() {
+    Cases::new(64).run(|rng| {
+        let l = rng.gen_range(0u64..10_000);
+        let dirty = rng.gen_bool(0.5);
         let config = CacheConfig::new("t", 64 * 64, 8, 1).expect("valid");
         let mut cache = CacheArray::new(&config);
         let line = LineAddr::new(l);
         cache.fill(line, dirty, false);
-        prop_assert_eq!(cache.invalidate(line), Some(dirty));
-        prop_assert_eq!(cache.invalidate(line), None);
-    }
+        assert_eq!(cache.invalidate(line), Some(dirty));
+        assert_eq!(cache.invalidate(line), None);
+    });
+}
 
-    /// Demand access latency equals the level's latency for resident
-    /// lines, and repeated accesses are monotonically non-increasing in
-    /// level (a touched line never moves outward).
-    #[test]
-    fn hierarchy_access_levels_monotone(
-        addrs in proptest::collection::vec(0u64..2048, 1..100),
-    ) {
+/// Demand access latency equals the level's latency for resident
+/// lines, and repeated accesses are monotonically non-increasing in
+/// level (a touched line never moves outward).
+#[test]
+fn hierarchy_access_levels_monotone() {
+    Cases::new(64).run(|rng| {
+        let n = rng.gen_range(1usize..100);
+        let addrs: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..2048)).collect();
         let mut hier = CacheHierarchy::new(
             &HierarchyConfig::skylake_server(1),
             Box::new(FixedLatencyBackend::new(200)),
@@ -56,19 +64,26 @@ proptest! {
             cycle = first.ready_at(cycle) + 10;
             let second = hier.access(0, AccessKind::Load, line, cycle);
             cycle += 10;
-            prop_assert_eq!(second.hit_level, Level::L1,
-                "a just-loaded line must hit the L1");
-            prop_assert!(second.latency <= first.latency);
+            assert_eq!(
+                second.hit_level,
+                Level::L1,
+                "a just-loaded line must hit the L1"
+            );
+            assert!(second.latency <= first.latency);
         }
-    }
+    });
+}
 
-    /// The same trace always produces the same cycle count (simulator
-    /// determinism over arbitrary small traces).
-    #[test]
-    fn core_is_deterministic(
-        loads in proptest::collection::vec((0u64..1u64 << 20, 0u64..64), 10..80),
-    ) {
+/// The same trace always produces the same cycle count (simulator
+/// determinism over arbitrary small traces).
+#[test]
+fn core_is_deterministic() {
+    Cases::new(64).run(|rng| {
         use catch_cpu::{Core, CoreConfig};
+        let n = rng.gen_range(10usize..80);
+        let loads: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.gen_range(0u64..1 << 20), rng.gen_range(0u64..64)))
+            .collect();
         let build = || {
             let mut b = TraceBuilder::new("prop");
             for &(addr, chain) in &loads {
@@ -87,16 +102,18 @@ proptest! {
             let mut core = Core::new(0, build(), CoreConfig::baseline());
             core.run_to_completion(&mut hier).cycles
         };
-        prop_assert_eq!(run(), run());
-    }
+        assert_eq!(run(), run());
+    });
+}
 
-    /// Retired-instruction count always equals trace length, whatever the
-    /// branch/mispredict structure.
-    #[test]
-    fn all_fetched_ops_retire(
-        branches in proptest::collection::vec(any::<bool>(), 5..60),
-    ) {
+/// Retired-instruction count always equals trace length, whatever the
+/// branch/mispredict structure.
+#[test]
+fn all_fetched_ops_retire() {
+    Cases::new(64).run(|rng| {
         use catch_cpu::{Core, CoreConfig};
+        let n = rng.gen_range(5usize..60);
+        let branches: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
         let mut b = TraceBuilder::new("prop");
         for &taken in &branches {
             b.alu(ArchReg::new(1), &[]);
@@ -111,16 +128,18 @@ proptest! {
         );
         let mut core = Core::new(0, trace, CoreConfig::baseline());
         let stats = core.run_to_completion(&mut hier);
-        prop_assert_eq!(stats.instructions, expect);
-    }
+        assert_eq!(stats.instructions, expect);
+    });
+}
 
-    /// The criticality detector's critical PCs are always drawn from the
-    /// PCs actually fed to it.
-    #[test]
-    fn detector_reports_only_seen_pcs(
-        lat in proptest::collection::vec(1u64..60, 30..200),
-    ) {
+/// The criticality detector's critical PCs are always drawn from the
+/// PCs actually fed to it.
+#[test]
+fn detector_reports_only_seen_pcs() {
+    Cases::new(64).run(|rng| {
         use catch_criticality::{CriticalityDetector, DetectorConfig, RetiredInst};
+        let n = rng.gen_range(30usize..200);
+        let lat: Vec<u64> = (0..n).map(|_| rng.gen_range(1u64..60)).collect();
         let config = DetectorConfig {
             rob_size: 8,
             ..DetectorConfig::paper()
@@ -139,7 +158,7 @@ proptest! {
             det.on_retire(inst);
         }
         for pc in det.critical_pcs() {
-            prop_assert!(seen.contains(&pc));
+            assert!(seen.contains(&pc));
         }
-    }
+    });
 }

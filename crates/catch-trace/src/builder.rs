@@ -157,7 +157,13 @@ impl TraceBuilder {
     }
 
     /// Emits a load whose address depends on `srcs` (e.g. pointer chase).
-    pub fn load_dep(&mut self, dst: ArchReg, addr: Addr, value: u64, srcs: &[ArchReg]) -> &mut Self {
+    pub fn load_dep(
+        &mut self,
+        dst: ArchReg,
+        addr: Addr,
+        value: u64,
+        srcs: &[ArchReg],
+    ) -> &mut Self {
         let op = MicroOp::load(self.pc, dst, addr, value, srcs);
         self.push(op);
         self

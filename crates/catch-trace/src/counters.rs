@@ -1,0 +1,69 @@
+//! Flat counter export for statistics structs.
+//!
+//! Every stats block in the workspace can flatten itself into ordered
+//! `(name, value)` pairs. The experiment harness uses this for three
+//! things: byte-identical parity checks between the serial and parallel
+//! suite runners, golden-stats regression snapshots, and JSON export —
+//! all without an external serialisation dependency.
+
+/// A flat, ordered list of named integer counters.
+pub type CounterVec = Vec<(String, u64)>;
+
+/// Types that can flatten their statistics into named counters.
+///
+/// Implementations must be *exhaustive* (every counter that affects
+/// results appears) and *deterministically ordered* (same fields, same
+/// order, every call) — golden snapshots diff the rendered list.
+pub trait Counters {
+    /// Appends `(prefix + name, value)` pairs for every counter.
+    fn counters_into(&self, prefix: &str, out: &mut CounterVec);
+
+    /// Collects all counters with the given prefix.
+    fn counters(&self, prefix: &str) -> CounterVec {
+        let mut out = Vec::new();
+        self.counters_into(prefix, &mut out);
+        out
+    }
+}
+
+/// Pushes one counter, joining prefix and name with `.` when needed.
+pub fn push_counter(out: &mut CounterVec, prefix: &str, name: &str, value: u64) {
+    out.push((join_prefix(prefix, name), value));
+}
+
+/// Joins a counter prefix and a sub-name with `.` (no leading dot for an
+/// empty prefix).
+pub fn join_prefix(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_string()
+    } else {
+        format!("{prefix}.{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Two {
+        a: u64,
+        b: u64,
+    }
+
+    impl Counters for Two {
+        fn counters_into(&self, prefix: &str, out: &mut CounterVec) {
+            push_counter(out, prefix, "a", self.a);
+            push_counter(out, prefix, "b", self.b);
+        }
+    }
+
+    #[test]
+    fn prefixes_join_with_dot() {
+        let t = Two { a: 1, b: 2 };
+        assert_eq!(
+            t.counters("core"),
+            vec![("core.a".to_string(), 1), ("core.b".to_string(), 2)]
+        );
+        assert_eq!(t.counters("")[0].0, "a");
+    }
+}

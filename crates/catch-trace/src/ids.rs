@@ -1,6 +1,5 @@
 //! Newtype identifiers for addresses, program counters and registers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Bytes per cache line (64 B, as in the paper's Skylake-like baseline).
@@ -18,7 +17,7 @@ pub const PAGE_BYTES: u64 = 4096;
 /// let a = Addr::new(0x1234);
 /// assert_eq!(a.line().base().get(), 0x1200 & !63);
 /// ```
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(u64);
 
 impl Addr {
@@ -67,7 +66,7 @@ impl From<u64> for Addr {
 }
 
 /// A cache-line number (byte address divided by [`LINE_BYTES`]).
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LineAddr(u64);
 
 impl LineAddr {
@@ -110,7 +109,7 @@ impl fmt::Display for LineAddr {
 }
 
 /// A 4 KB page number.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PageAddr(u64);
 
 impl PageAddr {
@@ -139,7 +138,7 @@ impl fmt::Debug for PageAddr {
 /// A program counter (instruction byte address).
 ///
 /// Code requests use [`Pc::line`] to obtain the instruction cache line.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Pc(u64);
 
 impl Pc {
@@ -196,7 +195,7 @@ impl From<u64> for Pc {
 /// workload generators conventionally use 0–15 for integer registers
 /// (mirroring x86-64, and matching the 16-entry feeder tracking table of
 /// TACT) and 16–47 for FP/vector registers.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ArchReg(u8);
 
 impl ArchReg {
@@ -209,7 +208,10 @@ impl ArchReg {
     ///
     /// Panics if `index >= ArchReg::COUNT`.
     pub const fn new(index: u8) -> Self {
-        assert!((index as usize) < Self::COUNT, "register index out of range");
+        assert!(
+            (index as usize) < Self::COUNT,
+            "register index out of range"
+        );
         ArchReg(index)
     }
 

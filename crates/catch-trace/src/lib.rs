@@ -36,15 +36,17 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod counters;
 mod ids;
 mod io;
 mod op;
+pub mod rng;
 mod stats;
 mod trace;
 
 pub use builder::{Label, TraceBuilder};
-pub use io::TraceIoError;
 pub use ids::{Addr, ArchReg, LineAddr, PageAddr, Pc, LINE_BYTES, PAGE_BYTES};
+pub use io::TraceIoError;
 pub use op::{BranchInfo, BranchKind, MemRef, MicroOp, OpClass, SrcRegs};
 pub use stats::TraceStats;
 pub use trace::{Category, Trace};

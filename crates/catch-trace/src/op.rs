@@ -1,12 +1,11 @@
 //! Micro-operation records.
 
 use crate::ids::{Addr, ArchReg, Pc};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Functional class of a micro-op; determines which execution port it uses
 /// and its base execution latency in the core model.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum OpClass {
     /// Simple integer ALU operation (1 cycle).
     Alu,
@@ -57,7 +56,7 @@ impl fmt::Display for OpClass {
 pub type SrcRegs = [Option<ArchReg>; 3];
 
 /// A memory reference attached to a load or store.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct MemRef {
     /// Byte address referenced.
     pub addr: Addr,
@@ -66,7 +65,7 @@ pub struct MemRef {
 }
 
 /// Kind of branch, affecting prediction behaviour.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum BranchKind {
     /// Conditional direct branch (predicted by the direction predictor).
     Conditional,
@@ -79,7 +78,7 @@ pub enum BranchKind {
 }
 
 /// Branch metadata attached to a [`OpClass::Branch`] micro-op.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct BranchInfo {
     /// Whether the branch is taken in the trace.
     pub taken: bool,
@@ -95,7 +94,7 @@ pub struct BranchInfo {
 /// retires. Loads carry the value they load (`load_value`) so that the
 /// TACT-Feeder prefetcher can learn data→address associations exactly as
 /// the hardware proposal would observe them.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct MicroOp {
     /// Program counter of the parent instruction.
     pub pc: Pc,

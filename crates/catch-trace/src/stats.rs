@@ -1,7 +1,6 @@
 //! Summary statistics for traces.
 
 use crate::op::{MicroOp, OpClass};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -10,7 +9,7 @@ use std::fmt;
 /// Used by the workload suite's self-tests to assert that each generator
 /// produces the memory/code behaviour its category requires (e.g. server
 /// workloads must have a large code footprint).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TraceStats {
     /// Total micro-ops.
     pub ops: usize,

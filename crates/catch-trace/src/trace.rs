@@ -2,11 +2,10 @@
 
 use crate::op::MicroOp;
 use crate::stats::TraceStats;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Workload category, mirroring Table II of the paper.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Category {
     /// Client applications (sysmark, face detection, media encode).
     Client,
@@ -53,7 +52,7 @@ impl fmt::Display for Category {
 /// Traces are produced by the generators in `catch-workloads` (or by the
 /// [`crate::TraceBuilder`] directly in tests) and consumed by the core
 /// model. The container is immutable after construction.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Trace {
     name: String,
     category: Category,

@@ -5,9 +5,8 @@
 //! several kernels inside one loop body (reusing the same PCs across
 //! iterations, as real loop code does).
 
+use catch_trace::rng::SplitMix64;
 use catch_trace::{Addr, ArchReg, Pc, TraceBuilder, LINE_BYTES};
-use rand::rngs::SmallRng;
-use rand::Rng;
 
 /// A line-aligned data region, disjoint from other regions by id.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -47,7 +46,7 @@ impl Region {
     }
 
     /// A uniformly random line address.
-    pub fn rand_line(&self, rng: &mut SmallRng) -> Addr {
+    pub fn rand_line(&self, rng: &mut SplitMix64) -> Addr {
         self.line_addr(rng.gen_range(0..self.lines))
     }
 }
@@ -67,7 +66,7 @@ impl PtrRing {
     /// # Panics
     ///
     /// Panics if `count` is zero.
-    pub fn new(region: Region, count: u64, rng: &mut SmallRng) -> Self {
+    pub fn new(region: Region, count: u64, rng: &mut SplitMix64) -> Self {
         assert!(count > 0, "ring needs at least one node");
         let count = count.min(region.lines());
         let mut addrs: Vec<u64> = (0..count).map(|i| region.line_addr(i).get()).collect();
@@ -121,7 +120,7 @@ pub struct IndexedGather {
 impl IndexedGather {
     /// Builds the gather over pre-randomised indices covering
     /// `data_region`.
-    pub fn new(idx_region: Region, data_region: Region, rng: &mut SmallRng) -> Self {
+    pub fn new(idx_region: Region, data_region: Region, rng: &mut SplitMix64) -> Self {
         let n = (idx_region.bytes() / 8).clamp(16, 1 << 16);
         Self::with_count(idx_region, data_region, n as usize, rng)
     }
@@ -134,7 +133,7 @@ impl IndexedGather {
         idx_region: Region,
         data_region: Region,
         count: usize,
-        rng: &mut SmallRng,
+        rng: &mut SplitMix64,
     ) -> Self {
         let count = count.max(16) as u64;
         let data_lines = data_region.lines();
@@ -281,7 +280,7 @@ pub fn emit_int_work(b: &mut TraceBuilder, regs: &[ArchReg], n: usize) {
 /// Emits a conditional branch taken with probability `taken_bias`
 /// (deterministic given `rng`). The branch is data-dependent on `src`.
 /// Biases near 0 or 1 are predictable; near 0.5 they mispredict often.
-pub fn emit_branch(b: &mut TraceBuilder, rng: &mut SmallRng, src: ArchReg, taken_bias: f64) {
+pub fn emit_branch(b: &mut TraceBuilder, rng: &mut SplitMix64, src: ArchReg, taken_bias: f64) {
     let taken = rng.gen_bool(taken_bias.clamp(0.0, 1.0));
     let target = b.cursor().advance(16);
     b.cond_branch(taken, target, &[src]);
@@ -301,10 +300,9 @@ pub fn code_blocks(base: Pc, count: usize, code_bytes: u64) -> Vec<Pc> {
 mod tests {
     use super::*;
     use catch_trace::OpClass;
-    use rand::SeedableRng;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(7)
+    fn rng() -> SplitMix64 {
+        SplitMix64::seed_from_u64(7)
     }
 
     #[test]

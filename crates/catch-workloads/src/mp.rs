@@ -1,9 +1,8 @@
 //! Multi-programmed (4-way) workload mixes.
 
 use crate::suite::{self, WorkloadSpec};
+use catch_trace::rng::SplitMix64;
 use catch_trace::Trace;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// A named 4-way mix of workloads.
 #[derive(Debug, Clone)]
@@ -48,11 +47,16 @@ pub fn rate4_mixes() -> Vec<MpMix> {
 /// `seed`).
 pub fn random_mixes(count: usize, seed: u64) -> Vec<MpMix> {
     let specs = suite::all();
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     (0..count)
         .map(|i| {
-            let pick = |rng: &mut SmallRng| specs[rng.gen_range(0..specs.len())];
-            let members = [pick(&mut rng), pick(&mut rng), pick(&mut rng), pick(&mut rng)];
+            let pick = |rng: &mut SplitMix64| specs[rng.gen_range(0..specs.len())];
+            let members = [
+                pick(&mut rng),
+                pick(&mut rng),
+                pick(&mut rng),
+                pick(&mut rng),
+            ];
             MpMix {
                 name: format!(
                     "mix{}_{}_{}_{}_{}",

@@ -15,12 +15,11 @@
 //! | PC-rich | `povray_like` | more critical PCs than the 32-entry table holds |
 
 use crate::kernels::{
-    code_blocks, emit_branch, emit_fp_chain, emit_int_work, emit_struct_fields,
-    IndexedGather, Locals, PtrRing, Region, Stream,
+    code_blocks, emit_branch, emit_fp_chain, emit_int_work, emit_struct_fields, IndexedGather,
+    Locals, PtrRing, Region, Stream,
 };
+use catch_trace::rng::SplitMix64;
 use catch_trace::{ArchReg, Category, Pc, Trace, TraceBuilder};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// Error returned for unknown workload names.
@@ -180,7 +179,7 @@ fn build_blocks(
     ops: usize,
     block_count: usize,
     code_bytes: u64,
-    rng: &mut SmallRng,
+    rng: &mut SplitMix64,
     mut body: impl FnMut(&mut TraceBuilder, usize),
 ) -> Trace {
     let mut b = TraceBuilder::new(name);
@@ -229,7 +228,7 @@ fn build_blocks(
 /// (LLC/memory resident). The gather result feeds a short chain and a
 /// data-dependent branch. Feeder-recoverable.
 fn gen_mcf(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x1CF);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x1CF);
     let idx = Region::new(0, 512 << 10);
     let data = Region::new(1, 8 << 20);
     // mcf's network-simplex loop is big (~dozens of instructions per arc)
@@ -256,7 +255,7 @@ fn gen_mcf(ops: usize, seed: u64) -> Trace {
 /// astar-like: serial pointer chase sized for the L2 (384 KB) with two
 /// fields per node (Cross-recoverable) and a branch on the node data.
 fn gen_astar(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xA57A);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0xA57A);
     let heap = Region::new(0, 384 << 10);
     let mut ring = PtrRing::new(heap, 768, &mut rng);
     let mut ring2 = PtrRing::new(Region::new(3, 192 << 10), 768, &mut rng);
@@ -295,7 +294,7 @@ fn ring_next(ring: &mut PtrRing) -> (catch_trace::Addr, u64) {
 /// xalancbmk-like: gather over a 768 KB DOM-like structure (L2 resident)
 /// with field walks and branches. Feeder + Cross recoverable.
 fn gen_xalanc(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xA1A);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0xA1A);
     let idx = Region::new(0, 256 << 10);
     let data = Region::new(1, 768 << 10);
     let mut gather = IndexedGather::with_count(idx, data, 6144, &mut rng);
@@ -323,12 +322,12 @@ fn gen_xalanc(ops: usize, seed: u64) -> Trace {
 /// gobmk-like: branch-heavy with a medium gather (256 KB) and moderate
 /// code footprint.
 fn gen_gobmk(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x60B);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x60B);
     let idx = Region::new(0, 128 << 10);
     let data = Region::new(1, 256 << 10);
     let mut gather = IndexedGather::with_count(idx, data, 3072, &mut rng);
     let mut locals = Locals::new(7);
-    let mut blocks_rng = SmallRng::seed_from_u64(seed ^ 0xB10C);
+    let mut blocks_rng = SplitMix64::seed_from_u64(seed ^ 0xB10C);
     build_blocks(
         "gobmk_like",
         Category::Ispec,
@@ -374,7 +373,7 @@ fn gen_lbm(ops: usize, seed: u64) -> Trace {
 /// milc-like: strided (2-line stride) loads over 2 MB feeding FP chains
 /// and a data-dependent branch. Deep-Self recoverable LLC hits.
 fn gen_milc(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x311C);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x311C);
     let mut field = Stream::new(Region::new(0, 1 << 20), 128);
     build_loop("milc_like", Category::Fspec, ops, move |b, _| {
         field.emit(b, r(16), 1);
@@ -405,15 +404,11 @@ fn gen_gems(ops: usize, seed: u64) -> Trace {
 /// povray-like: a large unrolled body with many distinct load PCs over a
 /// 512 KB scene — more critical PCs than the 32-entry table can hold.
 fn gen_povray(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x90F);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x90F);
     let scene = Region::new(0, 512 << 10);
     // 48 distinct gather sites, each its own PC in the unrolled body.
     let sites: Vec<Vec<u64>> = (0..48)
-        .map(|_| {
-            (0..256)
-                .map(|_| scene.rand_line(&mut rng).get())
-                .collect()
-        })
+        .map(|_| (0..256).map(|_| scene.rand_line(&mut rng).get()).collect())
         .collect();
     let mut cursor = 0usize;
     build_loop("povray_like", Category::Fspec, ops, move |b, _| {
@@ -453,7 +448,7 @@ fn gen_linpack(ops: usize, seed: u64) -> Trace {
 /// stencil-like: three offset sweeps over a 1.5 MB grid with FP chains
 /// and occasional branches. Deep-Self/stream recoverable LLC hits.
 fn gen_stencil(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x57E);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x57E);
     let grid = Region::new(0, 1536 << 10);
     let mut north = Stream::new(grid, 64);
     let mut center = Stream::new(Region::new(1, 1536 << 10), 64);
@@ -472,7 +467,7 @@ fn gen_stencil(ops: usize, seed: u64) -> Trace {
 /// spmv-like: column-index gather over a 1.5 MB vector with an FP
 /// accumulation chain. Feeder-recoverable LLC hits.
 fn gen_spmv(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x59A);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x59A);
     let cols = Region::new(0, 256 << 10);
     let vec = Region::new(1, 1536 << 10);
     let mut gather = IndexedGather::with_count(cols, vec, 6144, &mut rng);
@@ -493,7 +488,7 @@ fn gen_spmv(ops: usize, seed: u64) -> Trace {
 /// bioinformatics-like: sequential scan of a 1 MB sequence with a small
 /// score-table gather and well-biased branches.
 fn gen_bio(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xB10);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0xB10);
     let mut sequence = Stream::new(Region::new(0, 1 << 20), 64);
     let table = Region::new(1, 128 << 10);
     let idx = Region::new(2, 64 << 10);
@@ -516,12 +511,12 @@ fn gen_bio(ops: usize, seed: u64) -> Trace {
 /// tpcc-like: 384 KB of code across 96 blocks; hash-style gathers over a
 /// 2 MB buffer pool with field walks and branches.
 fn gen_tpcc(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x79CC);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x79CC);
     let idx = Region::new(0, 256 << 10);
     let pool = Region::new(1, 2 << 20);
     let mut gather = IndexedGather::with_count(idx, pool, 4096, &mut rng);
     let mut locals = Locals::new(7);
-    let mut blocks_rng = SmallRng::seed_from_u64(seed ^ 0xD15);
+    let mut blocks_rng = SplitMix64::seed_from_u64(seed ^ 0xD15);
     build_blocks(
         "tpcc_like",
         Category::Server,
@@ -544,12 +539,12 @@ fn gen_tpcc(ops: usize, seed: u64) -> Trace {
 /// specjbb-like: 256 KB of code; object-graph chase over 512 KB with
 /// field loads.
 fn gen_specjbb(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5B);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x5B);
     let heap = Region::new(0, 512 << 10);
     let mut ring = PtrRing::new(heap, 1024, &mut rng);
     let mut ring2 = PtrRing::new(Region::new(3, 256 << 10), 1024, &mut rng);
     let mut locals = Locals::new(7);
-    let mut blocks_rng = SmallRng::seed_from_u64(seed ^ 0xD16);
+    let mut blocks_rng = SplitMix64::seed_from_u64(seed ^ 0xD16);
     build_blocks(
         "specjbb_like",
         Category::Server,
@@ -579,12 +574,12 @@ fn gen_specjbb(ops: usize, seed: u64) -> Trace {
 /// oracle-like: 512 KB of code across 128 blocks; B-tree-style descent
 /// (gather) over 4 MB plus field walks.
 fn gen_oracle(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0AC1E);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x0AC1E);
     let idx = Region::new(0, 256 << 10);
     let tree = Region::new(1, 4 << 20);
     let mut gather = IndexedGather::with_count(idx, tree, 6144, &mut rng);
     let mut locals = Locals::new(7);
-    let mut blocks_rng = SmallRng::seed_from_u64(seed ^ 0xD17);
+    let mut blocks_rng = SplitMix64::seed_from_u64(seed ^ 0xD17);
     build_blocks(
         "oracle_like",
         Category::Server,
@@ -610,13 +605,13 @@ fn gen_oracle(ops: usize, seed: u64) -> Trace {
 /// hadoop-like: 192 KB of code; record streaming (2 MB) with a dictionary
 /// gather (256 KB).
 fn gen_hadoop(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x4AD0);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x4AD0);
     let mut records = Stream::new(Region::new(0, 2 << 20), 64);
     let idx = Region::new(1, 64 << 10);
     let dict = Region::new(2, 256 << 10);
     let mut gather = IndexedGather::with_count(idx, dict, 4096, &mut rng);
     let mut locals = Locals::new(7);
-    let mut blocks_rng = SmallRng::seed_from_u64(seed ^ 0xD18);
+    let mut blocks_rng = SplitMix64::seed_from_u64(seed ^ 0xD18);
     build_blocks(
         "hadoop_like",
         Category::Server,
@@ -642,7 +637,7 @@ fn gen_hadoop(ops: usize, seed: u64) -> Trace {
 /// sysmark-like: a mixed kernel — small chase (128 KB), medium stream
 /// (512 KB), branches and integer work.
 fn gen_sysmark(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5135);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x5135);
     let heap = Region::new(0, 128 << 10);
     let mut ring = PtrRing::new(heap, 1024, &mut rng);
     let mut data = Stream::new(Region::new(1, 512 << 10), 64);
@@ -664,7 +659,7 @@ fn gen_sysmark(ops: usize, seed: u64) -> Trace {
 /// face-detection-like: windowed strided loads (stride 320 B) over 1 MB
 /// with an FP classifier chain. Deep-Self recoverable.
 fn gen_facedet(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xFACE);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0xFACE);
     let mut window = Stream::new(Region::new(0, 1 << 20), 320);
     build_loop("facedet_like", Category::Client, ops, move |b, _| {
         window.emit(b, r(16), 2);
@@ -678,7 +673,7 @@ fn gen_facedet(ops: usize, seed: u64) -> Trace {
 /// h264-like: motion-search block loads (256 KB) with a reference gather
 /// (128 KB) and prediction branches.
 fn gen_h264(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x264);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x264);
     let mut blocks = Stream::new(Region::new(0, 256 << 10), 64);
     let idx = Region::new(1, 64 << 10);
     let refs = Region::new(2, 128 << 10);
@@ -697,7 +692,7 @@ fn gen_h264(ops: usize, seed: u64) -> Trace {
 /// excel-like: cell-table gather over 384 KB with dependence chains and
 /// well-biased branches.
 fn gen_excel(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xCE11);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0xCE11);
     let idx = Region::new(0, 128 << 10);
     let cells = Region::new(1, 384 << 10);
     let mut gather = IndexedGather::with_count(idx, cells, 4096, &mut rng);
@@ -715,8 +710,6 @@ fn gen_excel(ops: usize, seed: u64) -> Trace {
     })
 }
 
-
-
 // --------------------------------------------------------------------
 // Additional workloads (suite extension towards the paper's 70)
 // --------------------------------------------------------------------
@@ -726,7 +719,7 @@ fn gen_excel(ops: usize, seed: u64) -> Trace {
 /// branch. The paper's hmmer loses ~40% without the L2 and is largely
 /// recovered by Deep-Self.
 fn gen_hmmer(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x433E);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x433E);
     let mut row_m = Stream::new(Region::new(0, 256 << 10), 64);
     let mut row_i = Stream::new(Region::new(1, 256 << 10), 64);
     let mut row_d = Stream::new(Region::new(2, 256 << 10), 64);
@@ -748,7 +741,7 @@ fn gen_hmmer(ops: usize, seed: u64) -> Trace {
 /// (pointer chase through an L2-resident ring) plus a gather into module
 /// state. Chase-bound; only partially recoverable.
 fn gen_omnetpp(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x03E7);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x03E7);
     let heap = Region::new(0, 256 << 10);
     let mut events = PtrRing::new(heap, 1024, &mut rng);
     let idx = Region::new(1, 64 << 10);
@@ -770,7 +763,7 @@ fn gen_omnetpp(ops: usize, seed: u64) -> Trace {
 /// soplex-like: simplex pivoting — sparse column gathers (Feeder) over a
 /// 1 MB basis with FP update chains.
 fn gen_soplex(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x50F1);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x50F1);
     let cols = Region::new(0, 128 << 10);
     let basis = Region::new(1, 1 << 20);
     let mut gather = IndexedGather::with_count(cols, basis, 8192, &mut rng);
@@ -791,7 +784,7 @@ fn gen_soplex(ops: usize, seed: u64) -> Trace {
 /// chains; the paper calls namd out as *not* amenable to prefetching
 /// (CATCH gains limited).
 fn gen_namd(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9A3D);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x9A3D);
     let pairs = Region::new(0, 320 << 10);
     let mut ring = PtrRing::new(pairs, 2048, &mut rng);
     build_loop("namd_like", Category::Fspec, ops, move |b, _| {
@@ -831,7 +824,7 @@ fn gen_fft(ops: usize, seed: u64) -> Trace {
 /// centroid table gathered per point (L1/L2), FP distance chains and an
 /// assignment branch.
 fn gen_kmeans(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x63EA);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x63EA);
     let mut points = Stream::new(Region::new(0, 2 << 20), 64);
     let idx = Region::new(1, 16 << 10);
     let centroids = Region::new(2, 64 << 10);
@@ -850,13 +843,13 @@ fn gen_kmeans(ops: usize, seed: u64) -> Trace {
 /// specpower-like: server-side Java — moderate code footprint, object
 /// gathers and allocation-like streaming stores.
 fn gen_specpower(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x50E6);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x50E6);
     let idx = Region::new(0, 64 << 10);
     let heap = Region::new(1, 1 << 20);
     let mut gather = IndexedGather::with_count(idx, heap, 6144, &mut rng);
     let mut alloc = Stream::new(Region::new(2, 512 << 10), 64);
     let mut locals = Locals::new(7);
-    let mut blocks_rng = SmallRng::seed_from_u64(seed ^ 0xD19);
+    let mut blocks_rng = SplitMix64::seed_from_u64(seed ^ 0xD19);
     build_blocks(
         "specpower_like",
         Category::Server,
@@ -878,14 +871,14 @@ fn gen_specpower(ops: usize, seed: u64) -> Trace {
 /// browser-like: DOM/JS mix — small chases, gathers, stores and branchy
 /// dispatch over a moderate code footprint.
 fn gen_browser(ops: usize, seed: u64) -> Trace {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xB30);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0xB30);
     let dom = Region::new(0, 192 << 10);
     let mut ring = PtrRing::new(dom, 1024, &mut rng);
     let idx = Region::new(1, 64 << 10);
     let props = Region::new(2, 256 << 10);
     let mut gather = IndexedGather::with_count(idx, props, 3072, &mut rng);
     let mut locals = Locals::new(7);
-    let mut blocks_rng = SmallRng::seed_from_u64(seed ^ 0xD20);
+    let mut blocks_rng = SplitMix64::seed_from_u64(seed ^ 0xD20);
     build_blocks(
         "browser_like",
         Category::Client,
@@ -901,7 +894,8 @@ fn gen_browser(ops: usize, seed: u64) -> Trace {
             b.alu(r(4), &[r(10), r(1)]);
             emit_branch(b, &mut rng, r(4), 0.94);
             emit_int_work(b, &[r(5), r(6)], 2);
-        },    )
+        },
+    )
 }
 
 #[cfg(test)]

@@ -15,10 +15,7 @@ use catch_workloads::suite;
 fn main() {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "astar_like".to_string());
-    let ops: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(60_000);
+    let ops: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(60_000);
 
     let spec = suite::by_name(&name).unwrap_or_else(|e| {
         eprintln!("{e}");

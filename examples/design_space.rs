@@ -18,7 +18,13 @@ fn main() {
         .unwrap_or(30_000);
 
     // A representative slice of the suite to keep the sweep quick.
-    let names = ["xalanc_like", "milc_like", "spmv_like", "tpcc_like", "sysmark_like"];
+    let names = [
+        "xalanc_like",
+        "milc_like",
+        "spmv_like",
+        "tpcc_like",
+        "sysmark_like",
+    ];
     let traces: Vec<_> = names
         .iter()
         .map(|n| suite::by_name(n).expect("known workload").generate(ops, 42))
@@ -56,7 +62,10 @@ fn main() {
 
     // Baseline IPCs for normalisation.
     let base_sys = System::new(base);
-    let base_ipcs: Vec<f64> = traces.iter().map(|t| base_sys.run_st(t.clone()).ipc()).collect();
+    let base_ipcs: Vec<f64> = traces
+        .iter()
+        .map(|t| base_sys.run_st(t.clone()).ipc())
+        .collect();
     let constants = EnergyConstants::paper_like();
     let area_constants = AreaConstants::nm14();
 
@@ -89,5 +98,8 @@ fn main() {
             area.cache_mm2(),
         );
     }
-    println!("\n(perf = geomean IPC ratio vs 3-level baseline over {} workloads)", names.len());
+    println!(
+        "\n(perf = geomean IPC ratio vs 3-level baseline over {} workloads)",
+        names.len()
+    );
 }

@@ -11,10 +11,7 @@ use catch_workloads::{mp, suite};
 fn main() {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "xalanc_like".to_string());
-    let ops: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(30_000);
+    let ops: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(30_000);
 
     let spec = suite::by_name(&name).unwrap_or_else(|e| {
         eprintln!("{e}");
@@ -33,7 +30,13 @@ fn main() {
         .iter()
         .map(|t| alone_sys.run_st(t.clone()).ipc())
         .collect();
-    println!("alone IPCs: {:?}", alone.iter().map(|i| (i * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    println!(
+        "alone IPCs: {:?}",
+        alone
+            .iter()
+            .map(|i| (i * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
 
     let configs = [
         SystemConfig::baseline_exclusive().with_cores(4),
@@ -44,7 +47,9 @@ fn main() {
             .with_cores(4)
             .without_l2(9728 << 10)
             .with_catch(),
-        SystemConfig::baseline_exclusive().with_cores(4).with_catch(),
+        SystemConfig::baseline_exclusive()
+            .with_cores(4)
+            .with_catch(),
     ];
 
     let mut base_ws = None;

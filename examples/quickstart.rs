@@ -11,10 +11,7 @@ use catch_workloads::suite;
 fn main() {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "xalanc_like".to_string());
-    let ops: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(60_000);
+    let ops: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(60_000);
 
     let spec = match suite::by_name(&name) {
         Ok(s) => s,

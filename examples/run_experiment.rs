@@ -3,28 +3,58 @@
 //! ```sh
 //! cargo run --release --example run_experiment -- fig10
 //! cargo run --release --example run_experiment -- fig10 40000 10000
-//! cargo run --release --example run_experiment -- --md fig10   # markdown
-//! cargo run --release --example run_experiment                 # lists ids
+//! cargo run --release --example run_experiment -- --md fig10    # markdown
+//! cargo run --release --example run_experiment -- --jobs 4 fig10
+//! cargo run --release --example run_experiment                  # lists ids
 //! ```
+//!
+//! `--jobs N` sets the worker-thread count for suite runs (equivalent to
+//! `CATCH_JOBS=N`; default: all cores). Results are bit-identical for
+//! every N — parallelism only changes wall-clock time.
 
-use catch_core::experiments::{self, EvalConfig};
+use catch_core::experiments::{self, runner, EvalConfig};
+
+fn usage_and_exit() -> ! {
+    eprintln!("usage: run_experiment [--md] [--jobs N] <id> [ops] [warmup]");
+    eprintln!("available experiments:");
+    for id in experiments::all_ids() {
+        eprintln!("  {id}");
+    }
+    std::process::exit(2);
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let markdown = args.first().map(|a| a == "--md").unwrap_or(false);
-    if markdown {
-        args.remove(0);
+    let mut markdown = false;
+    // Flags may appear in any order ahead of the positional arguments.
+    loop {
+        match args.first().map(String::as_str) {
+            Some("--md") => {
+                markdown = true;
+                args.remove(0);
+            }
+            Some("--jobs") => {
+                args.remove(0);
+                let Some(n) = args.first().and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("--jobs requires a positive integer");
+                    usage_and_exit();
+                };
+                args.remove(0);
+                // The experiment registry sizes its Runner from the
+                // environment, so the flag funnels through CATCH_JOBS.
+                std::env::set_var(runner::JOBS_ENV, n.max(1).to_string());
+            }
+            _ => break,
+        }
     }
     let Some(id) = args.first() else {
-        eprintln!("usage: run_experiment <id> [ops] [warmup]");
-        eprintln!("available experiments:");
-        for id in experiments::all_ids() {
-            eprintln!("  {id}");
-        }
-        std::process::exit(2);
+        usage_and_exit();
     };
     if !experiments::all_ids().contains(&id.as_str()) {
-        eprintln!("unknown experiment '{id}'; available: {:?}", experiments::all_ids());
+        eprintln!(
+            "unknown experiment '{id}'; available: {:?}",
+            experiments::all_ids()
+        );
         std::process::exit(2);
     }
     let mut eval = EvalConfig::standard();

@@ -66,10 +66,7 @@ fn main() {
             let count = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);
             let trace = load_trace(path);
             for (i, op) in trace.ops().iter().take(count).enumerate() {
-                let mem = op
-                    .mem
-                    .map(|m| format!(" [{}]", m.addr))
-                    .unwrap_or_default();
+                let mem = op.mem.map(|m| format!(" [{}]", m.addr)).unwrap_or_default();
                 let br = op
                     .branch
                     .map(|b| format!(" -> {} ({})", b.target, if b.taken { "T" } else { "NT" }))
