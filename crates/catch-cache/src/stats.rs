@@ -35,6 +35,31 @@ impl Counters for CacheStats {
 }
 
 impl CacheStats {
+    /// Combines two snapshots field-by-field with `f`.
+    fn zip(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
+        CacheStats {
+            accesses: f(self.accesses, other.accesses),
+            hits: f(self.hits, other.hits),
+            misses: f(self.misses, other.misses),
+            fills: f(self.fills, other.fills),
+            evictions: f(self.evictions, other.evictions),
+            dirty_evictions: f(self.dirty_evictions, other.dirty_evictions),
+            invalidations: f(self.invalidations, other.invalidations),
+        }
+    }
+
+    /// Per-counter difference against an `earlier` snapshot.
+    pub fn minus(&self, earlier: &Self) -> Self {
+        self.zip(earlier, u64::saturating_sub)
+    }
+
+    /// Accumulates `weight` copies of `delta` into `self` (saturating).
+    /// Used by sampled runs to reconstruct full-trace statistics from
+    /// weighted per-interval deltas.
+    pub fn add_scaled(&mut self, delta: &Self, weight: u64) {
+        *self = self.zip(delta, |a, d| a.saturating_add(d.saturating_mul(weight)));
+    }
+
     /// Hit rate over all lookups (0 when never accessed).
     pub fn hit_rate(&self) -> f64 {
         if self.accesses == 0 {
@@ -98,6 +123,29 @@ impl Counters for TrafficStats {
 }
 
 impl TrafficStats {
+    /// Combines two snapshots field-by-field with `f`.
+    fn zip(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
+        TrafficStats {
+            llc_requests: f(self.llc_requests, other.llc_requests),
+            llc_replies: f(self.llc_replies, other.llc_replies),
+            llc_writebacks: f(self.llc_writebacks, other.llc_writebacks),
+            back_invalidates: f(self.back_invalidates, other.back_invalidates),
+            c2c_transfers: f(self.c2c_transfers, other.c2c_transfers),
+            dram_reads: f(self.dram_reads, other.dram_reads),
+            dram_writes: f(self.dram_writes, other.dram_writes),
+        }
+    }
+
+    /// Per-counter difference against an `earlier` snapshot.
+    pub fn minus(&self, earlier: &Self) -> Self {
+        self.zip(earlier, u64::saturating_sub)
+    }
+
+    /// Accumulates `weight` copies of `delta` into `self` (saturating).
+    pub fn add_scaled(&mut self, delta: &Self, weight: u64) {
+        *self = self.zip(delta, |a, d| a.saturating_add(d.saturating_mul(weight)));
+    }
+
     /// Total on-die interconnect messages (requests + replies + writebacks
     /// + snoops).
     pub fn interconnect_messages(&self) -> u64 {
@@ -153,6 +201,30 @@ impl Counters for PrefetchTimeliness {
 }
 
 impl PrefetchTimeliness {
+    /// Combines two snapshots field-by-field with `f`.
+    fn zip(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
+        PrefetchTimeliness {
+            issued: f(self.issued, other.issued),
+            from_llc: f(self.from_llc, other.from_llc),
+            from_l2: f(self.from_l2, other.from_l2),
+            from_memory: f(self.from_memory, other.from_memory),
+            used: f(self.used, other.used),
+            saved_over_80: f(self.saved_over_80, other.saved_over_80),
+            saved_10_to_80: f(self.saved_10_to_80, other.saved_10_to_80),
+            saved_under_10: f(self.saved_under_10, other.saved_under_10),
+        }
+    }
+
+    /// Per-counter difference against an `earlier` snapshot.
+    pub fn minus(&self, earlier: &Self) -> Self {
+        self.zip(earlier, u64::saturating_sub)
+    }
+
+    /// Accumulates `weight` copies of `delta` into `self` (saturating).
+    pub fn add_scaled(&mut self, delta: &Self, weight: u64) {
+        *self = self.zip(delta, |a, d| a.saturating_add(d.saturating_mul(weight)));
+    }
+
     /// Fraction of issued TACT prefetches served from the LLC.
     pub fn llc_fraction(&self) -> f64 {
         if self.issued == 0 {
@@ -188,6 +260,49 @@ pub struct HierarchyStats {
     pub traffic: TrafficStats,
     /// TACT timeliness.
     pub timeliness: PrefetchTimeliness,
+}
+
+impl HierarchyStats {
+    /// Per-counter difference against an `earlier` snapshot of the same
+    /// hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two snapshots describe different core counts.
+    pub fn minus(&self, earlier: &Self) -> Self {
+        let per_core = |a: &Vec<CacheStats>, b: &Vec<CacheStats>| {
+            assert_eq!(a.len(), b.len(), "snapshots must cover the same cores");
+            a.iter().zip(b).map(|(x, y)| x.minus(y)).collect()
+        };
+        HierarchyStats {
+            l1i: per_core(&self.l1i, &earlier.l1i),
+            l1d: per_core(&self.l1d, &earlier.l1d),
+            l2: per_core(&self.l2, &earlier.l2),
+            llc: self.llc.minus(&earlier.llc),
+            traffic: self.traffic.minus(&earlier.traffic),
+            timeliness: self.timeliness.minus(&earlier.timeliness),
+        }
+    }
+
+    /// Accumulates `weight` copies of `delta` into `self`, growing empty
+    /// per-core vectors to match `delta` (so a `Default` accumulator
+    /// works).
+    pub fn add_scaled(&mut self, delta: &Self, weight: u64) {
+        let per_core = |acc: &mut Vec<CacheStats>, d: &Vec<CacheStats>| {
+            if acc.len() < d.len() {
+                acc.resize(d.len(), CacheStats::default());
+            }
+            for (a, x) in acc.iter_mut().zip(d) {
+                a.add_scaled(x, weight);
+            }
+        };
+        per_core(&mut self.l1i, &delta.l1i);
+        per_core(&mut self.l1d, &delta.l1d);
+        per_core(&mut self.l2, &delta.l2);
+        self.llc.add_scaled(&delta.llc, weight);
+        self.traffic.add_scaled(&delta.traffic, weight);
+        self.timeliness.add_scaled(&delta.timeliness, weight);
+    }
 }
 
 impl Counters for HierarchyStats {

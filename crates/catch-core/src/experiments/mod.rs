@@ -21,6 +21,7 @@ mod fig16_energy;
 mod fig17_inclusive;
 mod heuristic_detector;
 pub mod runner;
+mod sampling;
 mod tables;
 
 pub use ablations::ablations;
@@ -39,6 +40,7 @@ pub use fig16_energy::fig16_energy;
 pub use fig17_inclusive::fig17_inclusive;
 pub use heuristic_detector::heuristic_detector;
 pub use runner::Runner;
+pub use sampling::{sampling, GOLDEN_WORKLOADS};
 pub use tables::{fig09_tact_area, sec6d2_table_size, tab1_area, tab2_workloads};
 
 use crate::metrics::RunResult;
@@ -54,6 +56,12 @@ pub struct EvalConfig {
     pub warmup: usize,
     /// Trace generation seed.
     pub seed: u64,
+    /// Sampled execution: `Some(interval_ops)` replaces every full run
+    /// with [`System::run_sampled`](crate::System::run_sampled) at that
+    /// interval size (default clustering parameters); `warmup` is ignored
+    /// in sampled mode — the cold-start interval is always simulated in
+    /// detail and included in the reconstruction.
+    pub sample: Option<usize>,
 }
 
 impl EvalConfig {
@@ -63,6 +71,7 @@ impl EvalConfig {
             ops: 80_000,
             warmup: 30_000,
             seed: 42,
+            sample: None,
         }
     }
 
@@ -72,7 +81,15 @@ impl EvalConfig {
             ops: 16_000,
             warmup: 4_000,
             seed: 42,
+            sample: None,
         }
+    }
+
+    /// Switches suite runs to sampled execution with `interval_ops`-sized
+    /// intervals.
+    pub fn with_sample(mut self, interval_ops: usize) -> Self {
+        self.sample = Some(interval_ops);
+        self
     }
 }
 
@@ -108,7 +125,14 @@ pub fn run_suite_parallel(
     let system = System::new(config.clone());
     let workloads = catch_workloads::suite::all();
     runner.run(&workloads, |_, w| {
-        system.run_st_warm(w.generate(eval.ops, eval.seed), eval.warmup)
+        let trace = w.generate(eval.ops, eval.seed);
+        match eval.sample {
+            Some(interval_ops) => {
+                let cfg = catch_sample::SampleConfig::new(interval_ops);
+                system.run_sampled(trace, &cfg).result
+            }
+            None => system.run_st_warm(trace, eval.warmup),
+        }
     })
 }
 
@@ -158,6 +182,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "sec6d2",
         "ablations",
         "heuristic",
+        "sampling",
     ]
 }
 
@@ -187,6 +212,7 @@ pub fn run(id: &str, eval: &EvalConfig) -> ExperimentReport {
         "sec6d2" => sec6d2_table_size(eval),
         "ablations" => ablations(eval),
         "heuristic" => heuristic_detector(eval),
+        "sampling" => sampling(eval),
         other => panic!("unknown experiment id '{other}'; see all_ids()"),
     }
 }
@@ -200,7 +226,8 @@ mod tests {
         let ids = all_ids();
         assert!(ids.contains(&"fig10"));
         assert!(ids.contains(&"tab1"));
-        assert_eq!(ids.len(), 19);
+        assert!(ids.contains(&"sampling"));
+        assert_eq!(ids.len(), 20);
     }
 
     #[test]

@@ -29,18 +29,35 @@ impl Runner {
         Runner { jobs: jobs.max(1) }
     }
 
-    /// A runner sized from the environment: `CATCH_JOBS` if set and
-    /// parseable, otherwise the machine's available parallelism.
+    /// A runner sized from the environment: `CATCH_JOBS` if set,
+    /// otherwise the machine's available parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when `CATCH_JOBS` is set to an
+    /// invalid value (zero, negative, or non-numeric). A typo'd job count
+    /// must not silently fall back to a default — that is how a "-j 0"
+    /// benchmark quietly runs on all cores.
     pub fn from_env() -> Self {
-        let jobs = std::env::var(JOBS_ENV)
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
+        let jobs = match std::env::var(JOBS_ENV) {
+            Ok(v) => Self::parse_jobs(&v).unwrap_or_else(|e| panic!("invalid {JOBS_ENV}: {e}")),
+            Err(_) => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        };
         Runner::with_jobs(jobs)
+    }
+
+    /// Parses a worker count from user input (`CATCH_JOBS` or a `--jobs`
+    /// flag): a positive integer, rejected with a clear message otherwise.
+    pub fn parse_jobs(value: &str) -> Result<usize, String> {
+        match value.trim().parse::<usize>() {
+            Ok(0) => Err(format!("job count must be at least 1, got '{value}'")),
+            Ok(n) => Ok(n),
+            Err(_) => Err(format!(
+                "job count must be a positive integer, got '{value}'"
+            )),
+        }
     }
 
     /// Worker count this runner will spawn.
@@ -130,6 +147,31 @@ mod tests {
         assert_eq!(Runner::with_jobs(0).jobs(), 1);
         let out = Runner::with_jobs(0).run(&[1, 2, 3], |_, &j| j);
         assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn parse_jobs_accepts_positive_integers() {
+        assert_eq!(Runner::parse_jobs("1"), Ok(1));
+        assert_eq!(Runner::parse_jobs("16"), Ok(16));
+        assert_eq!(Runner::parse_jobs(" 4 "), Ok(4), "whitespace is trimmed");
+    }
+
+    #[test]
+    fn parse_jobs_rejects_zero() {
+        let err = Runner::parse_jobs("0").expect_err("zero jobs");
+        assert!(err.contains("at least 1"), "unhelpful message: {err}");
+    }
+
+    #[test]
+    fn parse_jobs_rejects_non_numeric() {
+        for bad in ["", "four", "-2", "3.5", "1x"] {
+            let res = Runner::parse_jobs(bad);
+            assert!(res.is_err(), "accepted '{bad}' as {res:?}");
+            assert!(
+                res.unwrap_err().contains("positive integer"),
+                "unhelpful message for '{bad}'"
+            );
+        }
     }
 
     #[test]

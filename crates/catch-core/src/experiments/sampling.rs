@@ -1,0 +1,127 @@
+//! Sampled-vs-full accuracy on the six golden workloads.
+//!
+//! Not a paper figure: this experiment validates the SimPoint-style
+//! sampling subsystem (`catch-sample` + [`System::run_sampled`]) against
+//! full detailed simulation, reporting per-workload reconstruction error
+//! and the cost saved. The same six-workload slice anchors the
+//! golden-stats regression snapshot in `catch-tests`.
+
+use super::EvalConfig;
+use crate::report::{ExperimentReport, Table, ValueKind};
+use crate::system::{System, SystemConfig};
+use catch_sample::SampleConfig;
+use catch_workloads::suite;
+
+/// The behaviour-diverse six-workload slice used for golden snapshots and
+/// sampling validation: one workload per paper category plus the two
+/// headline SPEC-like traces.
+pub const GOLDEN_WORKLOADS: [&str; 6] = [
+    "xalanc_like",
+    "astar_like",
+    "bio_like",
+    "sysmark_like",
+    "tpcc_like",
+    "excel_like",
+];
+
+/// Percent error of `sampled` against `full` (0 when both are 0).
+fn pct_err(sampled: f64, full: f64) -> f64 {
+    if full == 0.0 {
+        if sampled == 0.0 {
+            0.0
+        } else {
+            100.0
+        }
+    } else {
+        100.0 * (sampled - full).abs() / full
+    }
+}
+
+/// Regenerates the sampled-vs-full accuracy table: for each golden
+/// workload, full-run and sampled IPC, the reconstruction errors on IPC
+/// and L2/LLC miss counts, the reported a-priori error bound, and the
+/// detailed-simulation fraction.
+pub fn sampling(eval: &EvalConfig) -> ExperimentReport {
+    let interval_ops = eval.sample.unwrap_or_else(|| (eval.ops / 20).max(1));
+    let sample = SampleConfig::new(interval_ops);
+    let system = System::new(SystemConfig::baseline_exclusive());
+
+    let mut accuracy = Table::new(
+        format!("sampled-vs-full error, interval={interval_ops} ops"),
+        vec![
+            "IPC err%".into(),
+            "L2 miss err%".into(),
+            "LLC miss err%".into(),
+            "bound%".into(),
+        ],
+        ValueKind::Raw,
+    );
+    let mut cost = Table::new(
+        "sampling cost",
+        vec![
+            "full IPC".into(),
+            "sampled IPC".into(),
+            "detailed%".into(),
+            "clusters".into(),
+        ],
+        ValueKind::Raw,
+    );
+
+    for name in GOLDEN_WORKLOADS {
+        let trace = suite::by_name(name)
+            .expect("golden workload exists")
+            .generate(eval.ops, eval.seed);
+        let full = system.run_st(trace.clone());
+        let s = system.run_sampled(trace, &sample);
+
+        let l2_full = full.hierarchy.l2.iter().map(|c| c.misses).sum::<u64>();
+        let l2_sampled = s.result.hierarchy.l2.iter().map(|c| c.misses).sum::<u64>();
+        accuracy.push_row(
+            name,
+            vec![
+                pct_err(s.result.ipc(), full.ipc()),
+                pct_err(l2_sampled as f64, l2_full as f64),
+                pct_err(
+                    s.result.hierarchy.llc.misses as f64,
+                    full.hierarchy.llc.misses as f64,
+                ),
+                s.sampling.ipc_error_bound_pct,
+            ],
+        );
+        cost.push_row(
+            name,
+            vec![
+                full.ipc(),
+                s.result.ipc(),
+                100.0 * s.sampling.detailed_fraction(),
+                s.sampling.clusters as f64,
+            ],
+        );
+    }
+
+    ExperimentReport {
+        id: "sampling".into(),
+        title: "SimPoint-style sampled simulation accuracy".into(),
+        tables: vec![accuracy, cost],
+        notes: vec![
+            "target: IPC err < 5%, L2/LLC miss err < 10% on every golden workload".into(),
+            "interval 0 and any oversized tail are pinned singletons (always detailed)".into(),
+            "bound% is the plan's empirical sensitivity estimate (fitted |dIPC|/distance x dispersion)".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_report_covers_golden_slice() {
+        let report = sampling(&EvalConfig::quick());
+        assert_eq!(report.id, "sampling");
+        assert_eq!(report.tables.len(), 2);
+        for table in &report.tables {
+            assert_eq!(table.rows.len(), GOLDEN_WORKLOADS.len());
+        }
+    }
+}

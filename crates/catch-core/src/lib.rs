@@ -9,7 +9,9 @@
 //!   organisation + core features); presets cover every configuration the
 //!   paper evaluates.
 //! * [`System`] runs a single-thread trace or a 4-way multi-programmed
-//!   mix against a configuration, producing a [`RunResult`].
+//!   mix against a configuration, producing a [`RunResult`]; sampled
+//!   execution ([`System::run_sampled`]) trades detail for speed with a
+//!   reported error estimate.
 //! * [`experiments`] regenerates every table and figure of the paper; the
 //!   `catch-bench` crate exposes them as `cargo bench` targets.
 //! * [`energy`] implements the CACTI/Orion/Micron-inspired energy model
@@ -37,10 +39,16 @@ pub mod energy;
 pub mod experiments;
 mod metrics;
 pub mod report;
+mod sampling;
 mod system;
 
 pub use metrics::{geomean, geomean_ratio, MpResult, RunResult};
+pub use sampling::{SampledRun, SamplingSummary};
 pub use system::{System, SystemConfig};
+
+// Sampling configuration lives in `catch-sample`; re-export the types a
+// `run_sampled` caller needs.
+pub use catch_sample::{SampleConfig, SamplePlan};
 
 // Re-export the pieces users commonly need alongside the facade.
 pub use catch_cache::{HierarchyConfig, HierarchyKind, Level};

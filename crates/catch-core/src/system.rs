@@ -146,7 +146,7 @@ impl System {
         &self.config
     }
 
-    fn build_hierarchy(&self, cores: usize) -> CacheHierarchy {
+    pub(crate) fn build_hierarchy(&self, cores: usize) -> CacheHierarchy {
         let mut hcfg = self.config.hierarchy.clone();
         hcfg.cores = cores;
         let dram = DramSystem::new(self.config.dram.clone());

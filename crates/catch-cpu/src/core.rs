@@ -5,7 +5,7 @@ use crate::frontend::Frontend;
 use crate::memory::MemoryInterface;
 use crate::rob::{Rob, RobEntry};
 use crate::stats::CoreStats;
-use catch_cache::CacheHierarchy;
+use catch_cache::{AccessKind, CacheHierarchy};
 use catch_criticality::{AnyDetector, CriticalityDetector, HeuristicDetector, RetiredInst};
 use catch_prefetch::MemoryImage;
 use catch_trace::{ArchReg, MicroOp, OpClass, Trace};
@@ -144,6 +144,11 @@ impl Core {
         self.allocate_stage(cycle);
         self.fetch_stage(hier, cycle);
         self.cycle += 1;
+        self.periodic_maintenance(hier);
+    }
+
+    /// Ledger/bookkeeping housekeeping, every 65 536 cycles.
+    fn periodic_maintenance(&mut self, hier: &mut CacheHierarchy) {
         if self.cycle.is_multiple_of(65_536) {
             hier.maintain(self.cycle);
             let floor = self
@@ -154,6 +159,82 @@ impl Core {
                 .unwrap_or(self.next_id);
             self.last_store.retain(|_, id| *id >= floor);
         }
+    }
+
+    /// Ticks without fetching until the pipeline is empty (fetch buffer
+    /// and ROB both drained). Sampled runs call this at the end of a
+    /// detailed interval so the subsequent fast-forward starts from a
+    /// quiesced machine; the drained cycles fall in the unmeasured gap
+    /// between interval snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline fails to drain within a generous cycle
+    /// budget (a simulator bug).
+    pub fn drain(&mut self, hier: &mut CacheHierarchy) {
+        let pending = (self.rob.len() + self.fetch_buffer.len()) as u64;
+        let budget = self.cycle + 1000 * pending + 1_000_000;
+        while !(self.rob.is_empty() && self.fetch_buffer.is_empty()) {
+            let cycle = self.cycle;
+            self.retire_stage(cycle);
+            self.issue_stage(hier, cycle);
+            self.allocate_stage(cycle);
+            self.cycle += 1;
+            self.periodic_maintenance(hier);
+            assert!(
+                self.cycle < budget,
+                "core {} failed to drain: likely deadlock at cycle {}",
+                self.id,
+                self.cycle
+            );
+        }
+    }
+
+    /// Functionally fast-forwards to trace position `until_op` (an op
+    /// index, clamped to the trace length) without detailed timing.
+    ///
+    /// Every skipped op still performs *functional warmup*: code and data
+    /// lines take the demand path through the hierarchy via
+    /// [`CacheHierarchy::warm_access`] (tags, replacement, dirty state
+    /// and DRAM row-buffer state all update), and branches train the
+    /// predictor — so a following detailed interval starts against warm
+    /// microarchitectural state. Not modelled during the skip: pipeline
+    /// timing (one op per cycle is assumed), prefetchers, and the
+    /// criticality detector/TACT learning, which retrain quickly once
+    /// detailed simulation resumes.
+    ///
+    /// Requires a drained pipeline (see [`Core::drain`]); `retired` and
+    /// `cycle` advance so interval accounting stays monotonic.
+    pub fn fast_forward(&mut self, hier: &mut CacheHierarchy, until_op: usize) {
+        debug_assert!(
+            self.rob.is_empty() && self.fetch_buffer.is_empty(),
+            "fast_forward requires a drained pipeline"
+        );
+        let until = until_op.min(self.trace.len());
+        while self.frontend.cursor() < until {
+            let op = self.trace.ops()[self.frontend.cursor()];
+            if let Some(code_line) = self.frontend.functional_step(&op) {
+                hier.warm_access(self.id, AccessKind::Code, code_line, self.cycle);
+            }
+            if let Some(mem) = op.mem {
+                let kind = if op.class == OpClass::Store {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                };
+                hier.warm_access(self.id, kind, mem.addr.line(), self.cycle);
+            }
+            self.retired += 1;
+            self.cycle += 1;
+            self.periodic_maintenance(hier);
+        }
+        self.frontend.end_fast_forward();
+        // Dependence bookkeeping references op ids that are now
+        // functionally retired; clear it so resumed detailed execution
+        // treats their consumers as ready.
+        self.last_writer = [None; ArchReg::COUNT];
+        self.last_store.clear();
+        self.outstanding_loads.clear();
     }
 
     /// Runs the core to completion against `hier`, returning final stats.
@@ -529,6 +610,97 @@ mod tests {
         assert!(
             slow > 3 * fast,
             "one MSHR must serialise misses: {slow} vs {fast}"
+        );
+    }
+
+    #[test]
+    fn drain_empties_pipeline_without_fetching() {
+        let mut b = TraceBuilder::new("t");
+        for i in 0..200u64 {
+            b.load(r(1), Addr::new(i * 64), 0);
+        }
+        let mut config = CoreConfig::baseline();
+        config.perfect_l1i = true;
+        let mut h = hier();
+        let mut core = Core::new(0, b.build(), config);
+        for _ in 0..20 {
+            core.tick(&mut h);
+        }
+        let fetched_before = core.frontend.cursor();
+        core.drain(&mut h);
+        assert!(core.rob.is_empty());
+        assert!(core.fetch_buffer.is_empty());
+        assert_eq!(
+            core.retired(),
+            fetched_before as u64,
+            "drain retires exactly what was fetched"
+        );
+        assert_eq!(
+            core.frontend.cursor(),
+            fetched_before,
+            "drain must not fetch"
+        );
+    }
+
+    #[test]
+    fn fast_forward_advances_and_warms_caches() {
+        // Loads cycling over a small 128-line set: after fast-forwarding
+        // the first half, the detailed second half should be L1 hits.
+        let mut b = TraceBuilder::new("ff");
+        for i in 0..2000u64 {
+            b.load(r(1), Addr::new((i % 128) * 64), 0);
+        }
+        let mut config = CoreConfig::baseline();
+        config.perfect_l1i = true;
+        config.baseline_prefetchers = false;
+        let mut h = hier();
+        let mut core = Core::new(0, b.build(), config);
+        core.fast_forward(&mut h, 1000);
+        assert_eq!(core.retired(), 1000);
+        let stats = core.run_to_completion(&mut h);
+        assert_eq!(stats.instructions, 2000);
+        // Only the 1000 detailed loads touch the memory interface, and
+        // the warmed working set makes them L1 hits.
+        assert_eq!(stats.memory.loads, 1000);
+        assert!(
+            stats.memory.loads_by_level[0] > 950,
+            "warmed set must hit in L1: {:?}",
+            stats.memory.loads_by_level
+        );
+    }
+
+    #[test]
+    fn fast_forward_trains_branch_predictor() {
+        // An alternating branch mispredicts while the predictor learns
+        // the pattern; a fast-forwarded first half absorbs that learning.
+        let body = || {
+            let mut b = TraceBuilder::new("br");
+            for i in 0..4000u64 {
+                b.alu(r(1), &[]);
+                let tgt = b.cursor().advance(8);
+                b.cond_branch(i % 2 == 0, tgt, &[r(1)]);
+            }
+            b.build()
+        };
+        let mut config = CoreConfig::baseline();
+        config.perfect_l1i = true;
+        let cold = {
+            let mut core = Core::new(0, body(), config.clone());
+            core.run_to_completion(&mut hier()).branches
+        };
+        let warmed = {
+            let mut h = hier();
+            let mut core = Core::new(0, body(), config);
+            core.fast_forward(&mut h, 4000);
+            core.end_warmup();
+            core.run_to_completion(&mut h).branches
+        };
+        assert!(cold.cond_mispredicts > 0, "cold predictor must learn");
+        assert!(
+            warmed.cond_mispredicts < cold.cond_mispredicts,
+            "warmup must cut mispredicts: cold {} vs warmed {}",
+            cold.cond_mispredicts,
+            warmed.cond_mispredicts
         );
     }
 

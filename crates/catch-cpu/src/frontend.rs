@@ -171,6 +171,40 @@ impl Frontend {
         out
     }
 
+    /// Functionally consumes one micro-op during a sampling fast-forward:
+    /// advances the cursor and trains the branch predictor (keeping
+    /// direction history and target tables warm), without touching fetch
+    /// stall state or counters. Returns the op's code line the first time
+    /// it differs from the previous op's, so the caller can warm the L1I
+    /// (`None` under a perfect L1I).
+    pub fn functional_step(&mut self, op: &MicroOp) -> Option<LineAddr> {
+        self.cursor += 1;
+        if op.class == OpClass::Branch {
+            if let Some(info) = op.branch {
+                let _ = self.predictor.predict_and_train(op.pc, info);
+            }
+        }
+        if self.perfect_l1i {
+            return None;
+        }
+        let line = op.pc.line();
+        if self.last_code_line == Some(line) {
+            None
+        } else {
+            self.last_code_line = Some(line);
+            Some(line)
+        }
+    }
+
+    /// Clears transient fetch state after a fast-forward so detailed
+    /// simulation resumes cleanly: any in-progress I-cache stall or
+    /// mispredict block belonged to ops that are now functionally retired.
+    pub fn end_fast_forward(&mut self) {
+        self.stall_until = 0;
+        self.blocked_on_mispredict = false;
+        self.runahead.on_redirect();
+    }
+
     /// The CNPIP code runahead: while stalled on `miss_line`, walk the
     /// *predicted* future instruction stream and prefetch the code lines
     /// it crosses. The walk follows the trace (the correct path) but stops

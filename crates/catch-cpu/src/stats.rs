@@ -48,9 +48,21 @@ impl CoreStats {
     /// warm-up phase from measurement. All counters are monotonic, so the
     /// result is a valid stats snapshot of the interval.
     pub fn minus(&self, earlier: &CoreStats) -> CoreStats {
+        self.zip(earlier, |a, b| a.saturating_sub(b))
+    }
+
+    /// Accumulates `weight` copies of `delta` into `self` (saturating).
+    /// Sampled runs use this to reconstruct full-trace statistics from
+    /// weighted per-interval deltas; integer weights keep the
+    /// reconstruction exact when every weight is 1.
+    pub fn add_scaled(&mut self, delta: &CoreStats, weight: u64) {
+        *self = self.zip(delta, |a, d| a.saturating_add(d.saturating_mul(weight)));
+    }
+
+    /// Combines two snapshots counter-by-counter with `f`.
+    fn zip(&self, earlier: &CoreStats, f: impl Fn(u64, u64) -> u64 + Copy) -> CoreStats {
         use crate::frontend::FrontendStats;
         use crate::memory::MemStats;
-        let f = |a: u64, b: u64| a.saturating_sub(b);
         CoreStats {
             instructions: f(self.instructions, earlier.instructions),
             cycles: f(self.cycles, earlier.cycles),

@@ -35,6 +35,31 @@ impl catch_trace::counters::Counters for DramStats {
 }
 
 impl DramStats {
+    /// Combines two snapshots field-by-field with `f`.
+    fn zip(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
+        DramStats {
+            reads: f(self.reads, other.reads),
+            writes: f(self.writes, other.writes),
+            row_hits: f(self.row_hits, other.row_hits),
+            row_empties: f(self.row_empties, other.row_empties),
+            row_conflicts: f(self.row_conflicts, other.row_conflicts),
+            total_read_latency: f(self.total_read_latency, other.total_read_latency),
+            write_batches: f(self.write_batches, other.write_batches),
+        }
+    }
+
+    /// Per-counter difference against an `earlier` snapshot.
+    pub fn minus(&self, earlier: &Self) -> Self {
+        self.zip(earlier, u64::saturating_sub)
+    }
+
+    /// Accumulates `weight` copies of `delta` into `self` (saturating).
+    /// Used by sampled runs to reconstruct full-trace statistics from
+    /// weighted per-interval deltas.
+    pub fn add_scaled(&mut self, delta: &Self, weight: u64) {
+        *self = self.zip(delta, |a, d| a.saturating_add(d.saturating_mul(weight)));
+    }
+
     /// Average read latency in core cycles.
     pub fn avg_read_latency(&self) -> f64 {
         if self.reads == 0 {

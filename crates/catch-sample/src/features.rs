@@ -1,0 +1,287 @@
+//! Interval splitting and per-interval feature vectors.
+//!
+//! The profiling pass is purely functional over the trace: no simulator
+//! state is consulted, so profiling cost is a single linear scan. Each
+//! interval is summarised by a fixed-length vector combining:
+//!
+//! * a basic-block-style signature — a histogram of hashed PCs
+//!   ([`BBV_BUCKETS`] buckets), the classic SimPoint BBV compressed to a
+//!   fixed width,
+//! * the op-class mix (load / store / branch / FP fractions),
+//! * a load stride-delta histogram plus its normalised entropy, which
+//!   separates streaming phases from pointer-chasing phases,
+//! * working-set footprint: distinct lines and pages touched, normalised
+//!   by interval length,
+//! * the interval's normalised position in the trace (appended by
+//!   [`profile`], weighted by [`POSITION_WEIGHT`]).
+//!
+//! All components are normalised to interval-length-independent fractions
+//! so the oversized tail interval (see [`interval_bounds`]) clusters with
+//! its regular-sized peers.
+//!
+//! The position feature deserves a word: a stationary loop kernel emits
+//! near-identical content features for every interval, yet its measured
+//! IPC still ramps as caches and predictors fill — a purely
+//! *microarchitectural* phase no trace-content feature can see. Folding
+//! the interval's temporal position into the vector makes k-means fall
+//! back to contiguous segmentation exactly in that situation (identical
+//! content ⇒ distance is dominated by position), so the warmup ramp is
+//! approximated piecewise instead of being collapsed into one
+//! unrepresentative interval. When content features *do* differ (real
+//! phase changes), they dominate the distance and clustering behaves like
+//! classic SimPoint.
+
+use catch_trace::{MicroOp, OpClass, Trace};
+use std::collections::HashSet;
+
+/// Number of hashed-PC buckets in the basic-block signature.
+pub const BBV_BUCKETS: usize = 16;
+
+/// Number of buckets in the load stride-delta histogram.
+pub const STRIDE_BUCKETS: usize = 5;
+
+/// Dimensionality of the content features computed by [`feature_vector`]
+/// (excludes the position feature appended by [`profile`]).
+pub const FEATURE_DIM: usize = BBV_BUCKETS + 4 + STRIDE_BUCKETS + 1 + 2;
+
+/// Dimensionality of the profiled per-interval vectors ([`FEATURE_DIM`]
+/// content features plus the trace-position feature).
+pub const PROFILE_DIM: usize = FEATURE_DIM + 1;
+
+/// Weight of the temporal-position feature appended by [`profile`].
+/// Content features are normalised fractions, so a weight of 1 makes a
+/// full-trace position difference comparable to a complete change of op
+/// mix — position dominates only when content features are nearly
+/// identical (see the module docs).
+pub const POSITION_WEIGHT: f64 = 1.0;
+
+/// Splits `trace_len` ops into fixed-size intervals of `interval_ops`,
+/// returning `(start, end)` op-index ranges. The remainder (fewer than
+/// `interval_ops` trailing ops) is merged into the last interval, so the
+/// tail interval holds between `interval_ops` and `2 * interval_ops - 1`
+/// ops. A trace shorter than one interval yields a single interval.
+pub fn interval_bounds(trace_len: usize, interval_ops: usize) -> Vec<(usize, usize)> {
+    assert!(interval_ops > 0, "interval_ops must be positive");
+    assert!(trace_len > 0, "cannot split an empty trace");
+    let n = (trace_len / interval_ops).max(1);
+    (0..n)
+        .map(|i| {
+            let start = i * interval_ops;
+            let end = if i == n - 1 {
+                trace_len
+            } else {
+                start + interval_ops
+            };
+            (start, end)
+        })
+        .collect()
+}
+
+/// Computes the feature vector for one slice of micro-ops.
+pub fn feature_vector(ops: &[MicroOp]) -> Vec<f64> {
+    assert!(!ops.is_empty(), "feature_vector needs at least one op");
+    let mut v = vec![0.0; FEATURE_DIM];
+    let total = ops.len() as f64;
+
+    let (mut loads, mut stores, mut branches, mut fp) = (0u64, 0u64, 0u64, 0u64);
+    let mut strides = [0u64; STRIDE_BUCKETS];
+    let mut prev_load_line: Option<u64> = None;
+    let mut lines = HashSet::new();
+    let mut pages = HashSet::new();
+
+    for op in ops {
+        v[bbv_bucket(op)] += 1.0;
+        match op.class {
+            OpClass::Load => loads += 1,
+            OpClass::Store => stores += 1,
+            OpClass::Branch => branches += 1,
+            OpClass::FpAdd | OpClass::FpMul => fp += 1,
+            _ => {}
+        }
+        if let Some(mem) = op.mem {
+            lines.insert(mem.addr.line());
+            pages.insert(mem.addr.page());
+            if op.class == OpClass::Load {
+                let line = mem.addr.line().get();
+                if let Some(prev) = prev_load_line {
+                    strides[stride_bucket(line.wrapping_sub(prev) as i64)] += 1;
+                }
+                prev_load_line = Some(line);
+            }
+        }
+    }
+
+    for b in v.iter_mut().take(BBV_BUCKETS) {
+        *b /= total;
+    }
+    let mix = BBV_BUCKETS;
+    v[mix] = loads as f64 / total;
+    v[mix + 1] = stores as f64 / total;
+    v[mix + 2] = branches as f64 / total;
+    v[mix + 3] = fp as f64 / total;
+
+    let stride_base = mix + 4;
+    let stride_total: u64 = strides.iter().sum();
+    if stride_total > 0 {
+        for (slot, &count) in strides.iter().enumerate() {
+            v[stride_base + slot] = count as f64 / stride_total as f64;
+        }
+    }
+    v[stride_base + STRIDE_BUCKETS] = entropy(&v[stride_base..stride_base + STRIDE_BUCKETS]);
+
+    let foot = stride_base + STRIDE_BUCKETS + 1;
+    v[foot] = lines.len() as f64 / total;
+    v[foot + 1] = pages.len() as f64 / total;
+    v
+}
+
+/// Profiles a trace: one [`PROFILE_DIM`]-length vector per
+/// `(start, end)` interval — the content features of the slice plus the
+/// weighted normalised interval position.
+pub fn profile(trace: &Trace, bounds: &[(usize, usize)]) -> Vec<Vec<f64>> {
+    let n = bounds.len();
+    bounds
+        .iter()
+        .enumerate()
+        .map(|(i, &(start, end))| {
+            let mut v = feature_vector(&trace.ops()[start..end]);
+            let position = if n > 1 {
+                i as f64 / (n - 1) as f64
+            } else {
+                0.0
+            };
+            v.push(POSITION_WEIGHT * position);
+            v
+        })
+        .collect()
+}
+
+fn bbv_bucket(op: &MicroOp) -> usize {
+    debug_assert!(BBV_BUCKETS.is_power_of_two());
+    op.pc.hashed(BBV_BUCKETS.trailing_zeros()) as usize
+}
+
+/// Buckets a line-granular load stride: sequential (0), unit (±1), small
+/// (|d| ≤ 8), medium (|d| ≤ 64), large/irregular.
+fn stride_bucket(delta: i64) -> usize {
+    match delta.unsigned_abs() {
+        0 => 0,
+        1 => 1,
+        2..=8 => 2,
+        9..=64 => 3,
+        _ => 4,
+    }
+}
+
+/// Shannon entropy of a discrete distribution, normalised to `[0, 1]` by
+/// the maximum (uniform) entropy for its bucket count.
+fn entropy(p: &[f64]) -> f64 {
+    let h: f64 = p.iter().filter(|&&x| x > 0.0).map(|&x| -x * x.log2()).sum();
+    h / (p.len() as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catch_trace::{Addr, ArchReg, TraceBuilder};
+
+    fn streaming_trace(ops: usize) -> Trace {
+        let mut b = TraceBuilder::new("stream");
+        let r = ArchReg::new(1);
+        for i in 0..ops {
+            b.load(r, Addr::new(64 * i as u64), 0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bounds_merge_tail_into_last_interval() {
+        let b = interval_bounds(1050, 100);
+        assert_eq!(b.len(), 10);
+        assert_eq!(b[0], (0, 100));
+        assert_eq!(b[9], (900, 1050));
+        let total: usize = b.iter().map(|(s, e)| e - s).sum();
+        assert_eq!(total, 1050);
+    }
+
+    #[test]
+    fn short_trace_is_one_interval() {
+        assert_eq!(interval_bounds(37, 100), vec![(0, 37)]);
+    }
+
+    #[test]
+    fn exact_split_has_no_tail() {
+        let b = interval_bounds(400, 100);
+        assert_eq!(b.len(), 4);
+        assert!(b.iter().all(|(s, e)| e - s == 100));
+    }
+
+    #[test]
+    fn feature_vector_has_fixed_dimension_and_is_normalised() {
+        let t = streaming_trace(500);
+        let v = feature_vector(t.ops());
+        assert_eq!(v.len(), FEATURE_DIM);
+        let bbv_sum: f64 = v[..BBV_BUCKETS].iter().sum();
+        assert!((bbv_sum - 1.0).abs() < 1e-9, "BBV must sum to 1");
+        assert!(v.iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)));
+        // Pure load stream: load fraction 1, unit-line stride dominates.
+        assert!((v[BBV_BUCKETS] - 1.0).abs() < 1e-9);
+        assert!(v[BBV_BUCKETS + 4 + 1] > 0.99, "unit stride bucket");
+    }
+
+    #[test]
+    fn streaming_and_random_phases_are_separable() {
+        let mut b = TraceBuilder::new("mixed");
+        let r = ArchReg::new(1);
+        for i in 0..200u64 {
+            b.load(r, Addr::new(64 * i), 0);
+        }
+        let mut x = 12345u64;
+        for _ in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            b.load(r, Addr::new(x % (1 << 30)), 0);
+        }
+        let t = b.build();
+        let a = feature_vector(&t.ops()[..200]);
+        let c = feature_vector(&t.ops()[200..]);
+        let dist: f64 = a
+            .iter()
+            .zip(&c)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist > 0.5, "phases should be far apart, got {dist}");
+    }
+
+    #[test]
+    fn profile_is_deterministic() {
+        let t = streaming_trace(1000);
+        let bounds = interval_bounds(t.len(), 100);
+        assert_eq!(profile(&t, &bounds), profile(&t, &bounds));
+    }
+
+    #[test]
+    fn profile_appends_normalised_position() {
+        let t = streaming_trace(1000);
+        let bounds = interval_bounds(t.len(), 100);
+        let feats = profile(&t, &bounds);
+        assert!(feats.iter().all(|f| f.len() == PROFILE_DIM));
+        assert_eq!(feats[0][FEATURE_DIM], 0.0, "first interval at position 0");
+        assert!(
+            (feats[9][FEATURE_DIM] - POSITION_WEIGHT).abs() < 1e-12,
+            "last interval at full position weight"
+        );
+        // Positions are strictly increasing even when content features
+        // are identical, so a stationary trace still segments temporally.
+        for w in feats.windows(2) {
+            assert!(w[0][FEATURE_DIM] < w[1][FEATURE_DIM]);
+        }
+    }
+
+    #[test]
+    fn entropy_normalised() {
+        assert_eq!(entropy(&[1.0, 0.0, 0.0, 0.0]), 0.0);
+        let uniform = [0.25; 4];
+        assert!((entropy(&uniform) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,216 @@
+//! Deterministic, seeded k-means for interval feature vectors.
+//!
+//! Standard Lloyd iterations with k-means++ seeding, driven entirely by
+//! the workspace's first-party [`SplitMix64`] generator so clustering is
+//! bit-reproducible across platforms and runs. Ties (equidistant points,
+//! equally-far reseed candidates) break toward the lowest index, which
+//! keeps the assignment independent of iteration order.
+
+use catch_trace::rng::SplitMix64;
+
+/// Result of one clustering run.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// `assign[i]` is the cluster id (`0..k`) of point `i`.
+    pub assign: Vec<usize>,
+    /// Cluster centroids, indexed by cluster id.
+    pub centroids: Vec<Vec<f64>>,
+}
+
+/// Squared Euclidean distance.
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance.
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    dist2(a, b).sqrt()
+}
+
+/// Clusters `points` into `k` groups.
+///
+/// With `k >= points.len()` every point becomes its own cluster (identity
+/// assignment, no iteration) — the degenerate configuration used to prove
+/// bit-identity of sampled and full simulation runs.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or `k` is zero.
+pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, max_iters: usize) -> Clustering {
+    assert!(!points.is_empty(), "kmeans needs at least one point");
+    assert!(k > 0, "kmeans needs at least one cluster");
+    let n = points.len();
+    if k >= n {
+        return Clustering {
+            assign: (0..n).collect(),
+            centroids: points.to_vec(),
+        };
+    }
+
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut centroids = seed_plus_plus(points, k, &mut rng);
+    let mut assign = vec![0usize; n];
+
+    for _ in 0..max_iters.max(1) {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = nearest_centroid(p, &centroids);
+            if assign[i] != best {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        recompute_centroids(points, &assign, &mut centroids);
+        if !changed {
+            break;
+        }
+    }
+    Clustering { assign, centroids }
+}
+
+/// Index of the nearest centroid (ties toward the lowest id).
+fn nearest_centroid(p: &[f64], centroids: &[Vec<f64>]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = dist2(p, centroid);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+/// k-means++ seeding: the first centroid is a uniform draw, each later
+/// one is drawn with probability proportional to its squared distance
+/// from the nearest already-chosen centroid.
+fn seed_plus_plus(points: &[Vec<f64>], k: usize, rng: &mut SplitMix64) -> Vec<Vec<f64>> {
+    let n = points.len();
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..n)].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| dist2(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with a centroid; any pick is equivalent.
+            rng.gen_range(0..n)
+        } else {
+            let mut r = rng.gen_f64() * total;
+            let mut pick = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if r < w {
+                    pick = i;
+                    break;
+                }
+                r -= w;
+            }
+            pick
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(dist2(p, centroids.last().expect("just pushed")));
+        }
+    }
+    centroids
+}
+
+/// Recomputes each centroid as the mean of its members. An emptied
+/// cluster is reseeded to the point farthest from its current centroid
+/// (deterministic: ties toward the lowest index).
+fn recompute_centroids(points: &[Vec<f64>], assign: &[usize], centroids: &mut [Vec<f64>]) {
+    let dim = points[0].len();
+    let k = centroids.len();
+    let mut sums = vec![vec![0.0; dim]; k];
+    let mut counts = vec![0usize; k];
+    for (p, &c) in points.iter().zip(assign) {
+        counts[c] += 1;
+        for (s, x) in sums[c].iter_mut().zip(p) {
+            *s += x;
+        }
+    }
+    for c in 0..k {
+        if counts[c] == 0 {
+            let far = points
+                .iter()
+                .enumerate()
+                .max_by(|(ia, a), (ib, b)| {
+                    dist2(a, &centroids[c])
+                        .partial_cmp(&dist2(b, &centroids[c]))
+                        .expect("finite distances")
+                        // On ties, prefer the lower index.
+                        .then(ib.cmp(ia))
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty points");
+            centroids[c] = points[far].clone();
+        } else {
+            for (s, slot) in sums[c].iter().zip(centroids[c].iter_mut()) {
+                *slot = s / counts[c] as f64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        // Two well-separated 2-D blobs of 5 points each.
+        let mut pts = Vec::new();
+        for i in 0..5 {
+            pts.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+        }
+        for i in 0..5 {
+            pts.push(vec![10.0 + 0.01 * i as f64, 10.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_obvious_blobs() {
+        let c = kmeans(&blobs(), 2, 42, 32);
+        let first = c.assign[0];
+        assert!(c.assign[..5].iter().all(|&a| a == first));
+        let second = c.assign[5];
+        assert_ne!(first, second);
+        assert!(c.assign[5..].iter().all(|&a| a == second));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = kmeans(&blobs(), 2, 7, 32);
+        let b = kmeans(&blobs(), 2, 7, 32);
+        assert_eq!(a.assign, b.assign);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn k_at_least_n_is_identity() {
+        let pts = blobs();
+        for k in [pts.len(), pts.len() + 3, usize::MAX] {
+            let c = kmeans(&pts, k, 1, 32);
+            assert_eq!(c.assign, (0..pts.len()).collect::<Vec<_>>());
+            assert_eq!(c.centroids, pts);
+        }
+    }
+
+    #[test]
+    fn identical_points_collapse_cleanly() {
+        let pts = vec![vec![1.0, 2.0]; 6];
+        let c = kmeans(&pts, 3, 9, 16);
+        assert_eq!(c.assign.len(), 6);
+        for &a in &c.assign {
+            assert!(c.centroids[a].iter().zip(&pts[0]).all(|(x, y)| x == y));
+        }
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let pts = vec![vec![0.0], vec![2.0], vec![4.0]];
+        let c = kmeans(&pts, 1, 5, 16);
+        assert!(c.assign.iter().all(|&a| a == 0));
+        assert!((c.centroids[0][0] - 2.0).abs() < 1e-12);
+    }
+}

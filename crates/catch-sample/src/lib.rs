@@ -1,0 +1,51 @@
+//! SimPoint-style sampled simulation support for the CATCH simulator.
+//!
+//! Simulating every micro-op of a long trace is the dominant cost of the
+//! experiment suite. This crate implements the classic remedy (Sherwood
+//! et al.'s SimPoint, applied to cache studies by Bueno et al., see
+//! PAPERS.md): split the trace into fixed-size intervals, summarise each
+//! interval with a cheap feature vector ([`features`]), cluster the
+//! vectors with a deterministic seeded k-means ([`mod@kmeans`]), and simulate
+//! only one *representative* interval per cluster in detail, weighting
+//! its statistics by the cluster's member count ([`SamplePlan`]).
+//!
+//! The crate is purely analytical — it never runs the simulator. The
+//! execution side (functional warmup between representatives, weighted
+//! stat reconstruction) lives in `catch-cpu`, `catch-cache` and
+//! `catch-core::System::run_sampled`.
+//!
+//! Determinism is a hard requirement everywhere: clustering uses the
+//! workspace's SplitMix64 with a seed carried in [`SampleConfig`], and
+//! all tie-breaks resolve toward the lowest index, so a plan is a pure
+//! function of `(trace, config)`.
+//!
+//! # Example
+//!
+//! ```
+//! use catch_sample::{SampleConfig, SamplePlan};
+//! use catch_trace::{Addr, ArchReg, TraceBuilder};
+//!
+//! let mut b = TraceBuilder::new("demo");
+//! for i in 0..4_000u64 {
+//!     b.load(ArchReg::new(1), Addr::new(64 * i), 0);
+//! }
+//! let trace = b.build();
+//! let plan = SamplePlan::build(&trace, &SampleConfig::new(1_000));
+//! assert_eq!(plan.interval_count(), 4);
+//! // Weights always sum back to the interval count.
+//! let total: u64 = plan.intervals.iter().map(|iv| iv.weight).sum();
+//! assert_eq!(total, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod kmeans;
+mod plan;
+
+pub use features::{
+    feature_vector, interval_bounds, profile, FEATURE_DIM, POSITION_WEIGHT, PROFILE_DIM,
+};
+pub use kmeans::{kmeans, Clustering};
+pub use plan::{Interval, SampleConfig, SamplePlan};

@@ -1,0 +1,373 @@
+//! Sampling plans: clustering intervals and picking weighted
+//! representatives.
+
+use crate::features::{self, interval_bounds};
+use crate::kmeans::{self, dist};
+use catch_trace::Trace;
+
+/// Configuration for a sampled simulation run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SampleConfig {
+    /// Nominal interval size in micro-ops (the tail merges into the last
+    /// interval).
+    pub interval_ops: usize,
+    /// Maximum number of k-means clusters over the non-pinned intervals.
+    /// Setting this to at least the interval count makes every interval
+    /// its own singleton cluster, which degenerates the sampled run into
+    /// a bit-identical full run.
+    pub max_clusters: usize,
+    /// Seed for k-means++ initialisation.
+    pub seed: u64,
+    /// Lloyd-iteration cap for k-means.
+    pub kmeans_iters: usize,
+    /// Detailed (cycle-accurate but unmeasured) micro-ops simulated
+    /// immediately before each measured representative that follows a
+    /// fast-forwarded gap. Functional warmup keeps cache tags and the
+    /// branch predictor current but cannot re-fill the pipeline or
+    /// re-train prefetchers and the criticality detector; this short
+    /// detailed ramp does, which is what keeps the per-interval IPC
+    /// honest. It never runs in the all-singleton (bit-identical)
+    /// configuration because no gaps exist there.
+    pub warmup_ops: usize,
+}
+
+impl SampleConfig {
+    /// Defaults: 8 clusters, a fixed seed, 32 Lloyd iterations, and a
+    /// detailed warmup of half the interval size.
+    pub fn new(interval_ops: usize) -> Self {
+        let interval_ops = interval_ops.max(1);
+        SampleConfig {
+            interval_ops,
+            max_clusters: 8,
+            seed: 0xCA7C_5A3B,
+            kmeans_iters: 32,
+            warmup_ops: interval_ops / 2,
+        }
+    }
+
+    /// Overrides the cluster cap.
+    pub fn with_max_clusters(mut self, max_clusters: usize) -> Self {
+        self.max_clusters = max_clusters.max(1);
+        self
+    }
+
+    /// Overrides the clustering seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the detailed-warmup length before each measured
+    /// representative.
+    pub fn with_warmup_ops(mut self, warmup_ops: usize) -> Self {
+        self.warmup_ops = warmup_ops;
+        self
+    }
+}
+
+/// One trace interval in a [`SamplePlan`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// Interval index in trace order.
+    pub index: usize,
+    /// First op index (inclusive).
+    pub start: usize,
+    /// Last op index (exclusive).
+    pub end: usize,
+    /// Cluster this interval belongs to.
+    pub cluster: usize,
+    /// Reconstruction weight: the cluster's member count if this interval
+    /// is the cluster representative, `0` if it is skipped (fast-forwarded).
+    pub weight: u64,
+}
+
+/// A complete sampling plan for one trace.
+///
+/// Two kinds of intervals are *pinned* to singleton clusters and always
+/// simulated in detail with weight 1, because no other interval can
+/// represent them:
+///
+/// * interval 0 — it alone observes the cold-start (compulsory-miss)
+///   transient, which a warmed-up representative would erase;
+/// * an oversized tail interval (present when the trace length is not a
+///   multiple of the interval size) — its op count differs from every
+///   other interval's, so weighting it as a peer would skew totals.
+///
+/// The remaining intervals are clustered by feature vector and each
+/// cluster elects the member closest to its centroid as representative,
+/// weighted by the cluster's member count.
+#[derive(Clone, Debug)]
+pub struct SamplePlan {
+    /// All intervals in trace order.
+    pub intervals: Vec<Interval>,
+    /// Total number of clusters (k-means clusters plus pinned singletons).
+    pub clusters: usize,
+    /// Per-cluster centroid in feature space (a pinned interval's
+    /// centroid is its own feature vector).
+    pub centroids: Vec<Vec<f64>>,
+    /// Per-cluster RMS distance of members to the centroid (0 for
+    /// singletons).
+    pub dispersion: Vec<f64>,
+    /// Per-cluster member count.
+    pub members: Vec<u64>,
+}
+
+impl SamplePlan {
+    /// Profiles `trace` and builds the sampling plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn build(trace: &Trace, config: &SampleConfig) -> SamplePlan {
+        let bounds = interval_bounds(trace.len(), config.interval_ops);
+        let feats = features::profile(trace, &bounds);
+        let n = bounds.len();
+
+        // Pinned intervals: cold-start, plus an irregular-sized tail.
+        let tail_oversized = n > 1 && (bounds[n - 1].1 - bounds[n - 1].0) != config.interval_ops;
+        let pinned = |i: usize| i == 0 || (tail_oversized && i == n - 1);
+        let free: Vec<usize> = (0..n).filter(|&i| !pinned(i)).collect();
+
+        let k = config.max_clusters.min(free.len()).max(1);
+        let clustering = if free.is_empty() {
+            None
+        } else {
+            let pts: Vec<Vec<f64>> = free.iter().map(|&i| feats[i].clone()).collect();
+            Some(kmeans::kmeans(&pts, k, config.seed, config.kmeans_iters))
+        };
+
+        let free_clusters = clustering.as_ref().map_or(0, |c| c.centroids.len());
+        let mut centroids: Vec<Vec<f64>> = clustering
+            .as_ref()
+            .map_or_else(Vec::new, |c| c.centroids.clone());
+        let mut cluster_of = vec![usize::MAX; n];
+        if let Some(c) = &clustering {
+            for (slot, &i) in free.iter().enumerate() {
+                cluster_of[i] = c.assign[slot];
+            }
+        }
+        let mut next = free_clusters;
+        for i in 0..n {
+            if pinned(i) {
+                cluster_of[i] = next;
+                centroids.push(feats[i].clone());
+                next += 1;
+            }
+        }
+        let clusters = next;
+
+        let mut members = vec![0u64; clusters];
+        for &c in &cluster_of {
+            members[c] += 1;
+        }
+
+        // Representative: the member closest to the centroid (ties toward
+        // the earliest interval).
+        let mut rep = vec![usize::MAX; clusters];
+        let mut rep_dist = vec![f64::INFINITY; clusters];
+        for i in 0..n {
+            let c = cluster_of[i];
+            let d = dist(&feats[i], &centroids[c]);
+            if d < rep_dist[c] {
+                rep_dist[c] = d;
+                rep[c] = i;
+            }
+        }
+
+        let mut dispersion = vec![0.0f64; clusters];
+        for i in 0..n {
+            let c = cluster_of[i];
+            let d = dist(&feats[i], &centroids[c]);
+            dispersion[c] += d * d;
+        }
+        for c in 0..clusters {
+            dispersion[c] = (dispersion[c] / members[c] as f64).sqrt();
+        }
+
+        let intervals = bounds
+            .iter()
+            .enumerate()
+            .map(|(i, &(start, end))| {
+                let cluster = cluster_of[i];
+                Interval {
+                    index: i,
+                    start,
+                    end,
+                    cluster,
+                    weight: if rep[cluster] == i {
+                        members[cluster]
+                    } else {
+                        0
+                    },
+                }
+            })
+            .collect();
+
+        SamplePlan {
+            intervals,
+            clusters,
+            centroids,
+            dispersion,
+            members,
+        }
+    }
+
+    /// Number of intervals.
+    pub fn interval_count(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// The representative intervals (weight > 0), in trace order.
+    pub fn representatives(&self) -> impl Iterator<Item = &Interval> {
+        self.intervals.iter().filter(|iv| iv.weight > 0)
+    }
+
+    /// Heuristic a-priori bound on the relative IPC reconstruction error,
+    /// in percent, from cluster geometry and the representatives' IPCs.
+    ///
+    /// `rep_ipc[c]` is the measured IPC of cluster `c`'s representative.
+    /// The model assumes IPC varies smoothly in feature space and
+    /// estimates its sensitivity from the observed data: a least-squares
+    /// through-origin fit of `|ΔIPC|` against centroid distance over all
+    /// cluster pairs (`slope = Σ|ΔIPC|·d / Σd²`). The fit is robust to
+    /// the steep-but-local pairs a max-ratio estimator latches onto
+    /// (e.g. adjacent warmup-ramp segments whose centroids differ only
+    /// by a sliver of trace position). Each cluster then contributes
+    /// `slope × dispersion` of potential per-interval error; clusters
+    /// are combined as a member-weighted RMS and normalised by the
+    /// weighted-mean IPC.
+    ///
+    /// The estimate is exactly 0 when every cluster is a singleton (all
+    /// dispersions are 0 — the bit-identical configuration), and also
+    /// when all representatives report the same IPC: the estimator is
+    /// empirical, so zero observed sensitivity predicts zero error.
+    pub fn ipc_error_bound_pct(&self, rep_ipc: &[f64]) -> f64 {
+        assert_eq!(rep_ipc.len(), self.clusters, "one IPC per cluster");
+        let total: u64 = self.members.iter().sum();
+        let mean_ipc: f64 = (0..self.clusters)
+            .map(|c| rep_ipc[c] * self.members[c] as f64)
+            .sum::<f64>()
+            / total as f64;
+        if mean_ipc <= 0.0 {
+            return 0.0;
+        }
+
+        const EPS: f64 = 1e-9;
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for a in 0..self.clusters {
+            for b in (a + 1)..self.clusters {
+                let d = dist(&self.centroids[a], &self.centroids[b]);
+                if d > EPS {
+                    num += (rep_ipc[a] - rep_ipc[b]).abs() * d;
+                    den += d * d;
+                }
+            }
+        }
+        let slope = if den > EPS { num / den } else { 0.0 };
+        let mse: f64 = (0..self.clusters)
+            .map(|c| {
+                let e = slope * self.dispersion[c];
+                e * e * self.members[c] as f64
+            })
+            .sum::<f64>()
+            / total as f64;
+        100.0 * mse.sqrt() / mean_ipc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catch_trace::{Addr, ArchReg, TraceBuilder};
+
+    fn trace(ops: usize) -> Trace {
+        let mut b = TraceBuilder::new("t");
+        let r = ArchReg::new(1);
+        for i in 0..ops {
+            b.load(r, Addr::new(64 * (i as u64 % 512)), 0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn weights_partition_the_trace() {
+        let t = trace(10_500);
+        let plan = SamplePlan::build(&t, &SampleConfig::new(1_000));
+        assert_eq!(plan.interval_count(), 10);
+        let weighted: u64 = plan.intervals.iter().map(|iv| iv.weight).sum();
+        assert_eq!(weighted, 10, "weights must sum to the interval count");
+        let covered: usize = plan.intervals.iter().map(|iv| iv.end - iv.start).sum();
+        assert_eq!(covered, t.len());
+    }
+
+    #[test]
+    fn cold_start_interval_is_pinned_singleton() {
+        let t = trace(10_000);
+        let plan = SamplePlan::build(&t, &SampleConfig::new(1_000).with_max_clusters(2));
+        let first = &plan.intervals[0];
+        assert_eq!(first.weight, 1, "interval 0 must represent itself");
+        assert_eq!(plan.members[first.cluster], 1);
+    }
+
+    #[test]
+    fn oversized_tail_is_pinned_singleton() {
+        let t = trace(10_500);
+        let plan = SamplePlan::build(&t, &SampleConfig::new(1_000).with_max_clusters(2));
+        let last = plan.intervals.last().expect("intervals");
+        assert_eq!(last.end - last.start, 1_500);
+        assert_eq!(last.weight, 1, "oversized tail must represent itself");
+        assert_eq!(plan.members[last.cluster], 1);
+    }
+
+    #[test]
+    fn exact_tail_is_not_pinned() {
+        let t = trace(10_000);
+        let plan = SamplePlan::build(&t, &SampleConfig::new(1_000).with_max_clusters(1));
+        // 10 intervals: interval 0 pinned, the other 9 share one cluster.
+        assert_eq!(plan.clusters, 2);
+        assert_eq!(plan.representatives().count(), 2);
+    }
+
+    #[test]
+    fn max_clusters_at_interval_count_gives_all_singletons() {
+        let t = trace(10_000);
+        let plan = SamplePlan::build(&t, &SampleConfig::new(1_000).with_max_clusters(10));
+        assert_eq!(plan.clusters, 10);
+        assert!(plan.intervals.iter().all(|iv| iv.weight == 1));
+        assert!(plan.dispersion.iter().all(|&d| d == 0.0));
+        let ipcs = vec![1.0; plan.clusters];
+        assert_eq!(plan.ipc_error_bound_pct(&ipcs), 0.0);
+    }
+
+    #[test]
+    fn error_bound_tracks_observed_ipc_sensitivity() {
+        let t = trace(20_000);
+        let plan = SamplePlan::build(&t, &SampleConfig::new(1_000).with_max_clusters(4));
+        // Zero observed IPC sensitivity predicts zero error.
+        let flat = vec![1.0; plan.clusters];
+        assert_eq!(plan.ipc_error_bound_pct(&flat), 0.0);
+        // An IPC spread across clusters yields a finite positive bound
+        // (the clustered intervals have non-zero dispersion).
+        let spread: Vec<f64> = (0..plan.clusters).map(|i| 0.5 + i as f64 * 0.5).collect();
+        let b = plan.ipc_error_bound_pct(&spread);
+        assert!(b.is_finite() && b > 0.0, "bound was {b}");
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let t = trace(20_000);
+        let cfg = SampleConfig::new(1_000).with_max_clusters(4);
+        let a = SamplePlan::build(&t, &cfg);
+        let b = SamplePlan::build(&t, &cfg);
+        assert_eq!(a.intervals, b.intervals);
+    }
+
+    #[test]
+    fn single_interval_trace_is_fully_detailed() {
+        let t = trace(500);
+        let plan = SamplePlan::build(&t, &SampleConfig::new(1_000));
+        assert_eq!(plan.interval_count(), 1);
+        assert_eq!(plan.intervals[0].weight, 1);
+    }
+}

@@ -13,6 +13,7 @@ fn eval() -> EvalConfig {
         ops: 25_000,
         warmup: 8_000,
         seed: 42,
+        sample: None,
     }
 }
 

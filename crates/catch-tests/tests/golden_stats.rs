@@ -36,6 +36,14 @@ const SLICE: [&str; 6] = [
 const GOLDEN_PATH: &str = "tests/golden/suite_slice.json";
 const GOLDEN: &str = include_str!("golden/suite_slice.json");
 
+/// MP snapshot: one RATE-4 mix (four copies of xalanc_like sharing the
+/// LLC) at a reduced per-core scale. Guards the multi-programmed path —
+/// round-robin core interleaving, shared-LLC contention and the per-copy
+/// address rebasing — which the ST snapshot cannot see.
+const MP_OPS: usize = 6_000;
+const MP_GOLDEN_PATH: &str = "tests/golden/mp_rate4.json";
+const MP_GOLDEN: &str = include_str!("golden/mp_rate4.json");
+
 fn slice_runs() -> Vec<RunResult> {
     let system = System::new(SystemConfig::baseline_exclusive());
     SLICE
@@ -49,35 +57,53 @@ fn slice_runs() -> Vec<RunResult> {
         .collect()
 }
 
-#[test]
-fn suite_slice_matches_golden_snapshot() {
-    let actual = run_results_to_json(&slice_runs());
+/// Blesses (under `CATCH_BLESS=1`) or byte-compares one snapshot,
+/// reporting the first diverging line on mismatch.
+fn check_golden(actual: &str, golden: &str, path: &str) {
     if std::env::var_os("CATCH_BLESS").is_some() {
-        std::fs::write(GOLDEN_PATH, &actual).expect("write golden snapshot");
-        eprintln!("blessed {GOLDEN_PATH} ({} bytes)", actual.len());
+        std::fs::write(path, actual).expect("write golden snapshot");
+        eprintln!("blessed {path} ({} bytes)", actual.len());
         return;
     }
-    if actual != GOLDEN {
+    if actual != golden {
         // Locate the first diverging line for a readable failure.
         let mismatch = actual
             .lines()
-            .zip(GOLDEN.lines())
+            .zip(golden.lines())
             .enumerate()
             .find(|(_, (a, g))| a != g);
         if let Some((i, (a, g))) = mismatch {
             panic!(
-                "golden-stats mismatch at line {}:\n  actual: {a}\n  golden: {g}\n\
+                "golden-stats mismatch in {path} at line {}:\n  actual: {a}\n  golden: {g}\n\
                  re-bless with CATCH_BLESS=1 if the change is intended",
                 i + 1
             );
         }
         panic!(
-            "golden-stats mismatch: lengths differ (actual {} bytes, golden {} bytes); \
+            "golden-stats mismatch in {path}: lengths differ (actual {} bytes, golden {} bytes); \
              re-bless with CATCH_BLESS=1 if the change is intended",
             actual.len(),
-            GOLDEN.len()
+            golden.len()
         );
     }
+}
+
+#[test]
+fn suite_slice_matches_golden_snapshot() {
+    let actual = run_results_to_json(&slice_runs());
+    check_golden(&actual, GOLDEN, GOLDEN_PATH);
+}
+
+#[test]
+fn mp_rate4_matches_golden_snapshot() {
+    let mix = catch_workloads::mp::rate4_mixes()
+        .into_iter()
+        .find(|m| m.name == "rate4_xalanc_like")
+        .expect("rate4 mix exists for every suite workload");
+    let system = System::new(SystemConfig::baseline_exclusive().with_cores(4));
+    let mp = system.run_mp(mix.generate(MP_OPS, SEED));
+    let actual = run_results_to_json(&mp.per_core);
+    check_golden(&actual, MP_GOLDEN, MP_GOLDEN_PATH);
 }
 
 #[test]

@@ -12,6 +12,7 @@ fn eval() -> EvalConfig {
         ops: 4_000,
         warmup: 1_000,
         seed: 42,
+        sample: None,
     }
 }
 

@@ -1,0 +1,135 @@
+//! Acceptance suite for SimPoint-style sampled simulation.
+//!
+//! Three properties anchor the sampling subsystem:
+//!
+//! 1. **Accuracy** — for each golden workload, the sampled run
+//!    reconstructs IPC within 5% and L2/LLC miss counts within 10% of
+//!    the full detailed run.
+//! 2. **Bit-identity** — with the cluster cap at the interval count
+//!    every interval is its own singleton representative, there are no
+//!    fast-forward gaps, and the sampled run must reproduce `run_st`
+//!    counter-for-counter (and report a zero error bound).
+//! 3. **Speedup** — on a long trace the sampled run must do at most a
+//!    fifth of the detailed work of the full run. CI boxes make wall
+//!    clock unreliable, so the assertion is on `detailed_ops` (the ops
+//!    simulated cycle-accurately), which is what the speedup buys.
+
+use catch_core::experiments::GOLDEN_WORKLOADS;
+use catch_core::{SampleConfig, System, SystemConfig};
+use catch_trace::counters::Counters;
+use catch_workloads::suite;
+
+const OPS: usize = 100_000;
+const SEED: u64 = 42;
+
+fn system() -> System {
+    System::new(SystemConfig::baseline_exclusive())
+}
+
+fn pct_err(sampled: f64, full: f64) -> f64 {
+    if full == 0.0 {
+        if sampled == 0.0 {
+            0.0
+        } else {
+            100.0
+        }
+    } else {
+        100.0 * (sampled - full).abs() / full
+    }
+}
+
+#[test]
+fn golden_workloads_reconstruct_within_error_budget() {
+    let sys = system();
+    let sample = SampleConfig::new(5_000).with_max_clusters(10);
+    for name in GOLDEN_WORKLOADS {
+        let trace = suite::by_name(name)
+            .expect("golden workload exists")
+            .generate(OPS, SEED);
+        let full = sys.run_st(trace.clone());
+        let sampled = sys.run_sampled(trace, &sample);
+
+        let ipc_err = pct_err(sampled.result.ipc(), full.ipc());
+        assert!(
+            ipc_err < 5.0,
+            "{name}: sampled IPC off by {ipc_err:.2}% (full {:.4}, sampled {:.4})",
+            full.ipc(),
+            sampled.result.ipc()
+        );
+
+        let l2_full: u64 = full.hierarchy.l2.iter().map(|c| c.misses).sum();
+        let l2_sampled: u64 = sampled.result.hierarchy.l2.iter().map(|c| c.misses).sum();
+        let l2_err = pct_err(l2_sampled as f64, l2_full as f64);
+        assert!(
+            l2_err < 10.0,
+            "{name}: L2 misses off by {l2_err:.2}% (full {l2_full}, sampled {l2_sampled})"
+        );
+
+        let llc_err = pct_err(
+            sampled.result.hierarchy.llc.misses as f64,
+            full.hierarchy.llc.misses as f64,
+        );
+        assert!(
+            llc_err < 10.0,
+            "{name}: LLC misses off by {llc_err:.2}% (full {}, sampled {})",
+            full.hierarchy.llc.misses,
+            sampled.result.hierarchy.llc.misses
+        );
+    }
+}
+
+#[test]
+fn singleton_clusters_are_bit_identical_to_full_run() {
+    let sys = system();
+    // One cluster per interval: the plan degenerates to "simulate
+    // everything in order", which must match run_st exactly.
+    let sample = SampleConfig::new(5_000).with_max_clusters(usize::MAX);
+    for name in GOLDEN_WORKLOADS {
+        let trace = suite::by_name(name)
+            .expect("golden workload exists")
+            .generate(OPS, SEED);
+        let full = sys.run_st(trace.clone());
+        let sampled = sys.run_sampled(trace, &sample);
+        assert_eq!(
+            full.counters(""),
+            sampled.result.counters(""),
+            "{name}: all-singleton sampling must be bit-identical to run_st"
+        );
+        assert_eq!(
+            sampled.sampling.ipc_error_bound_pct, 0.0,
+            "{name}: singleton clusters have zero dispersion, so zero bound"
+        );
+    }
+}
+
+#[test]
+fn long_trace_does_a_fifth_of_the_detailed_work() {
+    // A 10x-length trace with a small cluster cap: the speedup claim,
+    // smoke-checked via the detailed-work proxy rather than wall clock.
+    let sys = system();
+    let ops = 10 * 25_000;
+    let trace = suite::by_name("tpcc_like")
+        .expect("golden workload exists")
+        .generate(ops, SEED);
+    let sample = SampleConfig::new(5_000).with_max_clusters(4);
+    let sampled = sys.run_sampled(trace, &sample);
+    let s = &sampled.sampling;
+    // Count the detailed-warmup ramps as detailed work too: gaps that
+    // precede a measured representative run warmup_ops cycle-accurately.
+    let warmup_work = s.clusters as u64 * sample.warmup_ops as u64;
+    let detailed = s.detailed_ops + warmup_work;
+    assert!(
+        detailed * 5 <= s.total_ops,
+        "sampled run must do <= 1/5 of the detailed work: \
+         {detailed} of {} ops (measured {}, warmup ramp <= {warmup_work})",
+        s.total_ops,
+        s.detailed_ops
+    );
+    // The proxy only holds if the plan actually skipped intervals.
+    assert!(
+        s.clusters < s.intervals,
+        "speed smoke needs a non-degenerate plan ({} clusters / {} intervals)",
+        s.clusters,
+        s.intervals
+    );
+}

@@ -13,14 +13,35 @@ pub struct MpMix {
     pub members: [WorkloadSpec; 4],
 }
 
+/// Size of each MP copy's private virtual-address window: copy `i` is
+/// rebased to `(i + 1) << 41`, so a member trace whose raw addresses
+/// reach 2^41 would bleed into the next copy's window and spuriously
+/// share cache lines with it.
+pub const MP_ADDR_WINDOW_BITS: u32 = 41;
+
+/// True when every data address in `trace` fits the per-copy MP address
+/// window (below `1 << MP_ADDR_WINDOW_BITS`).
+pub fn fits_mp_window(trace: &Trace) -> bool {
+    trace
+        .ops()
+        .iter()
+        .filter_map(|o| o.mem)
+        .all(|m| m.addr.get() < (1u64 << MP_ADDR_WINDOW_BITS))
+}
+
 impl MpMix {
     /// Generates the four traces (distinct seeds per copy, and a distinct
     /// virtual address space per copy so private-cache contents are not
     /// spuriously shared through the LLC).
     pub fn generate(&self, ops: usize, seed: u64) -> [Trace; 4] {
         let mut traces = self.members.iter().enumerate().map(|(i, w)| {
-            w.generate(ops, seed.wrapping_add(1 + i as u64))
-                .rebased((i as u64 + 1) << 41)
+            let t = w.generate(ops, seed.wrapping_add(1 + i as u64));
+            debug_assert!(
+                fits_mp_window(&t),
+                "workload '{}' exceeds the 2^{MP_ADDR_WINDOW_BITS} MP address window",
+                w.name
+            );
+            t.rebased((i as u64 + 1) << MP_ADDR_WINDOW_BITS)
         });
         [
             traces.next().expect("4 members"),
@@ -116,6 +137,36 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_ne!(addrs(&traces[0]), addrs(&traces[1]));
+    }
+
+    #[test]
+    fn every_suite_workload_fits_the_mp_window() {
+        // Member traces are rebased by multiples of 2^41; any raw address
+        // at or above that would alias into the next copy's window.
+        for w in suite::all() {
+            let t = w.generate(4_000, 99);
+            assert!(
+                fits_mp_window(&t),
+                "workload '{}' escapes the MP address window",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn fits_mp_window_flags_escaping_addresses() {
+        use catch_trace::{Addr, ArchReg, TraceBuilder};
+        let mut b = TraceBuilder::new("huge");
+        b.load(ArchReg::new(1), Addr::new(1u64 << MP_ADDR_WINDOW_BITS), 0);
+        assert!(!fits_mp_window(&b.build()));
+
+        let mut ok = TraceBuilder::new("edge");
+        ok.load(
+            ArchReg::new(1),
+            Addr::new((1u64 << MP_ADDR_WINDOW_BITS) - 1),
+            0,
+        );
+        assert!(fits_mp_window(&ok.build()));
     }
 
     #[test]

@@ -5,27 +5,73 @@
 //! cargo run --release --example run_experiment -- fig10 40000 10000
 //! cargo run --release --example run_experiment -- --md fig10    # markdown
 //! cargo run --release --example run_experiment -- --jobs 4 fig10
+//! cargo run --release --example run_experiment -- --sample 5000 fig10
+//! cargo run --release --example run_experiment -- sample-smoke  # CI gate
 //! cargo run --release --example run_experiment                  # lists ids
 //! ```
 //!
 //! `--jobs N` sets the worker-thread count for suite runs (equivalent to
 //! `CATCH_JOBS=N`; default: all cores). Results are bit-identical for
 //! every N — parallelism only changes wall-clock time.
+//!
+//! `--sample I` runs each workload in SimPoint-style sampled mode with
+//! `I`-op intervals instead of simulating every op in detail (see
+//! DESIGN.md, "Sampling methodology").
+//!
+//! The special id `sample-smoke` is the CI accuracy gate: it runs one
+//! golden workload full and sampled, prints both IPCs with the plan's
+//! reported error bound, and exits non-zero if either the reported bound
+//! or the actual IPC error reaches 5%.
 
 use catch_core::experiments::{self, runner, EvalConfig};
+use catch_core::{SampleConfig, System, SystemConfig};
+use catch_workloads::suite;
 
 fn usage_and_exit() -> ! {
-    eprintln!("usage: run_experiment [--md] [--jobs N] <id> [ops] [warmup]");
+    eprintln!("usage: run_experiment [--md] [--jobs N] [--sample I] <id> [ops] [warmup]");
     eprintln!("available experiments:");
     for id in experiments::all_ids() {
         eprintln!("  {id}");
     }
+    eprintln!("  sample-smoke (CI accuracy gate)");
     std::process::exit(2);
+}
+
+/// The CI sampling gate: one golden workload, full vs sampled, hard-fail
+/// when the reported bound or the achieved IPC error reaches `LIMIT_PCT`.
+fn sample_smoke(eval: &EvalConfig) -> ! {
+    const WORKLOAD: &str = "tpcc_like";
+    const LIMIT_PCT: f64 = 5.0;
+    let interval = eval.sample.unwrap_or_else(|| (eval.ops / 20).max(1));
+    let trace = suite::by_name(WORKLOAD)
+        .expect("golden workload exists")
+        .generate(eval.ops, eval.seed);
+    let system = System::new(SystemConfig::baseline_exclusive());
+    let full = system.run_st(trace.clone());
+    let sampled = system.run_sampled(trace, &SampleConfig::new(interval).with_max_clusters(10));
+    let err = 100.0 * (sampled.result.ipc() - full.ipc()).abs() / full.ipc();
+    let bound = sampled.sampling.ipc_error_bound_pct;
+    println!(
+        "sample-smoke: {WORKLOAD} ops={} interval={interval} \
+         full IPC {:.4}, sampled IPC {:.4}, err {err:.2}%, reported bound {bound:.2}% \
+         (detailed {:.1}% of trace)",
+        eval.ops,
+        full.ipc(),
+        sampled.result.ipc(),
+        100.0 * sampled.sampling.detailed_fraction()
+    );
+    if bound >= LIMIT_PCT || err >= LIMIT_PCT {
+        eprintln!("sample-smoke FAILED: error or bound at/over {LIMIT_PCT}%");
+        std::process::exit(1);
+    }
+    println!("sample-smoke OK (bound and error under {LIMIT_PCT}%)");
+    std::process::exit(0);
 }
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut markdown = false;
+    let mut sample: Option<usize> = None;
     // Flags may appear in any order ahead of the positional arguments.
     loop {
         match args.first().map(String::as_str) {
@@ -35,21 +81,49 @@ fn main() {
             }
             Some("--jobs") => {
                 args.remove(0);
-                let Some(n) = args.first().and_then(|s| s.parse::<usize>().ok()) else {
-                    eprintln!("--jobs requires a positive integer");
+                let Some(raw) = args.first() else {
+                    eprintln!("--jobs requires a value");
                     usage_and_exit();
                 };
+                let n = runner::Runner::parse_jobs(raw).unwrap_or_else(|e| {
+                    eprintln!("invalid --jobs: {e}");
+                    usage_and_exit();
+                });
                 args.remove(0);
                 // The experiment registry sizes its Runner from the
                 // environment, so the flag funnels through CATCH_JOBS.
-                std::env::set_var(runner::JOBS_ENV, n.max(1).to_string());
+                std::env::set_var(runner::JOBS_ENV, n.to_string());
+            }
+            Some("--sample") => {
+                args.remove(0);
+                let Some(i) = args
+                    .first()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&i| i > 0)
+                else {
+                    eprintln!("--sample requires a positive interval size in micro-ops");
+                    usage_and_exit();
+                };
+                args.remove(0);
+                sample = Some(i);
             }
             _ => break,
         }
     }
-    let Some(id) = args.first() else {
+    let Some(id) = args.first().cloned() else {
         usage_and_exit();
     };
+    let mut eval = EvalConfig::standard();
+    eval.sample = sample;
+    if let Some(ops) = args.get(1).and_then(|s| s.parse().ok()) {
+        eval.ops = ops;
+    }
+    if let Some(warmup) = args.get(2).and_then(|s| s.parse().ok()) {
+        eval.warmup = warmup;
+    }
+    if id == "sample-smoke" {
+        sample_smoke(&eval);
+    }
     if !experiments::all_ids().contains(&id.as_str()) {
         eprintln!(
             "unknown experiment '{id}'; available: {:?}",
@@ -57,14 +131,7 @@ fn main() {
         );
         std::process::exit(2);
     }
-    let mut eval = EvalConfig::standard();
-    if let Some(ops) = args.get(1).and_then(|s| s.parse().ok()) {
-        eval.ops = ops;
-    }
-    if let Some(warmup) = args.get(2).and_then(|s| s.parse().ok()) {
-        eval.warmup = warmup;
-    }
-    let report = experiments::run(id, &eval);
+    let report = experiments::run(&id, &eval);
     if markdown {
         println!("{}", report.to_markdown());
     } else {
