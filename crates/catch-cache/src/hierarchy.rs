@@ -5,8 +5,22 @@ use crate::config::{HierarchyConfig, HierarchyKind};
 use crate::ledger::{FillOrigin, InFlight, InFlightLedger};
 use crate::level::Level;
 use crate::stats::{HierarchyStats, PrefetchTimeliness, TrafficStats};
+use catch_obs::{Event, EventClass, EventKind, Obs, ObsLevel, OccupancyHist};
 use catch_trace::LineAddr;
 use std::fmt::Debug;
+
+/// Nominal MSHR capacity used to bucket ledger-occupancy samples (the
+/// ledger itself is unbounded; 32 matches contemporary L1D MSHR sizing).
+const MSHR_OCC_CAP: u64 = 32;
+
+/// The L1 observability level for a code/data access.
+fn l1_obs_level(code: bool) -> ObsLevel {
+    if code {
+        ObsLevel::L1i
+    } else {
+        ObsLevel::L1d
+    }
+}
 
 /// Timing model behind the LLC (DRAM, or a fixed latency for tests).
 pub trait MemoryBackend: Debug + Send {
@@ -130,6 +144,10 @@ pub struct CacheHierarchy {
     timeliness: PrefetchTimeliness,
     llc_hit_latency: u64,
     ring: Option<crate::config::RingConfig>,
+    /// Always-on data-side MSHR (in-flight ledger) occupancy, sampled at
+    /// every demand L1D miss.
+    mshr_occ: OccupancyHist,
+    obs: Obs,
 }
 
 impl CacheHierarchy {
@@ -155,7 +173,15 @@ impl CacheHierarchy {
             timeliness: PrefetchTimeliness::default(),
             llc_hit_latency: config.llc.latency,
             ring: config.ring,
+            mshr_occ: OccupancyHist::new(),
+            obs: Obs::off(),
         }
+    }
+
+    /// Attaches an observability handle; subsequent accesses emit
+    /// cache-class events through it. Detached by default.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// LLC latency observed by `core` for `line`, including ring hops to
@@ -237,6 +263,7 @@ impl CacheHierarchy {
             llc: *self.llc.stats(),
             traffic: self.traffic,
             timeliness: self.timeliness,
+            mshr_occ: self.mshr_occ,
         }
     }
 
@@ -253,6 +280,7 @@ impl CacheHierarchy {
         self.llc.reset_stats();
         self.traffic = TrafficStats::default();
         self.timeliness = PrefetchTimeliness::default();
+        self.mshr_occ = OccupancyHist::new();
         self.backend.reset_stats();
     }
 
@@ -368,7 +396,7 @@ impl CacheHierarchy {
             return;
         }
         let _ = self.outer_walk(core, code, line, cycle, false);
-        self.fill_l1(core, code, line, is_store, false);
+        self.fill_l1(core, code, line, is_store, false, cycle);
     }
 
     fn demand_access(
@@ -401,6 +429,36 @@ impl CacheHierarchy {
         };
 
         if l1_hit {
+            self.obs.emit(EventClass::CACHE, || Event {
+                cycle,
+                core: core as u32,
+                kind: EventKind::CacheHit {
+                    level: l1_obs_level(code),
+                    line: line.get(),
+                },
+            });
+        } else {
+            self.obs.emit(EventClass::CACHE, || Event {
+                cycle,
+                core: core as u32,
+                kind: EventKind::CacheMiss {
+                    level: l1_obs_level(code),
+                    line: line.get(),
+                },
+            });
+            if !code {
+                // Always-on MSHR pressure sample at the demand miss.
+                let used = self.cores[core].ledger_d.len() as u64;
+                self.mshr_occ.record(used, MSHR_OCC_CAP);
+                self.obs.emit(EventClass::OCCUPANCY, || Event {
+                    cycle,
+                    core: core as u32,
+                    kind: EventKind::CacheMshrOccupancy { used: used as u32 },
+                });
+            }
+        }
+
+        if l1_hit {
             // Possibly an in-flight fill: pay the remaining latency.
             let c = &mut self.cores[core];
             let ledger = if code {
@@ -413,7 +471,7 @@ impl CacheHierarchy {
                 let latency = l1_latency.max(remaining);
                 if let FillOrigin::Prefetch { source, tact } = fill.origin {
                     if tact {
-                        self.record_timeliness(latency, source);
+                        self.record_timeliness(core, latency, source, cycle);
                     }
                     return AccessOutcome {
                         latency,
@@ -438,7 +496,7 @@ impl CacheHierarchy {
         let (source, total_latency) = self.outer_walk(core, code, line, cycle, false);
 
         // 3. Fill into L1 (write-allocate for stores).
-        self.fill_l1(core, code, line, is_store, false);
+        self.fill_l1(core, code, line, is_store, false, cycle);
         let c = &mut self.cores[core];
         let ledger = if code {
             &mut c.ledger_i
@@ -489,7 +547,7 @@ impl CacheHierarchy {
                     }
                 }
                 let (source, total_latency) = self.outer_walk(core, code, line, cycle, true);
-                self.fill_l1(core, code, line, false, true);
+                self.fill_l1(core, code, line, false, true, cycle);
                 let c = &mut self.cores[core];
                 let ledger = if code {
                     &mut c.ledger_i
@@ -544,18 +602,23 @@ impl CacheHierarchy {
             let (source, latency) = if llc_hit {
                 if self.kind == HierarchyKind::ThreeLevelExclusive {
                     self.llc.invalidate(line);
+                    self.obs.emit(EventClass::CACHE, || Event {
+                        cycle,
+                        core: core as u32,
+                        kind: EventKind::ExclusiveMigrate { line: line.get() },
+                    });
                 }
                 (Level::Llc, self.llc.latency())
             } else {
                 let dram = self.backend.access(line, cycle, false);
                 self.traffic.dram_reads += 1;
                 if self.kind == HierarchyKind::ThreeLevelInclusive {
-                    self.fill_llc_inclusive(line, false, true);
+                    self.fill_llc_inclusive(line, false, true, cycle, core);
                 }
                 (Level::Memory, self.llc.latency() + dram)
             };
             self.traffic.llc_replies += 1;
-            self.fill_l2(core, line, false, true);
+            self.fill_l2(core, line, false, true, cycle);
             self.cores[core].ledger_mid.insert(
                 line,
                 InFlight {
@@ -623,6 +686,14 @@ impl CacheHierarchy {
             };
             let l2_latency = self.cores[core].l2.as_ref().expect("L2 present").latency();
             if l2_hit {
+                self.obs.emit(EventClass::CACHE, || Event {
+                    cycle,
+                    core: core as u32,
+                    kind: EventKind::CacheHit {
+                        level: ObsLevel::L2,
+                        line: line.get(),
+                    },
+                });
                 // A line still being filled by a mid-level prefetch is
                 // only as close as the fill's remaining latency.
                 if let Some(fill) = self.cores[core].ledger_mid.consume(line) {
@@ -630,18 +701,47 @@ impl CacheHierarchy {
                 }
                 return (Level::L2, l2_latency);
             }
+            self.obs.emit(EventClass::CACHE, || Event {
+                cycle,
+                core: core as u32,
+                kind: EventKind::CacheMiss {
+                    level: ObsLevel::L2,
+                    line: line.get(),
+                },
+            });
             // LLC.
             self.traffic.llc_requests += 1;
             let llc_hit = self.llc.lookup(line);
             if llc_hit {
+                self.obs.emit(EventClass::CACHE, || Event {
+                    cycle,
+                    core: core as u32,
+                    kind: EventKind::CacheHit {
+                        level: ObsLevel::Llc,
+                        line: line.get(),
+                    },
+                });
                 if self.kind == HierarchyKind::ThreeLevelExclusive {
                     // Exclusive move: the line leaves the LLC for the L2.
                     self.llc.invalidate(line);
+                    self.obs.emit(EventClass::CACHE, || Event {
+                        cycle,
+                        core: core as u32,
+                        kind: EventKind::ExclusiveMigrate { line: line.get() },
+                    });
                 }
                 self.traffic.llc_replies += 1;
-                self.fill_l2(core, line, false, prefetched);
+                self.fill_l2(core, line, false, prefetched, cycle);
                 return (Level::Llc, self.llc_latency_for(core, line));
             }
+            self.obs.emit(EventClass::CACHE, || Event {
+                cycle,
+                core: core as u32,
+                kind: EventKind::CacheMiss {
+                    level: ObsLevel::Llc,
+                    line: line.get(),
+                },
+            });
             // Another core may hold the only on-die copy (exclusive LLC
             // does not track private lines). Inclusive LLCs cannot miss
             // while a private copy exists, so the snoop is skipped there.
@@ -649,7 +749,7 @@ impl CacheHierarchy {
                 && self.snoop_other_cores(core, code, line)
             {
                 self.traffic.llc_replies += 1;
-                self.fill_l2(core, line, false, prefetched);
+                self.fill_l2(core, line, false, prefetched, cycle);
                 return (Level::Llc, self.c2c_latency());
             }
             // Memory.
@@ -657,15 +757,23 @@ impl CacheHierarchy {
             self.traffic.dram_reads += 1;
             self.traffic.llc_replies += 1;
             if self.kind == HierarchyKind::ThreeLevelInclusive {
-                self.fill_llc_inclusive(line, false, prefetched);
+                self.fill_llc_inclusive(line, false, prefetched, cycle, core);
             }
-            self.fill_l2(core, line, false, prefetched);
+            self.fill_l2(core, line, false, prefetched, cycle);
             (Level::Memory, self.llc_latency_for(core, line) + dram)
         } else {
             // Two-level: straight to the LLC.
             self.traffic.llc_requests += 1;
             let llc_hit = self.llc.lookup(line);
             if llc_hit {
+                self.obs.emit(EventClass::CACHE, || Event {
+                    cycle,
+                    core: core as u32,
+                    kind: EventKind::CacheHit {
+                        level: ObsLevel::Llc,
+                        line: line.get(),
+                    },
+                });
                 self.traffic.llc_replies += 1;
                 let base = self.llc_latency_for(core, line);
                 if let Some(fill) = self.ledger_llc.consume(line) {
@@ -673,6 +781,14 @@ impl CacheHierarchy {
                 }
                 return (Level::Llc, base);
             }
+            self.obs.emit(EventClass::CACHE, || Event {
+                cycle,
+                core: core as u32,
+                kind: EventKind::CacheMiss {
+                    level: ObsLevel::Llc,
+                    line: line.get(),
+                },
+            });
             if self.snoop_other_cores(core, code, line) {
                 self.traffic.llc_replies += 1;
                 let victim = self.llc.fill(line, false, prefetched);
@@ -721,7 +837,23 @@ impl CacheHierarchy {
     }
 
     /// Fills `line` into the chosen L1, handling the victim writeback.
-    fn fill_l1(&mut self, core: usize, code: bool, line: LineAddr, dirty: bool, prefetched: bool) {
+    fn fill_l1(
+        &mut self,
+        core: usize,
+        code: bool,
+        line: LineAddr,
+        dirty: bool,
+        prefetched: bool,
+        cycle: u64,
+    ) {
+        self.obs.emit(EventClass::CACHE, || Event {
+            cycle,
+            core: core as u32,
+            kind: EventKind::CacheFill {
+                level: l1_obs_level(code),
+                line: line.get(),
+            },
+        });
         let victim = {
             let c = &mut self.cores[core];
             let l1 = if code { &mut c.l1i } else { &mut c.l1d };
@@ -747,7 +879,7 @@ impl CacheHierarchy {
                     if self.kind == HierarchyKind::ThreeLevelExclusive {
                         self.llc.invalidate(v.line);
                     }
-                    self.fill_l2(core, v.line, true, false);
+                    self.fill_l2(core, v.line, true, false, cycle);
                 } else {
                     // Two-level: dirty L1 victims write to the LLC.
                     self.traffic.llc_writebacks += 1;
@@ -761,7 +893,15 @@ impl CacheHierarchy {
     }
 
     /// Fills `line` into core `core`'s L2, handling the victim per policy.
-    fn fill_l2(&mut self, core: usize, line: LineAddr, dirty: bool, prefetched: bool) {
+    fn fill_l2(&mut self, core: usize, line: LineAddr, dirty: bool, prefetched: bool, cycle: u64) {
+        self.obs.emit(EventClass::CACHE, || Event {
+            cycle,
+            core: core as u32,
+            kind: EventKind::CacheFill {
+                level: ObsLevel::L2,
+                line: line.get(),
+            },
+        });
         let victim = {
             let l2 = self.cores[core]
                 .l2
@@ -793,23 +933,62 @@ impl CacheHierarchy {
     }
 
     /// Fills into an inclusive LLC, back-invalidating private copies of the
-    /// victim in every core.
-    fn fill_llc_inclusive(&mut self, line: LineAddr, dirty: bool, prefetched: bool) {
+    /// victim in every core. `cycle`/`requester` only attribute events.
+    fn fill_llc_inclusive(
+        &mut self,
+        line: LineAddr,
+        dirty: bool,
+        prefetched: bool,
+        cycle: u64,
+        requester: usize,
+    ) {
+        self.obs.emit(EventClass::CACHE, || Event {
+            cycle,
+            core: requester as u32,
+            kind: EventKind::CacheFill {
+                level: ObsLevel::Llc,
+                line: line.get(),
+            },
+        });
         let victim = self.llc.fill(line, dirty, prefetched);
         if let Some(v) = victim {
             let mut any_dirty = v.dirty;
-            for c in &mut self.cores {
+            for (i, c) in self.cores.iter_mut().enumerate() {
                 self.traffic.back_invalidates += 1;
                 if c.l1i.invalidate(v.line).is_some() {
                     c.ledger_i.evict(v.line);
+                    self.obs.emit(EventClass::CACHE, || Event {
+                        cycle,
+                        core: i as u32,
+                        kind: EventKind::BackInvalidate {
+                            level: ObsLevel::L1i,
+                            line: v.line.get(),
+                        },
+                    });
                 }
                 if let Some(d) = c.l1d.invalidate(v.line) {
                     any_dirty |= d;
                     c.ledger_d.evict(v.line);
+                    self.obs.emit(EventClass::CACHE, || Event {
+                        cycle,
+                        core: i as u32,
+                        kind: EventKind::BackInvalidate {
+                            level: ObsLevel::L1d,
+                            line: v.line.get(),
+                        },
+                    });
                 }
                 if let Some(l2) = c.l2.as_mut() {
                     if let Some(d) = l2.invalidate(v.line) {
                         any_dirty |= d;
+                        self.obs.emit(EventClass::CACHE, || Event {
+                            cycle,
+                            core: i as u32,
+                            kind: EventKind::BackInvalidate {
+                                level: ObsLevel::L2,
+                                line: v.line.get(),
+                            },
+                        });
                     }
                 }
             }
@@ -833,10 +1012,20 @@ impl CacheHierarchy {
         }
     }
 
-    fn record_timeliness(&mut self, observed: u64, _source: Level) {
+    /// Classifies how much of the LLC hit latency a consumed TACT
+    /// prefetch hid (Figure 11), and reports it as a timeliness event.
+    fn record_timeliness(&mut self, core: usize, observed: u64, source: Level, cycle: u64) {
         self.timeliness.used += 1;
+        // Zero-denominator guard: an LLC ablated to (or configured with)
+        // zero hit latency, or a run where the LLC was never timed, must
+        // not turn the saved fraction into NaN — classify against a floor
+        // of one cycle instead.
         let llc = self.llc_hit_latency.max(1);
         let saved = llc.saturating_sub(observed) as f64 / llc as f64;
+        debug_assert!(
+            saved.is_finite() && (0.0..=1.0).contains(&saved),
+            "timeliness fraction out of range: {saved}"
+        );
         if saved > 0.8 {
             self.timeliness.saved_over_80 += 1;
         } else if saved >= 0.1 {
@@ -844,6 +1033,19 @@ impl CacheHierarchy {
         } else {
             self.timeliness.saved_under_10 += 1;
         }
+        self.obs.emit(EventClass::TACT, || Event {
+            cycle,
+            core: core as u32,
+            kind: EventKind::TactTimely {
+                source: match source {
+                    Level::L1 => ObsLevel::L1d,
+                    Level::L2 => ObsLevel::L2,
+                    Level::Llc => ObsLevel::Llc,
+                    Level::Memory => ObsLevel::Memory,
+                },
+                saved_pct: (saved * 100.0).round() as u8,
+            },
+        });
     }
 
     /// Periodic ledger cleanup; call occasionally with the current cycle.
@@ -1138,6 +1340,84 @@ mod tests {
             assert_eq!(out.hit_level, Level::Llc);
             assert_eq!(out.latency, expect(l), "slice {l}");
         }
+    }
+
+    #[test]
+    fn idle_llc_yields_finite_derived_metrics() {
+        // Regression: a run whose LLC never observes an access (or whose
+        // LLC latency is ablated to zero) must not produce NaN anywhere
+        // in the derived metrics.
+        let h = exclusive();
+        let s = h.stats();
+        assert_eq!(s.llc.accesses, 0, "LLC idle by construction");
+        assert!(s.llc.hit_rate().is_finite());
+        assert!(s.timeliness.llc_fraction().is_finite());
+        assert!(s.timeliness.over_80_fraction().is_finite());
+        assert!(s.mshr_occ.mean().is_finite());
+        assert!(s.mshr_occ.fraction_at_or_above(0).is_finite());
+    }
+
+    #[test]
+    fn zero_latency_llc_timeliness_stays_finite() {
+        // The satellite bug: `saved = … / llc as f64` with an LLC hit
+        // latency of zero. Build such a hierarchy and drive the
+        // timeliness path end-to-end.
+        let mut config = HierarchyConfig::skylake_server(1).without_l2(6656 << 10);
+        config.llc.latency = 0;
+        let mut h = CacheHierarchy::new(&config, Box::new(FixedLatencyBackend::new(200)));
+        // Install in LLC, then TACT-prefetch and consume it.
+        h.access(0, AccessKind::Load, line(5), 0);
+        let sets = 64;
+        for i in 1..=8 {
+            h.access(0, AccessKind::Load, line(5 + i * sets), 0);
+        }
+        h.access(0, AccessKind::TactPrefetch, line(5), 1000);
+        h.access(0, AccessKind::Load, line(5), 2000);
+        let t = h.stats().timeliness;
+        assert_eq!(t.used, 1);
+        assert_eq!(
+            t.saved_over_80 + t.saved_10_to_80 + t.saved_under_10,
+            t.used,
+            "every used prefetch lands in exactly one timeliness bucket"
+        );
+    }
+
+    #[test]
+    fn attached_sink_observes_cache_events() {
+        use catch_obs::{EventClass, EventKind, Obs, VecSink};
+        use std::sync::{Arc, Mutex};
+        let sink = Arc::new(Mutex::new(VecSink::new()));
+        let mut h = exclusive();
+        h.set_obs(Obs::attached(sink.clone(), EventClass::ALL));
+        h.access(0, AccessKind::Load, line(1), 0); // cold miss → memory
+        h.access(0, AccessKind::Load, line(1), 500); // L1 hit
+        let events = sink.lock().unwrap().take();
+        let names: Vec<&str> = events.iter().map(|e| e.name()).collect();
+        assert!(names.contains(&"cache.miss"), "{names:?}");
+        assert!(names.contains(&"cache.fill"), "{names:?}");
+        assert!(names.contains(&"cache.hit"), "{names:?}");
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::CacheMshrOccupancy { .. })),
+            "MSHR occupancy sampled at the demand miss"
+        );
+        assert!(events.iter().all(|e| e.core == 0));
+        // The always-on histogram saw the same miss.
+        assert_eq!(h.stats().mshr_occ.samples, 1);
+    }
+
+    #[test]
+    fn detached_obs_emits_nothing_and_changes_nothing() {
+        let mut traced = exclusive();
+        let mut plain = exclusive();
+        traced.set_obs(catch_obs::Obs::off());
+        for i in 0..100u64 {
+            let a = traced.access(0, AccessKind::Load, line(i % 10), i * 7);
+            let b = plain.access(0, AccessKind::Load, line(i % 10), i * 7);
+            assert_eq!(a, b);
+        }
+        assert_eq!(traced.stats(), plain.stats());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Statistics for caches, traffic and prefetch timeliness.
 
-use catch_trace::counters::{join_prefix, push_counter, CounterVec, Counters};
+use catch_obs::OccupancyHist;
+use catch_trace::counters::{join_prefix, monotonic_delta, push_counter, CounterVec, Counters};
 use std::fmt;
 
 /// Counters for one cache array.
@@ -49,8 +50,12 @@ impl CacheStats {
     }
 
     /// Per-counter difference against an `earlier` snapshot.
+    ///
+    /// Debug builds assert monotonicity: these counters only ever grow,
+    /// so a shrinking counter is a bookkeeping bug that must not be
+    /// masked by saturation (see `catch_trace::counters::monotonic_delta`).
     pub fn minus(&self, earlier: &Self) -> Self {
-        self.zip(earlier, u64::saturating_sub)
+        self.zip(earlier, monotonic_delta)
     }
 
     /// Accumulates `weight` copies of `delta` into `self` (saturating).
@@ -137,8 +142,12 @@ impl TrafficStats {
     }
 
     /// Per-counter difference against an `earlier` snapshot.
+    ///
+    /// Debug builds assert monotonicity: these counters only ever grow,
+    /// so a shrinking counter is a bookkeeping bug that must not be
+    /// masked by saturation (see `catch_trace::counters::monotonic_delta`).
     pub fn minus(&self, earlier: &Self) -> Self {
-        self.zip(earlier, u64::saturating_sub)
+        self.zip(earlier, monotonic_delta)
     }
 
     /// Accumulates `weight` copies of `delta` into `self` (saturating).
@@ -216,8 +225,12 @@ impl PrefetchTimeliness {
     }
 
     /// Per-counter difference against an `earlier` snapshot.
+    ///
+    /// Debug builds assert monotonicity: these counters only ever grow,
+    /// so a shrinking counter is a bookkeeping bug that must not be
+    /// masked by saturation (see `catch_trace::counters::monotonic_delta`).
     pub fn minus(&self, earlier: &Self) -> Self {
-        self.zip(earlier, u64::saturating_sub)
+        self.zip(earlier, monotonic_delta)
     }
 
     /// Accumulates `weight` copies of `delta` into `self` (saturating).
@@ -260,6 +273,9 @@ pub struct HierarchyStats {
     pub traffic: TrafficStats,
     /// TACT timeliness.
     pub timeliness: PrefetchTimeliness,
+    /// Data-side in-flight-fill (MSHR ledger) occupancy, sampled at every
+    /// demand L1D miss across all cores.
+    pub mshr_occ: OccupancyHist,
 }
 
 impl HierarchyStats {
@@ -281,6 +297,7 @@ impl HierarchyStats {
             llc: self.llc.minus(&earlier.llc),
             traffic: self.traffic.minus(&earlier.traffic),
             timeliness: self.timeliness.minus(&earlier.timeliness),
+            mshr_occ: self.mshr_occ.minus(&earlier.mshr_occ),
         }
     }
 
@@ -302,6 +319,7 @@ impl HierarchyStats {
         self.llc.add_scaled(&delta.llc, weight);
         self.traffic.add_scaled(&delta.traffic, weight);
         self.timeliness.add_scaled(&delta.timeliness, weight);
+        self.mshr_occ.add_scaled(&delta.mshr_occ, weight);
     }
 }
 
@@ -317,6 +335,8 @@ impl Counters for HierarchyStats {
             .counters_into(&join_prefix(prefix, "traffic"), out);
         self.timeliness
             .counters_into(&join_prefix(prefix, "timeliness"), out);
+        self.mshr_occ
+            .counters_into(&join_prefix(prefix, "mshr_occ"), out);
     }
 }
 
@@ -362,5 +382,68 @@ mod tests {
         assert!((p.llc_fraction() - 0.8).abs() < 1e-12);
         assert!((p.over_80_fraction() - 0.8).abs() < 1e-12);
         assert_eq!(PrefetchTimeliness::default().llc_fraction(), 0.0);
+    }
+
+    #[test]
+    fn minus_deltas_monotone_counters() {
+        let early = CacheStats {
+            accesses: 10,
+            hits: 4,
+            ..Default::default()
+        };
+        let late = CacheStats {
+            accesses: 25,
+            hits: 9,
+            ..Default::default()
+        };
+        let d = late.minus(&early);
+        assert_eq!(d.accesses, 15);
+        assert_eq!(d.hits, 5);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-monotonic")]
+    fn minus_rejects_shrinking_cache_counters() {
+        let early = CacheStats {
+            accesses: 10,
+            ..Default::default()
+        };
+        let _ = CacheStats::default().minus(&early);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-monotonic")]
+    fn minus_rejects_shrinking_traffic_counters() {
+        let early = TrafficStats {
+            dram_reads: 3,
+            ..Default::default()
+        };
+        let _ = TrafficStats::default().minus(&early);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-monotonic")]
+    fn minus_rejects_shrinking_timeliness_counters() {
+        let early = PrefetchTimeliness {
+            issued: 2,
+            ..Default::default()
+        };
+        let _ = PrefetchTimeliness::default().minus(&early);
+    }
+
+    #[test]
+    fn hierarchy_stats_carry_mshr_occupancy() {
+        let mut s = HierarchyStats::default();
+        s.mshr_occ.record(4, 32);
+        let c = s.counters("h");
+        assert!(c.iter().any(|(n, v)| n == "h.mshr_occ.samples" && *v == 1));
+        let d = s.minus(&HierarchyStats::default());
+        assert_eq!(d.mshr_occ.sum, 4);
+        let mut acc = HierarchyStats::default();
+        acc.add_scaled(&d, 2);
+        assert_eq!(acc.mshr_occ.samples, 2);
     }
 }

@@ -113,6 +113,12 @@ pub fn run_suite(config: &SystemConfig, eval: &EvalConfig) -> Vec<RunResult> {
 /// and simulates on a private core + hierarchy, so worker count and
 /// scheduling cannot affect any counter — the `harness_parity` suite in
 /// `catch-tests` asserts byte-identical results across job counts.
+///
+/// # Panics
+///
+/// Panics when `jobs` is `None` and `CATCH_JOBS` holds an invalid value.
+/// Binaries that want a clean diagnostic validate up front with
+/// [`Runner::from_env`] and pass the resolved count explicitly.
 pub fn run_suite_parallel(
     config: &SystemConfig,
     eval: &EvalConfig,
@@ -120,7 +126,7 @@ pub fn run_suite_parallel(
 ) -> Vec<RunResult> {
     let runner = match jobs {
         Some(n) => Runner::with_jobs(n),
-        None => Runner::from_env(),
+        None => Runner::from_env().unwrap_or_else(|e| panic!("{e}")),
     };
     let system = System::new(config.clone());
     let workloads = catch_workloads::suite::all();

@@ -32,20 +32,19 @@ impl Runner {
     /// A runner sized from the environment: `CATCH_JOBS` if set,
     /// otherwise the machine's available parallelism.
     ///
-    /// # Panics
-    ///
-    /// Panics with a descriptive message when `CATCH_JOBS` is set to an
-    /// invalid value (zero, negative, or non-numeric). A typo'd job count
-    /// must not silently fall back to a default — that is how a "-j 0"
-    /// benchmark quietly runs on all cores.
-    pub fn from_env() -> Self {
+    /// Returns `Err` when `CATCH_JOBS` is set to an invalid value (zero,
+    /// negative, or non-numeric). A typo'd job count must not silently
+    /// fall back to a default — that is how a "-j 0" benchmark quietly
+    /// runs on all cores — and library code must not panic on user
+    /// input; callers surface the message at their own boundary.
+    pub fn from_env() -> Result<Self, String> {
         let jobs = match std::env::var(JOBS_ENV) {
-            Ok(v) => Self::parse_jobs(&v).unwrap_or_else(|e| panic!("invalid {JOBS_ENV}: {e}")),
+            Ok(v) => Self::parse_jobs(&v).map_err(|e| format!("invalid {JOBS_ENV}: {e}"))?,
             Err(_) => std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
         };
-        Runner::with_jobs(jobs)
+        Ok(Runner::with_jobs(jobs))
     }
 
     /// Parses a worker count from user input (`CATCH_JOBS` or a `--jobs`
@@ -108,15 +107,54 @@ impl Runner {
     }
 }
 
-impl Default for Runner {
-    fn default() -> Self {
-        Runner::from_env()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serialises the env-mutating tests (`cargo test` runs tests in
+    /// threads sharing one process environment).
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_jobs_env<R>(value: Option<&str>, f: impl FnOnce() -> R) -> R {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let saved = std::env::var(JOBS_ENV).ok();
+        match value {
+            Some(v) => std::env::set_var(JOBS_ENV, v),
+            None => std::env::remove_var(JOBS_ENV),
+        }
+        let out = f();
+        match saved {
+            Some(v) => std::env::set_var(JOBS_ENV, v),
+            None => std::env::remove_var(JOBS_ENV),
+        }
+        out
+    }
+
+    #[test]
+    fn from_env_honours_valid_setting() {
+        let runner = with_jobs_env(Some("3"), Runner::from_env).expect("valid setting");
+        assert_eq!(runner.jobs(), 3);
+    }
+
+    #[test]
+    fn from_env_defaults_without_setting() {
+        let runner = with_jobs_env(None, Runner::from_env).expect("unset is fine");
+        assert!(runner.jobs() >= 1);
+    }
+
+    #[test]
+    fn from_env_rejects_zero_jobs() {
+        let err = with_jobs_env(Some("0"), Runner::from_env).expect_err("zero rejected");
+        assert!(err.contains(JOBS_ENV), "message names the variable: {err}");
+        assert!(err.contains("at least 1"), "unhelpful message: {err}");
+    }
+
+    #[test]
+    fn from_env_rejects_non_numeric_jobs() {
+        let err = with_jobs_env(Some("four"), Runner::from_env).expect_err("text rejected");
+        assert!(err.contains(JOBS_ENV), "message names the variable: {err}");
+        assert!(err.contains("positive integer"), "unhelpful message: {err}");
+    }
 
     #[test]
     fn results_are_index_ordered() {

@@ -92,7 +92,11 @@ impl MpResult {
 
 /// Geometric mean of positive values (zero/empty ⇒ 0).
 pub fn geomean(values: &[f64]) -> f64 {
-    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+    // Non-finite inputs are rejected along with non-positive ones: a
+    // zero-IPC base run turns its ratio into +inf, and one inf (or NaN)
+    // would otherwise poison the whole mean instead of flagging the
+    // degenerate input with the 0.0 sentinel.
+    if values.is_empty() || values.iter().any(|&v| !v.is_finite() || v <= 0.0) {
         return 0.0;
     }
     let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
@@ -151,6 +155,17 @@ mod tests {
         assert_eq!(geomean(&[]), 0.0);
         assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
         assert_eq!(geomean(&[1.0, 0.0]), 0.0);
+        assert_eq!(geomean(&[1.0, f64::INFINITY]), 0.0);
+        assert_eq!(geomean(&[1.0, f64::NAN]), 0.0);
+    }
+
+    #[test]
+    fn geomean_ratio_survives_zero_ipc_base() {
+        // A base run that retired nothing must yield the 0.0 sentinel,
+        // not +inf (its per-pair ratio divides by a zero IPC).
+        let base = vec![result(Category::Hpc, 0.0), result(Category::Hpc, 2.0)];
+        let new = vec![result(Category::Hpc, 1.0), result(Category::Hpc, 2.0)];
+        assert_eq!(geomean_ratio(&base, &new), 0.0);
     }
 
     fn result(cat: Category, ipc: f64) -> RunResult {

@@ -5,6 +5,7 @@ use catch_cache::{CacheHierarchy, HierarchyConfig, Level};
 use catch_cpu::{Core, CoreConfig, LoadOracle, TactMode};
 use catch_criticality::DetectorConfig;
 use catch_dram::{DramConfig, DramSystem};
+use catch_obs::Obs;
 use catch_trace::Trace;
 
 /// One machine configuration: hierarchy organisation, core features and
@@ -147,10 +148,16 @@ impl System {
     }
 
     pub(crate) fn build_hierarchy(&self, cores: usize) -> CacheHierarchy {
+        self.build_hierarchy_obs(cores, &Obs::off())
+    }
+
+    pub(crate) fn build_hierarchy_obs(&self, cores: usize, obs: &Obs) -> CacheHierarchy {
         let mut hcfg = self.config.hierarchy.clone();
         hcfg.cores = cores;
-        let dram = DramSystem::new(self.config.dram.clone());
+        let mut dram = DramSystem::new(self.config.dram.clone());
+        dram.set_obs(obs.clone());
         let mut hier = CacheHierarchy::new(&hcfg, Box::new(dram));
+        hier.set_obs(obs.clone());
         for &(level, extra) in &self.config.extra_latency {
             hier.add_level_latency(level, extra);
         }
@@ -162,12 +169,28 @@ impl System {
         self.run_st_warm(trace, 0)
     }
 
+    /// [`System::run_st`] with an observability handle: every component
+    /// (core pipeline, caches, DRAM, TACT, criticality detector) emits
+    /// cycle-stamped events through clones of `obs`. Pass [`Obs::off`]
+    /// (or call `run_st`) for a silent run — the handles then cost one
+    /// predictable branch per would-be event.
+    pub fn run_st_obs(&self, trace: Trace, obs: &Obs) -> RunResult {
+        self.run_st_warm_obs(trace, 0, obs)
+    }
+
     /// Runs a single trace, excluding the first `warmup_ops` retired
     /// micro-ops from measurement (caches, predictors and learned tables
     /// stay warm).
     pub fn run_st_warm(&self, trace: Trace, warmup_ops: usize) -> RunResult {
-        let mut hier = self.build_hierarchy(1);
+        self.run_st_warm_obs(trace, warmup_ops, &Obs::off())
+    }
+
+    /// [`System::run_st_warm`] with an observability handle (see
+    /// [`System::run_st_obs`]); warm-up cycles also emit events.
+    pub fn run_st_warm_obs(&self, trace: Trace, warmup_ops: usize, obs: &Obs) -> RunResult {
+        let mut hier = self.build_hierarchy_obs(1, obs);
         let mut core = Core::new(0, trace, self.config.core.clone());
+        core.set_obs(obs.clone());
         if warmup_ops > 0 {
             let budget = 1000 * core.trace().len() as u64 + 10_000_000;
             while !core.done() && (core.retired() as usize) < warmup_ops {
@@ -190,11 +213,21 @@ impl System {
     /// Runs four traces on a shared 4-core system. Cores that finish
     /// early idle (their caches stay resident). Returns per-core results.
     pub fn run_mp(&self, traces: [Trace; 4]) -> MpResult {
-        let mut hier = self.build_hierarchy(4);
+        self.run_mp_obs(traces, &Obs::off())
+    }
+
+    /// [`System::run_mp`] with an observability handle (see
+    /// [`System::run_st_obs`]); events carry the id of the emitting core.
+    pub fn run_mp_obs(&self, traces: [Trace; 4], obs: &Obs) -> MpResult {
+        let mut hier = self.build_hierarchy_obs(4, obs);
         let mut cores: Vec<Core> = traces
             .into_iter()
             .enumerate()
-            .map(|(i, t)| Core::new(i, t, self.config.core.clone()))
+            .map(|(i, t)| {
+                let mut core = Core::new(i, t, self.config.core.clone());
+                core.set_obs(obs.clone());
+                core
+            })
             .collect();
         let total_ops: usize = cores.iter().map(|c| c.trace().len()).sum();
         let budget = 1000 * total_ops as u64 + 10_000_000;
@@ -267,6 +300,43 @@ mod tests {
             slowed.ipc(),
             base.ipc()
         );
+    }
+
+    #[test]
+    fn obs_run_matches_silent_run_and_covers_all_classes() {
+        use catch_obs::{EventClass, VecSink};
+        use std::sync::{Arc, Mutex};
+
+        let trace = suite::by_name("tpcc_like").unwrap().generate(8_000, 1);
+        let system = System::new(SystemConfig::baseline_exclusive().with_catch());
+        let silent = system.run_st(trace.clone());
+
+        let sink = Arc::new(Mutex::new(VecSink::new()));
+        let obs = Obs::attached(sink.clone(), EventClass::ALL);
+        let observed = system.run_st_obs(trace, &obs);
+        drop(obs);
+
+        // Observation must not perturb the simulation.
+        assert_eq!(silent.ipc(), observed.ipc());
+        assert_eq!(silent.core, observed.core);
+
+        let events = sink.lock().expect("sink lock").take();
+        assert!(!events.is_empty());
+        for class in [
+            EventClass::CORE,
+            EventClass::OCCUPANCY,
+            EventClass::CACHE,
+            EventClass::DRAM,
+            EventClass::CRIT,
+        ] {
+            assert!(
+                events.iter().any(|e| e.class() == class),
+                "no events of class {:?}",
+                class
+            );
+        }
+        // Cycle stamps are present and plausible.
+        assert!(events.iter().any(|e| e.cycle > 0));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::rob::{Rob, RobEntry};
 use crate::stats::CoreStats;
 use catch_cache::{AccessKind, CacheHierarchy};
 use catch_criticality::{AnyDetector, CriticalityDetector, HeuristicDetector, RetiredInst};
+use catch_obs::{Event, EventClass, EventKind, Obs, OccupancyHist, OCC_SAMPLE_PERIOD};
 use catch_prefetch::MemoryImage;
 use catch_trace::{ArchReg, MicroOp, OpClass, Trace};
 use std::collections::{HashMap, VecDeque};
@@ -43,6 +44,13 @@ pub struct Core {
     /// Completion cycles of loads currently outstanding to the hierarchy
     /// (bounded by `max_outstanding_loads` — the L1D MSHR file).
     outstanding_loads: Vec<u64>,
+    obs: Obs,
+    /// ROB occupancy, sampled every [`OCC_SAMPLE_PERIOD`] cycles.
+    rob_occ: OccupancyHist,
+    /// Scheduler pressure (unissued ops clamped to the window), same cadence.
+    sched_occ: OccupancyHist,
+    /// Load-MSHR occupancy, same cadence.
+    mshr_occ: OccupancyHist,
 }
 
 impl Core {
@@ -74,7 +82,20 @@ impl Core {
             config,
             trace,
             pending_redirect: None,
+            obs: Obs::off(),
+            rob_occ: OccupancyHist::default(),
+            sched_occ: OccupancyHist::default(),
+            mshr_occ: OccupancyHist::default(),
         }
+    }
+
+    /// Attaches an observability handle: pipeline events, occupancy
+    /// samples, TACT and criticality-detector events all flow through
+    /// clones of `obs`, attributed to this core. Detached by default.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.detector.set_obs(obs.clone(), self.id as u32);
+        self.mem.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// Core id (index into the hierarchy's private caches).
@@ -126,6 +147,9 @@ impl Core {
             memory: self.mem.stats(),
             detector: self.detector.stats(),
             tact: self.mem.tact_stats(),
+            rob_occ: self.rob_occ,
+            sched_occ: self.sched_occ,
+            mshr_occ: self.mshr_occ,
         }
     }
 
@@ -139,12 +163,49 @@ impl Core {
     /// Advances one cycle: retire → issue → allocate → fetch.
     pub fn tick(&mut self, hier: &mut CacheHierarchy) {
         let cycle = self.cycle;
+        if cycle.is_multiple_of(OCC_SAMPLE_PERIOD) {
+            self.sample_occupancy(cycle);
+        }
         self.retire_stage(cycle);
         self.issue_stage(hier, cycle);
         self.allocate_stage(cycle);
         self.fetch_stage(hier, cycle);
         self.cycle += 1;
         self.periodic_maintenance(hier);
+    }
+
+    /// Records the periodic occupancy samples (always-on histograms) and
+    /// mirrors them to the attached sink as counter events.
+    fn sample_occupancy(&mut self, cycle: u64) {
+        let rob_used = self.rob.len() as u64;
+        let rob_cap = self.rob.capacity() as u64;
+        let sched_cap = self.config.sched_window as u64;
+        let sched_used = (self.rob.unstarted() as u64).min(sched_cap);
+        let mshr_used = self.outstanding_loads.len() as u64;
+        let mshr_cap = self.config.max_outstanding_loads as u64;
+        self.rob_occ.record(rob_used, rob_cap);
+        self.sched_occ.record(sched_used, sched_cap);
+        self.mshr_occ.record(mshr_used, mshr_cap);
+        if self.obs.wants(EventClass::OCCUPANCY) {
+            let core = self.id as u32;
+            for kind in [
+                EventKind::RobOccupancy {
+                    used: rob_used as u32,
+                    cap: rob_cap as u32,
+                },
+                EventKind::SchedOccupancy {
+                    used: sched_used as u32,
+                    cap: sched_cap as u32,
+                },
+                EventKind::MshrOccupancy {
+                    used: mshr_used as u32,
+                    cap: mshr_cap as u32,
+                },
+            ] {
+                self.obs
+                    .emit(EventClass::OCCUPANCY, || Event { cycle, core, kind });
+            }
+        }
     }
 
     /// Ledger/bookkeeping housekeeping, every 65 536 cycles.
@@ -263,6 +324,13 @@ impl Core {
                 break;
             };
             self.retired += 1;
+            self.obs.emit(EventClass::CORE, || Event {
+                cycle,
+                core: self.id as u32,
+                kind: EventKind::Retire {
+                    pc: entry.op.pc.get(),
+                },
+            });
 
             // Criticality feed.
             let mut inst = RetiredInst {
@@ -277,7 +345,7 @@ impl Core {
             if !inst.is_load {
                 inst.hit_level = None;
             }
-            self.detector.on_retire(inst);
+            self.detector.on_retire_at(inst, cycle);
 
             if self.retired >= self.critical_sync_at {
                 self.critical_sync_at = self.retired + CRITICAL_SYNC_INTERVAL;
@@ -338,7 +406,16 @@ impl Core {
             entry.hit_level = hit_level;
             let mispredicted = entry.mispredicted;
             let id = entry.id;
+            let pc = entry.op.pc.get();
             self.rob.start(i, cycle, complete);
+            self.obs.emit(EventClass::CORE, || Event {
+                cycle,
+                core: self.id as u32,
+                kind: EventKind::Exec {
+                    pc,
+                    latency: complete - cycle,
+                },
+            });
 
             if mispredicted && self.pending_redirect == Some(id) {
                 self.pending_redirect = None;
@@ -418,6 +495,11 @@ impl Core {
             }
             self.mem.on_alloc_op(&op);
             self.rob.allocate(entry, cycle);
+            self.obs.emit(EventClass::CORE, || Event {
+                cycle,
+                core: self.id as u32,
+                kind: EventKind::Alloc { pc: op.pc.get() },
+            });
         }
     }
 
@@ -701,6 +783,48 @@ mod tests {
             "warmup must cut mispredicts: cold {} vs warmed {}",
             cold.cond_mispredicts,
             warmed.cond_mispredicts
+        );
+    }
+
+    #[test]
+    fn attached_sink_observes_pipeline_events_without_perturbing_stats() {
+        use catch_obs::{Obs, VecSink};
+        use std::sync::{Arc, Mutex};
+        let build = || {
+            let mut b = TraceBuilder::new("obs");
+            for i in 0..400u64 {
+                b.load(r(1), Addr::new((i % 512) * 64), 0);
+                b.alu(r(2), &[r(1)]);
+            }
+            b.build()
+        };
+        let mut config = CoreConfig::baseline();
+        config.perfect_l1i = true;
+
+        let sink = Arc::new(Mutex::new(VecSink::new()));
+        let mut traced_core = Core::new(0, build(), config.clone());
+        traced_core.set_obs(Obs::attached(sink.clone(), catch_obs::EventClass::ALL));
+        let traced = traced_core.run_to_completion(&mut hier());
+
+        let baseline = Core::new(0, build(), config).run_to_completion(&mut hier());
+        assert_eq!(traced, baseline, "tracing must not perturb the run");
+
+        let events = sink.lock().unwrap().take();
+        let names: Vec<&str> = events.iter().map(|e| e.name()).collect();
+        for expected in [
+            "core.alloc",
+            "core.exec",
+            "core.retire",
+            "core.rob_occupancy",
+            "core.sched_occupancy",
+            "core.mshr_occupancy",
+        ] {
+            assert!(names.contains(&expected), "{expected} missing: {names:?}");
+        }
+        assert!(traced.rob_occ.samples > 0, "always-on hist must sample");
+        assert!(
+            events.iter().all(|e| e.core == 0),
+            "events attributed to core 0"
         );
     }
 

@@ -4,8 +4,19 @@
 use crate::config::{CoreConfig, LoadOracle};
 use catch_cache::{AccessKind, CacheHierarchy, Level};
 use catch_criticality::AnyDetector;
-use catch_prefetch::{MemoryImage, StreamPrefetcher, StridePrefetcher, TactPrefetcher};
+use catch_obs::{Event, EventClass, EventKind, Obs, ObsTactComponent};
+use catch_prefetch::{
+    MemoryImage, StreamPrefetcher, StridePrefetcher, TactComponent, TactPrefetcher,
+};
 use catch_trace::{MicroOp, Pc};
+
+fn obs_component(component: TactComponent) -> ObsTactComponent {
+    match component {
+        TactComponent::Deep => ObsTactComponent::Deep,
+        TactComponent::Cross => ObsTactComponent::Cross,
+        TactComponent::Feeder => ObsTactComponent::Feeder,
+    }
+}
 
 /// Counters kept by the memory interface.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -90,6 +101,7 @@ pub struct MemoryInterface {
     tact: TactPrefetcher,
     image: MemoryImage,
     stats: MemStats,
+    obs: Obs,
 }
 
 impl MemoryInterface {
@@ -107,7 +119,14 @@ impl MemoryInterface {
             tact: TactPrefetcher::new(config.tact_config.clone()),
             image,
             stats: MemStats::default(),
+            obs: Obs::off(),
         }
+    }
+
+    /// Attaches an observability handle; TACT trigger/target activity
+    /// emits events through it. Detached by default.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Counters.
@@ -226,15 +245,33 @@ impl MemoryInterface {
             }
         }
         if self.tact_data {
-            let addrs = self.tact.on_load(op, feeder, &self.image);
+            let addrs = self.tact.on_load_attributed(op, feeder, &self.image);
+            if !addrs.is_empty() {
+                self.obs.emit(EventClass::TACT, || Event {
+                    cycle,
+                    core: self.core_id as u32,
+                    kind: EventKind::TactTrigger {
+                        pc: op.pc.get(),
+                        line: line.get(),
+                    },
+                });
+            }
             let mut last_line = None;
-            for addr in addrs {
+            for (addr, component) in addrs {
                 let pf_line = addr.line();
                 if Some(pf_line) == last_line {
                     continue;
                 }
                 last_line = Some(pf_line);
                 self.stats.tact_prefetches += 1;
+                self.obs.emit(EventClass::TACT, || Event {
+                    cycle,
+                    core: self.core_id as u32,
+                    kind: EventKind::TactTarget {
+                        component: obs_component(component),
+                        line: pf_line.get(),
+                    },
+                });
                 hier.access(self.core_id, AccessKind::TactPrefetch, pf_line, cycle);
             }
         }

@@ -64,6 +64,8 @@ pub struct Rob {
     completion: HashMap<u64, u64>,
     /// Ids below this have retired (always ready).
     retired_below: u64,
+    /// Entries allocated but not yet issued (scheduler pressure).
+    unstarted: usize,
 }
 
 impl Rob {
@@ -79,12 +81,23 @@ impl Rob {
             capacity,
             completion: HashMap::new(),
             retired_below: 0,
+            unstarted: 0,
         }
     }
 
     /// Occupancy.
     pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Total entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries allocated but not yet issued to execution.
+    pub fn unstarted(&self) -> usize {
+        self.unstarted
     }
 
     /// True when empty.
@@ -105,6 +118,8 @@ impl Rob {
     pub fn allocate(&mut self, mut entry: RobEntry, cycle: u64) {
         assert!(self.has_space(), "allocate on full ROB");
         entry.alloc = cycle;
+        debug_assert!(!entry.started, "allocating a started entry");
+        self.unstarted += 1;
         self.entries.push_back(entry);
     }
 
@@ -145,6 +160,7 @@ impl Rob {
         entry.started = true;
         entry.dispatch = dispatch;
         entry.complete = complete;
+        self.unstarted -= 1;
         self.completion.insert(entry.id, complete);
     }
 

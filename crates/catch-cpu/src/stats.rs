@@ -4,7 +4,9 @@ use crate::branch::BranchStats;
 use crate::frontend::FrontendStats;
 use crate::memory::MemStats;
 use catch_criticality::DetectorStats;
+use catch_obs::OccupancyHist;
 use catch_prefetch::TactStats;
+use catch_trace::counters::monotonic_delta;
 use std::fmt;
 
 /// Everything measured over one core's run.
@@ -24,6 +26,13 @@ pub struct CoreStats {
     pub detector: DetectorStats,
     /// TACT counters.
     pub tact: TactStats,
+    /// ROB occupancy, sampled every `catch_obs::OCC_SAMPLE_PERIOD` cycles.
+    pub rob_occ: OccupancyHist,
+    /// Scheduler pressure (allocated-but-unissued ops, clamped to the
+    /// scheduling window), same cadence.
+    pub sched_occ: OccupancyHist,
+    /// Load-MSHR occupancy (outstanding load fills), same cadence.
+    pub mshr_occ: OccupancyHist,
 }
 
 impl catch_trace::counters::Counters for CoreStats {
@@ -40,15 +49,26 @@ impl catch_trace::counters::Counters for CoreStats {
         self.detector
             .counters_into(&join_prefix(prefix, "detector"), out);
         self.tact.counters_into(&join_prefix(prefix, "tact"), out);
+        self.rob_occ
+            .counters_into(&join_prefix(prefix, "rob_occ"), out);
+        self.sched_occ
+            .counters_into(&join_prefix(prefix, "sched_occ"), out);
+        self.mshr_occ
+            .counters_into(&join_prefix(prefix, "mshr_occ"), out);
     }
 }
 
 impl CoreStats {
     /// Counter-wise difference `self - earlier`, used to exclude a
     /// warm-up phase from measurement. All counters are monotonic, so the
-    /// result is a valid stats snapshot of the interval.
+    /// result is a valid stats snapshot of the interval; debug builds
+    /// assert that (see `catch_trace::counters::monotonic_delta`).
     pub fn minus(&self, earlier: &CoreStats) -> CoreStats {
-        self.zip(earlier, |a, b| a.saturating_sub(b))
+        let mut out = self.zip(earlier, monotonic_delta);
+        out.rob_occ = self.rob_occ.minus(&earlier.rob_occ);
+        out.sched_occ = self.sched_occ.minus(&earlier.sched_occ);
+        out.mshr_occ = self.mshr_occ.minus(&earlier.mshr_occ);
+        out
     }
 
     /// Accumulates `weight` copies of `delta` into `self` (saturating).
@@ -56,10 +76,21 @@ impl CoreStats {
     /// weighted per-interval deltas; integer weights keep the
     /// reconstruction exact when every weight is 1.
     pub fn add_scaled(&mut self, delta: &CoreStats, weight: u64) {
+        let mut rob_occ = self.rob_occ;
+        let mut sched_occ = self.sched_occ;
+        let mut mshr_occ = self.mshr_occ;
+        rob_occ.add_scaled(&delta.rob_occ, weight);
+        sched_occ.add_scaled(&delta.sched_occ, weight);
+        mshr_occ.add_scaled(&delta.mshr_occ, weight);
         *self = self.zip(delta, |a, d| a.saturating_add(d.saturating_mul(weight)));
+        self.rob_occ = rob_occ;
+        self.sched_occ = sched_occ;
+        self.mshr_occ = mshr_occ;
     }
 
-    /// Combines two snapshots counter-by-counter with `f`.
+    /// Combines the scalar counters counter-by-counter with `f`; the
+    /// occupancy histograms are carried from `self` and combined
+    /// explicitly by the callers.
     fn zip(&self, earlier: &CoreStats, f: impl Fn(u64, u64) -> u64 + Copy) -> CoreStats {
         use crate::frontend::FrontendStats;
         use crate::memory::MemStats;
@@ -151,6 +182,9 @@ impl CoreStats {
                 cross_learned: f(self.tact.cross_learned, earlier.tact.cross_learned),
                 feeder_learned: f(self.tact.feeder_learned, earlier.tact.feeder_learned),
             },
+            rob_occ: self.rob_occ,
+            sched_occ: self.sched_occ,
+            mshr_occ: self.mshr_occ,
         }
     }
 
@@ -205,5 +239,37 @@ mod tests {
             ..Default::default()
         };
         assert!((s.ipc() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minus_and_add_scaled_carry_occupancy_hists() {
+        let mut early = CoreStats::default();
+        early.rob_occ.record(10, 224);
+        let mut late = early;
+        late.instructions = 100;
+        late.cycles = 50;
+        late.rob_occ.record(200, 224);
+        late.sched_occ.record(30, 97);
+        let d = late.minus(&early);
+        assert_eq!(d.instructions, 100);
+        assert_eq!(d.rob_occ.samples, 1);
+        assert_eq!(d.rob_occ.sum, 200);
+        assert_eq!(d.sched_occ.samples, 1);
+        let mut acc = CoreStats::default();
+        acc.add_scaled(&d, 3);
+        assert_eq!(acc.instructions, 300);
+        assert_eq!(acc.rob_occ.samples, 3);
+        assert_eq!(acc.rob_occ.sum, 600);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-monotonic")]
+    fn minus_rejects_shrinking_core_counters() {
+        let early = CoreStats {
+            cycles: 9,
+            ..Default::default()
+        };
+        let _ = CoreStats::default().minus(&early);
     }
 }

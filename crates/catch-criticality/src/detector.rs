@@ -3,6 +3,7 @@
 use crate::config::DetectorConfig;
 use crate::graph::{DdgGraph, RetiredInst};
 use crate::table::CriticalLoadTable;
+use catch_obs::{Event, EventClass, EventKind, Obs};
 use catch_trace::Pc;
 
 /// Counters exposed by the detector.
@@ -53,6 +54,8 @@ pub struct CriticalityDetector {
     table: CriticalLoadTable,
     stats: DetectorStats,
     retired_since_relearn: u64,
+    obs: Obs,
+    obs_core: u32,
 }
 
 impl CriticalityDetector {
@@ -66,7 +69,17 @@ impl CriticalityDetector {
             table,
             stats: DetectorStats::default(),
             retired_since_relearn: 0,
+            obs: Obs::off(),
+            obs_core: 0,
         }
+    }
+
+    /// Attaches an observability handle; graph walks and table
+    /// insertions/evictions emit criticality-class events attributed to
+    /// `core`. Detached by default.
+    pub fn set_obs(&mut self, obs: Obs, core: u32) {
+        self.obs = obs;
+        self.obs_core = core;
     }
 
     /// Configuration in use.
@@ -91,6 +104,12 @@ impl CriticalityDetector {
     /// Observes a retired instruction; walks and flushes the graph when
     /// the window threshold is reached.
     pub fn on_retire(&mut self, inst: RetiredInst) {
+        self.on_retire_at(inst, 0);
+    }
+
+    /// Cycle-stamped variant of [`CriticalityDetector::on_retire`]; the
+    /// cycle only feeds attached event sinks and never alters detection.
+    pub fn on_retire_at(&mut self, inst: RetiredInst, cycle: u64) {
         self.stats.retired += 1;
         self.retired_since_relearn += 1;
         self.graph.push(inst);
@@ -99,12 +118,34 @@ impl CriticalityDetector {
             self.stats.walks += 1;
             let path = self.graph.walk_critical_path();
             self.stats.walk_steps += path.len() as u64;
+            let mut observed = 0u32;
             for (pc, level) in self.graph.critical_loads() {
                 if self.config.track_levels.contains(&level) {
                     self.stats.critical_load_observations += 1;
-                    self.table.insert(pc);
+                    observed += 1;
+                    let evicted = self.table.insert(pc);
+                    self.obs.emit(EventClass::CRIT, || Event {
+                        cycle,
+                        core: self.obs_core,
+                        kind: EventKind::CritInsert { pc: pc.get() },
+                    });
+                    if let Some(victim) = evicted {
+                        self.obs.emit(EventClass::CRIT, || Event {
+                            cycle,
+                            core: self.obs_core,
+                            kind: EventKind::CritEvict { pc: victim.get() },
+                        });
+                    }
                 }
             }
+            self.obs.emit(EventClass::CRIT, || Event {
+                cycle,
+                core: self.obs_core,
+                kind: EventKind::CritWalk {
+                    path_len: path.len() as u32,
+                    critical_loads: observed,
+                },
+            });
             self.graph.flush();
         }
 

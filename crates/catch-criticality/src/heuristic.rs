@@ -17,6 +17,7 @@ use crate::config::DetectorConfig;
 use crate::detector::DetectorStats;
 use crate::graph::RetiredInst;
 use crate::table::CriticalLoadTable;
+use catch_obs::{Event, EventClass, EventKind, Obs};
 use catch_trace::Pc;
 use std::collections::VecDeque;
 
@@ -58,6 +59,8 @@ pub struct HeuristicDetector {
     next_seq: u64,
     stats: DetectorStats,
     retired_since_relearn: u64,
+    obs: Obs,
+    obs_core: u32,
 }
 
 impl std::fmt::Debug for HeuristicDetector {
@@ -83,7 +86,16 @@ impl HeuristicDetector {
             next_seq: 0,
             stats: DetectorStats::default(),
             retired_since_relearn: 0,
+            obs: Obs::off(),
+            obs_core: 0,
         }
+    }
+
+    /// Attaches an observability handle; table insertions/evictions emit
+    /// criticality-class events attributed to `core`. Detached by default.
+    pub fn set_obs(&mut self, obs: Obs, core: u32) {
+        self.obs = obs;
+        self.obs_core = core;
     }
 
     /// Counters (walks stay zero: no graph is maintained).
@@ -104,13 +116,31 @@ impl HeuristicDetector {
                 .unwrap_or(false)
     }
 
-    fn flag(&mut self, pc: Pc) {
+    fn flag(&mut self, pc: Pc, cycle: u64) {
         self.stats.critical_load_observations += 1;
-        self.table.insert(pc);
+        let evicted = self.table.insert(pc);
+        self.obs.emit(EventClass::CRIT, || Event {
+            cycle,
+            core: self.obs_core,
+            kind: EventKind::CritInsert { pc: pc.get() },
+        });
+        if let Some(victim) = evicted {
+            self.obs.emit(EventClass::CRIT, || Event {
+                cycle,
+                core: self.obs_core,
+                kind: EventKind::CritEvict { pc: victim.get() },
+            });
+        }
     }
 
     /// Observes one retired instruction.
     pub fn on_retire(&mut self, inst: RetiredInst) {
+        self.on_retire_at(inst, 0);
+    }
+
+    /// Cycle-stamped variant of [`HeuristicDetector::on_retire`]; the
+    /// cycle only feeds attached event sinks and never alters detection.
+    pub fn on_retire_at(&mut self, inst: RetiredInst, cycle: u64) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.stats.retired += 1;
@@ -118,7 +148,7 @@ impl HeuristicDetector {
 
         // Symptom 1: long observed latency.
         if self.tracked(&inst) && inst.exec_latency >= self.config.latency_threshold {
-            self.flag(inst.pc);
+            self.flag(inst.pc, cycle);
         }
 
         // Symptom 2: mispredicted branch — flag its producer loads (up to
@@ -133,7 +163,7 @@ impl HeuristicDetector {
                         let einst = e.inst;
                         next.extend(einst.src_producers.iter().flatten().copied());
                         if self.tracked(&einst) {
-                            self.flag(einst.pc);
+                            self.flag(einst.pc, cycle);
                         }
                     }
                 }
@@ -150,7 +180,7 @@ impl HeuristicDetector {
                 .map(|e| e.inst.pc)
                 .collect();
             for pc in shadow {
-                self.flag(pc);
+                self.flag(pc, cycle);
             }
         }
 
@@ -193,6 +223,23 @@ impl AnyDetector {
         match self {
             AnyDetector::Graph(d) => d.on_retire(inst),
             AnyDetector::Heuristic(d) => d.on_retire(inst),
+        }
+    }
+
+    /// Cycle-stamped variant of [`AnyDetector::on_retire`] for
+    /// observability; the cycle never alters detection.
+    pub fn on_retire_at(&mut self, inst: RetiredInst, cycle: u64) {
+        match self {
+            AnyDetector::Graph(d) => d.on_retire_at(inst, cycle),
+            AnyDetector::Heuristic(d) => d.on_retire_at(inst, cycle),
+        }
+    }
+
+    /// Attaches an observability handle to whichever detector is active.
+    pub fn set_obs(&mut self, obs: Obs, core: u32) {
+        match self {
+            AnyDetector::Graph(d) => d.set_obs(obs, core),
+            AnyDetector::Heuristic(d) => d.set_obs(obs, core),
         }
     }
 

@@ -73,8 +73,9 @@ impl CriticalLoadTable {
     }
 
     /// Records an observation of `pc` on the critical path: bumps its
-    /// confidence, allocating (LRU) if absent.
-    pub fn insert(&mut self, pc: Pc) {
+    /// confidence, allocating (LRU) if absent. Returns the PC evicted to
+    /// make room, if the allocation displaced a live entry.
+    pub fn insert(&mut self, pc: Pc) -> Option<Pc> {
         self.tick += 1;
         self.inserts += 1;
         let set = self.set_of(pc);
@@ -85,7 +86,7 @@ impl CriticalLoadTable {
                 if e.pc == pc {
                     e.confidence = (e.confidence + 1).min(CONFIDENCE_MAX);
                     e.last_use = self.tick;
-                    return;
+                    return None;
                 }
             }
         }
@@ -98,7 +99,8 @@ impl CriticalLoadTable {
                     .min_by_key(|&i| self.entries[i].map(|e| e.last_use).unwrap_or(0))
                     .expect("sets have at least one way")
             });
-        if self.entries[victim].is_some() {
+        let displaced = self.entries[victim].map(|e| e.pc);
+        if displaced.is_some() {
             self.evictions += 1;
         }
         self.entries[victim] = Some(TableEntry {
@@ -106,6 +108,7 @@ impl CriticalLoadTable {
             confidence: 1,
             last_use: self.tick,
         });
+        displaced
     }
 
     /// True if `pc` is present with saturated confidence.

@@ -1,5 +1,7 @@
 //! Memory-system statistics.
 
+use catch_obs::OccupancyHist;
+use catch_trace::counters::monotonic_delta;
 use std::fmt;
 
 /// Counters for the DRAM system.
@@ -19,6 +21,8 @@ pub struct DramStats {
     pub total_read_latency: u64,
     /// Write batches drained.
     pub write_batches: u64,
+    /// Busy-bank occupancy, sampled at every read arrival.
+    pub bank_occ: OccupancyHist,
 }
 
 impl catch_trace::counters::Counters for DramStats {
@@ -31,11 +35,14 @@ impl catch_trace::counters::Counters for DramStats {
         push_counter(out, prefix, "row_conflicts", self.row_conflicts);
         push_counter(out, prefix, "total_read_latency", self.total_read_latency);
         push_counter(out, prefix, "write_batches", self.write_batches);
+        self.bank_occ
+            .counters_into(&catch_trace::counters::join_prefix(prefix, "bank_occ"), out);
     }
 }
 
 impl DramStats {
-    /// Combines two snapshots field-by-field with `f`.
+    /// Combines the scalar counters field-by-field with `f`; `bank_occ`
+    /// is carried from `self` and combined by the callers.
     fn zip(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
         DramStats {
             reads: f(self.reads, other.reads),
@@ -45,19 +52,29 @@ impl DramStats {
             row_conflicts: f(self.row_conflicts, other.row_conflicts),
             total_read_latency: f(self.total_read_latency, other.total_read_latency),
             write_batches: f(self.write_batches, other.write_batches),
+            bank_occ: self.bank_occ,
         }
     }
 
     /// Per-counter difference against an `earlier` snapshot.
+    ///
+    /// Debug builds assert monotonicity: these counters only ever grow,
+    /// so a shrinking counter is a bookkeeping bug that must not be
+    /// masked by saturation (see `catch_trace::counters::monotonic_delta`).
     pub fn minus(&self, earlier: &Self) -> Self {
-        self.zip(earlier, u64::saturating_sub)
+        let mut out = self.zip(earlier, monotonic_delta);
+        out.bank_occ = self.bank_occ.minus(&earlier.bank_occ);
+        out
     }
 
     /// Accumulates `weight` copies of `delta` into `self` (saturating).
     /// Used by sampled runs to reconstruct full-trace statistics from
     /// weighted per-interval deltas.
     pub fn add_scaled(&mut self, delta: &Self, weight: u64) {
+        let mut occ = self.bank_occ;
+        occ.add_scaled(&delta.bank_occ, weight);
         *self = self.zip(delta, |a, d| a.saturating_add(d.saturating_mul(weight)));
+        self.bank_occ = occ;
     }
 
     /// Average read latency in core cycles.
@@ -115,5 +132,33 @@ mod tests {
         };
         assert!((s.avg_read_latency() - 100.0).abs() < 1e-9);
         assert!((s.row_hit_rate() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minus_and_add_scaled_carry_bank_occupancy() {
+        let mut early = DramStats::default();
+        early.bank_occ.record(2, 32);
+        let mut late = early;
+        late.reads = 5;
+        late.bank_occ.record(8, 32);
+        let d = late.minus(&early);
+        assert_eq!(d.reads, 5);
+        assert_eq!(d.bank_occ.samples, 1);
+        assert_eq!(d.bank_occ.sum, 8);
+        let mut acc = DramStats::default();
+        acc.add_scaled(&d, 4);
+        assert_eq!(acc.reads, 20);
+        assert_eq!(acc.bank_occ.samples, 4);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-monotonic")]
+    fn minus_rejects_shrinking_dram_counters() {
+        let early = DramStats {
+            reads: 7,
+            ..Default::default()
+        };
+        let _ = DramStats::default().minus(&early);
     }
 }

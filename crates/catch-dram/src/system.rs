@@ -4,7 +4,16 @@ use crate::bank::{Bank, RowOutcome};
 use crate::config::DramConfig;
 use crate::stats::DramStats;
 use catch_cache::MemoryBackend;
+use catch_obs::{Event, EventClass, EventKind, Obs, ObsRowOutcome};
 use catch_trace::LineAddr;
+
+fn obs_outcome(outcome: RowOutcome) -> ObsRowOutcome {
+    match outcome {
+        RowOutcome::Hit => ObsRowOutcome::Hit,
+        RowOutcome::Empty => ObsRowOutcome::Empty,
+        RowOutcome::Conflict => ObsRowOutcome::Conflict,
+    }
+}
 
 /// The complete memory system: channels × ranks × banks with per-channel
 /// data buses and batched writes.
@@ -28,6 +37,7 @@ pub struct DramSystem {
     t_rp: u64,
     t_ras: u64,
     t_burst: u64,
+    obs: Obs,
 }
 
 impl DramSystem {
@@ -45,7 +55,16 @@ impl DramSystem {
             banks,
             config,
             stats: DramStats::default(),
+            obs: Obs::off(),
         }
+    }
+
+    /// Attaches an observability handle; reads and write-batch drains
+    /// emit DRAM-class events through it. Detached by default. DRAM
+    /// events are system-level and attributed to core 0 (the backend
+    /// does not see the requesting core).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Configuration in use.
@@ -83,7 +102,7 @@ impl DramSystem {
         }
     }
 
-    fn service(&mut self, line: LineAddr, cycle: u64) -> u64 {
+    fn service(&mut self, line: LineAddr, cycle: u64) -> (u64, RowOutcome, usize) {
         let (channel, bank, row) = self.map(line);
         let (ready, outcome) =
             self.banks[bank].access(row, cycle, self.t_cas, self.t_rcd, self.t_rp, self.t_ras);
@@ -91,12 +110,19 @@ impl DramSystem {
         // Data burst needs the channel bus.
         let burst_start = ready.max(self.bus_free[channel]);
         self.bus_free[channel] = burst_start + self.t_burst;
-        burst_start + self.t_burst
+        (burst_start + self.t_burst, outcome, bank)
     }
 
     fn drain_writes(&mut self, channel: usize, cycle: u64) {
         let batch: Vec<LineAddr> = self.pending_writes[channel].drain(..).collect();
         self.stats.write_batches += 1;
+        self.obs.emit(EventClass::DRAM, || Event {
+            cycle,
+            core: 0,
+            kind: EventKind::DramWriteBatch {
+                count: batch.len() as u32,
+            },
+        });
         for line in batch {
             self.service(line, cycle);
         }
@@ -115,9 +141,30 @@ impl DramSystem {
     /// Performs a read, returning its latency in core cycles.
     pub fn read(&mut self, line: LineAddr, cycle: u64) -> u64 {
         self.stats.reads += 1;
-        let done = self.service(line, cycle);
+        // Always-on bank-pressure sample at read arrival (before the
+        // read itself occupies its bank).
+        let busy = self.banks.iter().filter(|b| b.busy_until() > cycle).count() as u64;
+        self.stats.bank_occ.record(busy, self.banks.len() as u64);
+        self.obs.emit(EventClass::OCCUPANCY, || Event {
+            cycle,
+            core: 0,
+            kind: EventKind::BankBusy {
+                busy: busy as u32,
+                cap: self.banks.len() as u32,
+            },
+        });
+        let (done, outcome, bank) = self.service(line, cycle);
         let latency = done - cycle;
         self.stats.total_read_latency += latency;
+        self.obs.emit(EventClass::DRAM, || Event {
+            cycle,
+            core: 0,
+            kind: EventKind::DramRead {
+                outcome: obs_outcome(outcome),
+                bank: bank as u32,
+                latency,
+            },
+        });
         latency
     }
 }
@@ -227,6 +274,25 @@ mod tests {
         let b = d.read(LineAddr::new(2), 0); // bank 1, channel 0
                                              // Bank access can overlap but the data bursts can't.
         assert!(b >= a || (a as i64 - b as i64).unsigned_abs() >= d.t_burst);
+    }
+
+    #[test]
+    fn attached_sink_observes_dram_events() {
+        use catch_obs::VecSink;
+        use std::sync::{Arc, Mutex};
+        let sink = Arc::new(Mutex::new(VecSink::new()));
+        let mut d = sys();
+        d.set_obs(Obs::attached(sink.clone(), EventClass::ALL));
+        d.read(LineAddr::new(0), 0);
+        for i in 0..16 {
+            d.write(LineAddr::new(2 * i), 10);
+        }
+        let events = sink.lock().unwrap().take();
+        let names: Vec<&str> = events.iter().map(|e| e.name()).collect();
+        assert!(names.contains(&"dram.read"), "{names:?}");
+        assert!(names.contains(&"dram.bank_busy"), "{names:?}");
+        assert!(names.contains(&"dram.write_batch"), "{names:?}");
+        assert_eq!(d.stats().bank_occ.samples, 1);
     }
 
     #[test]

@@ -1,0 +1,457 @@
+//! The structured event model: what a simulator component can report.
+//!
+//! Every event is cycle-stamped and attributed to a core (shared
+//! structures such as the LLC and DRAM report the core that triggered
+//! the activity). The taxonomy deliberately mirrors the simulator's
+//! microarchitectural structures — see DESIGN.md §8 for the full table.
+
+use std::fmt::Write as _;
+
+/// Cache level, as seen by the observability layer.
+///
+/// A standalone copy of the hierarchy's level enum so `catch-obs` stays
+/// dependency-free below `catch-trace`; producers convert at emit time.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ObsLevel {
+    /// L1 instruction cache.
+    L1i,
+    /// L1 data cache.
+    L1d,
+    /// Per-core mid-level cache.
+    L2,
+    /// Shared last-level cache.
+    Llc,
+    /// Main memory.
+    Memory,
+}
+
+impl ObsLevel {
+    /// Short stable label used in exported traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            ObsLevel::L1i => "l1i",
+            ObsLevel::L1d => "l1d",
+            ObsLevel::L2 => "l2",
+            ObsLevel::Llc => "llc",
+            ObsLevel::Memory => "mem",
+        }
+    }
+}
+
+/// DRAM row-buffer outcome, mirrored from `catch-dram`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ObsRowOutcome {
+    /// The addressed row was already open.
+    Hit,
+    /// The bank was precharged; activate only.
+    Empty,
+    /// A different row was open; precharge + activate.
+    Conflict,
+}
+
+impl ObsRowOutcome {
+    /// Short stable label used in exported traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            ObsRowOutcome::Hit => "hit",
+            ObsRowOutcome::Empty => "empty",
+            ObsRowOutcome::Conflict => "conflict",
+        }
+    }
+}
+
+/// TACT prefetcher component that produced a target.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ObsTactComponent {
+    /// Deep self-targets (same-PC pointer chains).
+    Deep,
+    /// Cross-PC trigger→target pairs.
+    Cross,
+    /// Feeder-driven pre-computation targets.
+    Feeder,
+}
+
+impl ObsTactComponent {
+    /// Short stable label used in exported traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            ObsTactComponent::Deep => "deep",
+            ObsTactComponent::Cross => "cross",
+            ObsTactComponent::Feeder => "feeder",
+        }
+    }
+}
+
+/// What happened (the payload of an [`Event`]).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    // --- OOO core -----------------------------------------------------
+    /// A micro-op was allocated into the ROB.
+    Alloc {
+        /// Program counter of the micro-op.
+        pc: u64,
+    },
+    /// A micro-op left the scheduler and began execution.
+    Exec {
+        /// Program counter of the micro-op.
+        pc: u64,
+        /// Execution latency in cycles (memory ops: observed load-to-use).
+        latency: u64,
+    },
+    /// A micro-op retired.
+    Retire {
+        /// Program counter of the micro-op.
+        pc: u64,
+    },
+    /// Periodic ROB occupancy sample.
+    RobOccupancy {
+        /// Entries in use.
+        used: u32,
+        /// ROB capacity.
+        cap: u32,
+    },
+    /// Periodic scheduler occupancy sample (allocated, not yet started).
+    SchedOccupancy {
+        /// Entries in use.
+        used: u32,
+        /// Scheduling-window capacity.
+        cap: u32,
+    },
+    /// Periodic load-MSHR occupancy sample (outstanding loads).
+    MshrOccupancy {
+        /// Outstanding loads.
+        used: u32,
+        /// Maximum outstanding loads.
+        cap: u32,
+    },
+
+    // --- Cache hierarchy ----------------------------------------------
+    /// A lookup hit at `level`.
+    CacheHit {
+        /// Level that supplied the data.
+        level: ObsLevel,
+        /// Line address.
+        line: u64,
+    },
+    /// A lookup missed at `level` (the walk continues outward).
+    CacheMiss {
+        /// Level that missed.
+        level: ObsLevel,
+        /// Line address.
+        line: u64,
+    },
+    /// A line was filled into `level`.
+    CacheFill {
+        /// Level receiving the fill.
+        level: ObsLevel,
+        /// Line address.
+        line: u64,
+    },
+    /// An inclusive-LLC victim back-invalidated a private copy at `level`.
+    BackInvalidate {
+        /// Private level losing its copy.
+        level: ObsLevel,
+        /// Line address.
+        line: u64,
+    },
+    /// An exclusive-mode LLC hit migrated the line into the private L2.
+    ExclusiveMigrate {
+        /// Line address.
+        line: u64,
+    },
+    /// In-flight fill (MSHR ledger) occupancy observed at a demand miss.
+    CacheMshrOccupancy {
+        /// Outstanding fills tracked by the data-side ledger.
+        used: u32,
+    },
+
+    // --- DRAM ----------------------------------------------------------
+    /// A DRAM read was serviced.
+    DramRead {
+        /// Row-buffer outcome.
+        outcome: ObsRowOutcome,
+        /// Bank index.
+        bank: u32,
+        /// Total read latency in core cycles.
+        latency: u64,
+    },
+    /// A posted-write batch drained.
+    DramWriteBatch {
+        /// Writes in the batch.
+        count: u32,
+    },
+    /// Busy-bank count observed when a read arrived.
+    BankBusy {
+        /// Banks still command-busy at arrival.
+        busy: u32,
+        /// Total banks.
+        cap: u32,
+    },
+
+    // --- TACT prefetcher ------------------------------------------------
+    /// A trigger load activated the TACT prefetcher.
+    TactTrigger {
+        /// Trigger program counter.
+        pc: u64,
+        /// Trigger line address.
+        line: u64,
+    },
+    /// TACT issued a prefetch for a target line.
+    TactTarget {
+        /// Component that produced the target.
+        component: ObsTactComponent,
+        /// Target line address.
+        line: u64,
+    },
+    /// A demand access consumed a TACT-prefetched line (timeliness).
+    TactTimely {
+        /// Level the prefetch fetched from.
+        source: ObsLevel,
+        /// Percent of the LLC hit latency the prefetch hid (0–100).
+        saved_pct: u8,
+    },
+
+    // --- Criticality detector -------------------------------------------
+    /// The detector walked the data-dependence graph buffer.
+    CritWalk {
+        /// Nodes on the reconstructed critical path.
+        path_len: u32,
+        /// Critical loads observed on that path.
+        critical_loads: u32,
+    },
+    /// A PC was inserted into (or reinforced in) the critical-load table.
+    CritInsert {
+        /// Load program counter.
+        pc: u64,
+    },
+    /// A PC was evicted from the critical-load table.
+    CritEvict {
+        /// Evicted program counter.
+        pc: u64,
+    },
+}
+
+/// One cycle-stamped simulator event.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// Core cycle at which the event occurred.
+    pub cycle: u64,
+    /// Core the event is attributed to.
+    pub core: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Stable dotted event name (`component.event`).
+    pub fn name(&self) -> &'static str {
+        match self.kind {
+            EventKind::Alloc { .. } => "core.alloc",
+            EventKind::Exec { .. } => "core.exec",
+            EventKind::Retire { .. } => "core.retire",
+            EventKind::RobOccupancy { .. } => "core.rob_occupancy",
+            EventKind::SchedOccupancy { .. } => "core.sched_occupancy",
+            EventKind::MshrOccupancy { .. } => "core.mshr_occupancy",
+            EventKind::CacheHit { .. } => "cache.hit",
+            EventKind::CacheMiss { .. } => "cache.miss",
+            EventKind::CacheFill { .. } => "cache.fill",
+            EventKind::BackInvalidate { .. } => "cache.back_invalidate",
+            EventKind::ExclusiveMigrate { .. } => "cache.exclusive_migrate",
+            EventKind::CacheMshrOccupancy { .. } => "cache.mshr_occupancy",
+            EventKind::DramRead { .. } => "dram.read",
+            EventKind::DramWriteBatch { .. } => "dram.write_batch",
+            EventKind::BankBusy { .. } => "dram.bank_busy",
+            EventKind::TactTrigger { .. } => "tact.trigger",
+            EventKind::TactTarget { .. } => "tact.target",
+            EventKind::TactTimely { .. } => "tact.timely",
+            EventKind::CritWalk { .. } => "crit.walk",
+            EventKind::CritInsert { .. } => "crit.table_insert",
+            EventKind::CritEvict { .. } => "crit.table_evict",
+        }
+    }
+
+    /// The [`EventClass`](crate::EventClass) this event belongs to
+    /// (the class a sink must enable in its mask to receive it).
+    pub fn class(&self) -> crate::EventClass {
+        use crate::EventClass;
+        match self.kind {
+            EventKind::Alloc { .. } | EventKind::Exec { .. } | EventKind::Retire { .. } => {
+                EventClass::CORE
+            }
+            EventKind::RobOccupancy { .. }
+            | EventKind::SchedOccupancy { .. }
+            | EventKind::MshrOccupancy { .. }
+            | EventKind::CacheMshrOccupancy { .. }
+            | EventKind::BankBusy { .. } => EventClass::OCCUPANCY,
+            EventKind::CacheHit { .. }
+            | EventKind::CacheMiss { .. }
+            | EventKind::CacheFill { .. }
+            | EventKind::BackInvalidate { .. }
+            | EventKind::ExclusiveMigrate { .. } => EventClass::CACHE,
+            EventKind::DramRead { .. } | EventKind::DramWriteBatch { .. } => EventClass::DRAM,
+            EventKind::TactTrigger { .. }
+            | EventKind::TactTarget { .. }
+            | EventKind::TactTimely { .. } => EventClass::TACT,
+            EventKind::CritWalk { .. }
+            | EventKind::CritInsert { .. }
+            | EventKind::CritEvict { .. } => EventClass::CRIT,
+        }
+    }
+
+    /// Renders the event arguments as a JSON object (no external deps:
+    /// all values are integers or fixed label strings, so no escaping is
+    /// ever required).
+    pub fn args_json(&self) -> String {
+        let mut s = String::with_capacity(48);
+        s.push('{');
+        match self.kind {
+            EventKind::Alloc { pc } | EventKind::Retire { pc } => {
+                let _ = write!(s, "\"pc\":{pc}");
+            }
+            EventKind::Exec { pc, latency } => {
+                let _ = write!(s, "\"pc\":{pc},\"latency\":{latency}");
+            }
+            EventKind::RobOccupancy { used, cap }
+            | EventKind::SchedOccupancy { used, cap }
+            | EventKind::MshrOccupancy { used, cap } => {
+                let _ = write!(s, "\"used\":{used},\"cap\":{cap}");
+            }
+            EventKind::CacheHit { level, line }
+            | EventKind::CacheMiss { level, line }
+            | EventKind::CacheFill { level, line }
+            | EventKind::BackInvalidate { level, line } => {
+                let _ = write!(s, "\"level\":\"{}\",\"line\":{line}", level.label());
+            }
+            EventKind::ExclusiveMigrate { line } => {
+                let _ = write!(s, "\"line\":{line}");
+            }
+            EventKind::CacheMshrOccupancy { used } => {
+                let _ = write!(s, "\"used\":{used}");
+            }
+            EventKind::DramRead {
+                outcome,
+                bank,
+                latency,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"outcome\":\"{}\",\"bank\":{bank},\"latency\":{latency}",
+                    outcome.label()
+                );
+            }
+            EventKind::DramWriteBatch { count } => {
+                let _ = write!(s, "\"count\":{count}");
+            }
+            EventKind::BankBusy { busy, cap } => {
+                let _ = write!(s, "\"busy\":{busy},\"cap\":{cap}");
+            }
+            EventKind::TactTrigger { pc, line } => {
+                let _ = write!(s, "\"pc\":{pc},\"line\":{line}");
+            }
+            EventKind::TactTarget { component, line } => {
+                let _ = write!(s, "\"component\":\"{}\",\"line\":{line}", component.label());
+            }
+            EventKind::TactTimely { source, saved_pct } => {
+                let _ = write!(
+                    s,
+                    "\"source\":\"{}\",\"saved_pct\":{saved_pct}",
+                    source.label()
+                );
+            }
+            EventKind::CritWalk {
+                path_len,
+                critical_loads,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"path_len\":{path_len},\"critical_loads\":{critical_loads}"
+                );
+            }
+            EventKind::CritInsert { pc } | EventKind::CritEvict { pc } => {
+                let _ = write!(s, "\"pc\":{pc}");
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Renders the event as one newline-free JSONL record.
+    pub fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"cycle\":{},\"core\":{},\"name\":\"{}\",\"args\":{}}}",
+            self.cycle,
+            self.core,
+            self.name(),
+            self.args_json()
+        )
+    }
+
+    /// Renders the event as one Chrome `about://tracing` trace-event
+    /// object (newline-free). Occupancy samples become counter events
+    /// (`"ph":"C"`, plotted as a time series); everything else becomes an
+    /// instant event (`"ph":"i"`). Cycles map 1:1 onto microseconds.
+    pub fn to_chrome(&self) -> String {
+        let counter = matches!(
+            self.kind,
+            EventKind::RobOccupancy { .. }
+                | EventKind::SchedOccupancy { .. }
+                | EventKind::MshrOccupancy { .. }
+                | EventKind::CacheMshrOccupancy { .. }
+                | EventKind::BankBusy { .. }
+        );
+        if counter {
+            format!(
+                "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{}}}",
+                self.name(),
+                self.cycle,
+                self.core,
+                self.args_json()
+            )
+        } else {
+            format!(
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{}}}",
+                self.name(),
+                self.cycle,
+                self.core,
+                self.args_json()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_rendering_is_stable() {
+        let e = Event {
+            cycle: 7,
+            core: 1,
+            kind: EventKind::CacheHit {
+                level: ObsLevel::L2,
+                line: 42,
+            },
+        };
+        assert_eq!(
+            e.to_jsonl(),
+            "{\"cycle\":7,\"core\":1,\"name\":\"cache.hit\",\"args\":{\"level\":\"l2\",\"line\":42}}"
+        );
+    }
+
+    #[test]
+    fn occupancy_renders_as_chrome_counter() {
+        let e = Event {
+            cycle: 3,
+            core: 0,
+            kind: EventKind::RobOccupancy { used: 10, cap: 224 },
+        };
+        assert!(e.to_chrome().contains("\"ph\":\"C\""));
+        let i = Event {
+            cycle: 3,
+            core: 0,
+            kind: EventKind::Retire { pc: 9 },
+        };
+        assert!(i.to_chrome().contains("\"ph\":\"i\""));
+    }
+}

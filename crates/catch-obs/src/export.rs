@@ -1,0 +1,278 @@
+//! File exporters and deterministic part-file merging.
+//!
+//! Two formats:
+//!
+//! * **Chrome trace JSON** — loadable in `about://tracing` / Perfetto:
+//!   `{"traceEvents":[ ... ]}` with one event object per line.
+//! * **JSONL** — one `{"cycle":..,"core":..,"name":..,"args":{..}}`
+//!   record per line, for ad-hoc `grep`/`jq`-style analysis.
+//!
+//! For parallel suite runs every worker job writes its own *part file*
+//! (events of one job are deterministic; interleaving across jobs is
+//! not), and [`merge_parts`] stitches the parts **in job-index order**
+//! after the run — so the merged trace is byte-identical for every
+//! worker count, exactly like the runner's index-ordered stats
+//! reduction.
+
+use crate::event::Event;
+use crate::sink::EventSink;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Trace file format, chosen from the output path's extension.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum TraceFormat {
+    /// Chrome `about://tracing` JSON (`.json` and anything else).
+    Chrome,
+    /// Newline-delimited JSON records (`.jsonl`).
+    Jsonl,
+}
+
+impl TraceFormat {
+    /// `.jsonl` selects [`TraceFormat::Jsonl`]; everything else is
+    /// Chrome trace JSON.
+    pub fn from_path(path: &Path) -> Self {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("jsonl") => TraceFormat::Jsonl,
+            _ => TraceFormat::Chrome,
+        }
+    }
+}
+
+/// Streaming Chrome-trace exporter.
+///
+/// In *fragment* mode the array wrapper and separators are omitted (one
+/// bare object per line) so part files can be merged textually by
+/// [`merge_parts`] without parsing.
+#[derive(Debug)]
+pub struct ChromeTraceSink<W: Write> {
+    w: W,
+    fragment: bool,
+    events: u64,
+}
+
+impl ChromeTraceSink<BufWriter<File>> {
+    /// Creates a standalone (non-fragment) exporter writing to `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+
+    /// Creates a fragment exporter writing to `path` (for part files).
+    pub fn create_fragment(path: &Path) -> io::Result<Self> {
+        Ok(Self::fragment(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> ChromeTraceSink<W> {
+    /// A standalone exporter: emits the `{"traceEvents":[...]}` wrapper.
+    pub fn new(w: W) -> Self {
+        ChromeTraceSink {
+            w,
+            fragment: false,
+            events: 0,
+        }
+    }
+
+    /// A fragment exporter: bare event objects, one per line.
+    pub fn fragment(w: W) -> Self {
+        ChromeTraceSink {
+            w,
+            fragment: true,
+            events: 0,
+        }
+    }
+
+    /// Events written so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+impl<W: Write> EventSink for ChromeTraceSink<W> {
+    fn record(&mut self, event: Event) {
+        let sep = match (self.fragment, self.events) {
+            (true, _) => "",
+            (false, 0) => "{\"traceEvents\":[\n",
+            (false, _) => ",\n",
+        };
+        let line = event.to_chrome();
+        // An I/O error mid-trace is unrecoverable for the exporter;
+        // surface it at the emit site rather than truncating silently.
+        write!(self.w, "{sep}{line}").expect("writing chrome trace event");
+        if self.fragment {
+            writeln!(self.w).expect("writing chrome trace event");
+        }
+        self.events += 1;
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        if !self.fragment {
+            if self.events == 0 {
+                self.w.write_all(b"{\"traceEvents\":[")?;
+            }
+            self.w.write_all(b"\n]}\n")?;
+        }
+        self.w.flush()
+    }
+}
+
+/// Streaming JSONL exporter: one event record per line.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    w: W,
+    events: u64,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates an exporter writing to `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// An exporter over any writer.
+    pub fn new(w: W) -> Self {
+        JsonlSink { w, events: 0 }
+    }
+
+    /// Events written so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+impl<W: Write> EventSink for JsonlSink<W> {
+    fn record(&mut self, event: Event) {
+        writeln!(self.w, "{}", event.to_jsonl()).expect("writing jsonl trace event");
+        self.events += 1;
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+}
+
+/// The part-file path for worker job `index` of a merged trace at `out`.
+pub fn part_path(out: &Path, index: usize) -> PathBuf {
+    let mut name = out.as_os_str().to_os_string();
+    name.push(format!(".part{index:04}"));
+    PathBuf::from(name)
+}
+
+/// Merges per-job part files (fragment format matching `format`) into
+/// the final trace at `out`, **in the given order** (callers pass parts
+/// in job-index order, making the merge independent of worker count and
+/// scheduling). Part files are deleted after a successful merge.
+/// Returns the merged event count.
+pub fn merge_parts(parts: &[PathBuf], out: &Path, format: TraceFormat) -> io::Result<u64> {
+    let mut w = BufWriter::new(File::create(out)?);
+    let mut events = 0u64;
+    if format == TraceFormat::Chrome {
+        w.write_all(b"{\"traceEvents\":[\n")?;
+    }
+    for part in parts {
+        let r = BufReader::new(File::open(part)?);
+        for line in r.lines() {
+            let line = line?;
+            if line.is_empty() {
+                continue;
+            }
+            match format {
+                TraceFormat::Chrome => {
+                    if events > 0 {
+                        w.write_all(b",\n")?;
+                    }
+                    w.write_all(line.as_bytes())?;
+                }
+                TraceFormat::Jsonl => {
+                    w.write_all(line.as_bytes())?;
+                    w.write_all(b"\n")?;
+                }
+            }
+            events += 1;
+        }
+    }
+    if format == TraceFormat::Chrome {
+        w.write_all(b"\n]}\n")?;
+    }
+    w.flush()?;
+    for part in parts {
+        std::fs::remove_file(part)?;
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::json_lint::validate_json;
+
+    fn ev(cycle: u64) -> Event {
+        Event {
+            cycle,
+            core: 0,
+            kind: EventKind::Retire { pc: cycle },
+        }
+    }
+
+    #[test]
+    fn chrome_output_is_valid_json() {
+        let mut sink = ChromeTraceSink::new(Vec::new());
+        for c in 0..3 {
+            sink.record(ev(c));
+        }
+        sink.finish().unwrap();
+        let text = String::from_utf8(sink.w).unwrap();
+        validate_json(&text).expect("chrome trace parses");
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert_eq!(sink.events, 3);
+    }
+
+    #[test]
+    fn empty_chrome_trace_is_valid_json() {
+        let mut sink = ChromeTraceSink::new(Vec::new());
+        sink.finish().unwrap();
+        validate_json(&String::from_utf8(sink.w).unwrap()).expect("empty trace parses");
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(ev(1));
+        sink.record(ev(2));
+        sink.finish().unwrap();
+        let text = String::from_utf8(sink.w).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            validate_json(line).expect("jsonl record parses");
+        }
+    }
+
+    #[test]
+    fn merge_stitches_parts_in_order_and_cleans_up() {
+        let dir = std::env::temp_dir().join("catch-obs-merge-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("trace.json");
+        let parts: Vec<PathBuf> = (0..3).map(|i| part_path(&out, i)).collect();
+        for (i, part) in parts.iter().enumerate() {
+            let mut sink = ChromeTraceSink::create_fragment(part).unwrap();
+            sink.record(ev(i as u64 * 10));
+            sink.finish().unwrap();
+        }
+        let n = merge_parts(&parts, &out, TraceFormat::Chrome).unwrap();
+        assert_eq!(n, 3);
+        let text = std::fs::read_to_string(&out).unwrap();
+        validate_json(&text).expect("merged trace parses");
+        // Job order preserved: cycle 0 before 10 before 20.
+        let pos = |needle: &str| text.find(needle).expect(needle);
+        assert!(pos("\"ts\":0,") < pos("\"ts\":10,"));
+        assert!(pos("\"ts\":10,") < pos("\"ts\":20,"));
+        for part in &parts {
+            assert!(!part.exists(), "part files removed after merge");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

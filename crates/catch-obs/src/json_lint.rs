@@ -1,0 +1,196 @@
+//! A minimal JSON well-formedness checker (no external deps).
+//!
+//! The workspace has no serialisation dependency, but the trace tests
+//! must assert that exported files are loadable JSON. This is a strict
+//! recursive-descent validator over the JSON grammar — it accepts
+//! exactly one top-level value and rejects trailing garbage. It does
+//! not build a document; it only validates.
+
+/// Validates that `text` is one well-formed JSON value.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let b = text.as_bytes();
+    let mut pos = skip_ws(b, 0);
+    pos = value(b, pos, 0)?;
+    pos = skip_ws(b, pos);
+    if pos != b.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+const MAX_DEPTH: usize = 64;
+
+fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+    while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
+        pos += 1;
+    }
+    pos
+}
+
+fn value(b: &[u8], pos: usize, depth: usize) -> Result<usize, String> {
+    if depth > MAX_DEPTH {
+        return Err("nesting too deep".into());
+    }
+    match b.get(pos) {
+        Some(b'{') => object(b, pos + 1, depth + 1),
+        Some(b'[') => array(b, pos + 1, depth + 1),
+        Some(b'"') => string(b, pos + 1),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {pos}", *c as char)),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn literal(b: &[u8], pos: usize, word: &[u8]) -> Result<usize, String> {
+    if b.len() >= pos + word.len() && &b[pos..pos + word.len()] == word {
+        Ok(pos + word.len())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn number(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    let start = pos;
+    if b.get(pos) == Some(&b'-') {
+        pos += 1;
+    }
+    let digits = |b: &[u8], mut p: usize| {
+        let s = p;
+        while p < b.len() && b[p].is_ascii_digit() {
+            p += 1;
+        }
+        (p, p > s)
+    };
+    let (p, ok) = digits(b, pos);
+    if !ok {
+        return Err(format!("bad number at byte {start}"));
+    }
+    pos = p;
+    if b.get(pos) == Some(&b'.') {
+        let (p, ok) = digits(b, pos + 1);
+        if !ok {
+            return Err(format!("bad number at byte {start}"));
+        }
+        pos = p;
+    }
+    if matches!(b.get(pos), Some(b'e') | Some(b'E')) {
+        pos += 1;
+        if matches!(b.get(pos), Some(b'+') | Some(b'-')) {
+            pos += 1;
+        }
+        let (p, ok) = digits(b, pos);
+        if !ok {
+            return Err(format!("bad number at byte {start}"));
+        }
+        pos = p;
+    }
+    Ok(pos)
+}
+
+fn string(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    // `pos` is just past the opening quote.
+    while let Some(&c) = b.get(pos) {
+        match c {
+            b'"' => return Ok(pos + 1),
+            b'\\' => match b.get(pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => pos += 2,
+                Some(b'u') => {
+                    let hex = b.get(pos + 2..pos + 6).ok_or("truncated \\u escape")?;
+                    if !hex.iter().all(u8::is_ascii_hexdigit) {
+                        return Err(format!("bad \\u escape at byte {pos}"));
+                    }
+                    pos += 6;
+                }
+                _ => return Err(format!("bad escape at byte {pos}")),
+            },
+            0x00..=0x1f => return Err(format!("raw control byte in string at {pos}")),
+            _ => pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn object(b: &[u8], mut pos: usize, depth: usize) -> Result<usize, String> {
+    pos = skip_ws(b, pos);
+    if b.get(pos) == Some(&b'}') {
+        return Ok(pos + 1);
+    }
+    loop {
+        pos = skip_ws(b, pos);
+        if b.get(pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        pos = string(b, pos + 1)?;
+        pos = skip_ws(b, pos);
+        if b.get(pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        pos = skip_ws(b, pos + 1);
+        pos = value(b, pos, depth)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos += 1,
+            Some(b'}') => return Ok(pos + 1),
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn array(b: &[u8], mut pos: usize, depth: usize) -> Result<usize, String> {
+    pos = skip_ws(b, pos);
+    if b.get(pos) == Some(&b']') {
+        return Ok(pos + 1);
+    }
+    loop {
+        pos = skip_ws(b, pos);
+        pos = value(b, pos, depth)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos += 1,
+            Some(b']') => return Ok(pos + 1),
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e+10",
+            "\"a\\nb\\u00ff\"",
+            "{\"traceEvents\":[{\"name\":\"x\",\"ts\":1,\"args\":{\"a\":[1,2]}}]}",
+            " { \"k\" : [ true , false , null ] } ",
+        ] {
+            validate_json(ok).unwrap_or_else(|e| panic!("rejected {ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{'a':1}",
+            "01x",
+            "\"unterminated",
+            "{} {}",
+            "[1 2]",
+            "nul",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

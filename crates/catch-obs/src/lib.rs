@@ -1,0 +1,36 @@
+//! `catch-obs`: cycle-stamped structured observability for the CATCH
+//! simulator.
+//!
+//! Simulator components (core, caches, DRAM, prefetcher, criticality
+//! detector) hold a cheap [`Obs`] handle and report [`Event`]s through
+//! it. A detached handle ([`Obs::off`]) reduces every emit site to a
+//! single predictable branch — the event-construction closure never
+//! runs — so untraced simulations pay nothing measurable (the CI
+//! `obs-smoke` gate bounds this; see DESIGN.md §8).
+//!
+//! Attached sinks implement [`EventSink`]: in-memory buffers for tests
+//! and profiling ([`VecSink`], [`CountingSink`]), and two streaming file
+//! exporters — Chrome `about://tracing` JSON ([`ChromeTraceSink`]) and
+//! newline-delimited JSON ([`JsonlSink`]). Parallel suite runs write
+//! per-worker part files stitched deterministically by [`merge_parts`].
+//!
+//! Orthogonally, [`OccupancyHist`] provides always-on per-structure
+//! utilization histograms that components fold into their regular stats
+//! blocks (ROB, scheduler, MSHRs, DRAM banks), reported through the
+//! existing `Counters` machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod hist;
+pub mod json_lint;
+mod obs;
+pub mod sink;
+
+pub use event::{Event, EventKind, ObsLevel, ObsRowOutcome, ObsTactComponent};
+pub use export::{merge_parts, part_path, ChromeTraceSink, JsonlSink, TraceFormat};
+pub use hist::{OccupancyHist, OCC_BUCKETS, OCC_SAMPLE_PERIOD};
+pub use obs::{EventClass, Obs};
+pub use sink::{CountingSink, EventSink, NullSink, VecSink};

@@ -1,0 +1,134 @@
+//! Event sinks: where emitted events go.
+
+use crate::event::Event;
+
+/// Consumes a stream of [`Event`]s.
+///
+/// Sinks are driven behind the [`Obs`](crate::Obs) handle: `record` is
+/// called only when a sink is attached *and* the event's class is
+/// enabled, so a detached run never constructs events, let alone
+/// records them.
+pub trait EventSink {
+    /// Records one event.
+    fn record(&mut self, event: Event);
+
+    /// Flushes any buffered output (file exporters override this; the
+    /// in-memory sinks need no finalisation).
+    fn finish(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A sink that drops every event.
+///
+/// Attaching `NullSink` exercises the full emit path (mask check, lock,
+/// virtual dispatch) without retaining anything — the stats-parity and
+/// overhead tests use it to bound instrumentation cost.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn record(&mut self, _event: Event) {}
+}
+
+/// A sink that buffers every event in memory (tests, `--profile`).
+#[derive(Clone, Debug, Default)]
+pub struct VecSink {
+    events: Vec<Event>,
+}
+
+impl VecSink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The events recorded so far.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Takes the buffered events, leaving the sink empty.
+    pub fn take(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl EventSink for VecSink {
+    fn record(&mut self, event: Event) {
+        self.events.push(event);
+    }
+}
+
+/// A sink that only counts events per name (cheap taxonomy summaries).
+#[derive(Clone, Debug, Default)]
+pub struct CountingSink {
+    counts: Vec<(&'static str, u64)>,
+    total: u64,
+}
+
+impl CountingSink {
+    /// An empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-name counts in first-seen order.
+    pub fn counts(&self) -> &[(&'static str, u64)] {
+        &self.counts
+    }
+}
+
+impl EventSink for CountingSink {
+    fn record(&mut self, event: Event) {
+        self.total += 1;
+        let name = event.name();
+        match self.counts.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, c)) => *c += 1,
+            None => self.counts.push((name, 1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn retire(cycle: u64) -> Event {
+        Event {
+            cycle,
+            core: 0,
+            kind: EventKind::Retire { pc: cycle },
+        }
+    }
+
+    #[test]
+    fn vec_sink_buffers_in_order() {
+        let mut s = VecSink::new();
+        s.record(retire(1));
+        s.record(retire(2));
+        assert_eq!(s.events().len(), 2);
+        assert_eq!(s.take()[1].cycle, 2);
+        assert!(s.events().is_empty());
+    }
+
+    #[test]
+    fn counting_sink_groups_by_name() {
+        let mut s = CountingSink::new();
+        s.record(retire(1));
+        s.record(retire(2));
+        s.record(Event {
+            cycle: 3,
+            core: 0,
+            kind: EventKind::Alloc { pc: 3 },
+        });
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.counts(), &[("core.retire", 2), ("core.alloc", 1)]);
+    }
+}

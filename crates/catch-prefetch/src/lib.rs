@@ -30,4 +30,4 @@ pub mod tact;
 pub use image::MemoryImage;
 pub use stream::{StreamPrefetcher, StreamStats};
 pub use stride::{StridePrefetcher, StrideStats};
-pub use tact::{CodeRunahead, TactConfig, TactPrefetcher, TactStats};
+pub use tact::{CodeRunahead, TactComponent, TactConfig, TactPrefetcher, TactStats};

@@ -93,6 +93,18 @@ impl Default for TactConfig {
     }
 }
 
+/// Which TACT component produced a prefetch address (used by the
+/// observability layer to attribute `tact.target` events).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TactComponent {
+    /// Deep self-targets (same-PC strided chains).
+    Deep,
+    /// Cross trigger→target pairs.
+    Cross,
+    /// Feeder-driven pre-computation.
+    Feeder,
+}
+
 /// Counters for the TACT data prefetchers.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct TactStats {
@@ -212,6 +224,21 @@ impl TactPrefetcher {
         feeder: Option<(Pc, u64)>,
         image: &MemoryImage,
     ) -> Vec<Addr> {
+        self.on_load_attributed(op, feeder, image)
+            .into_iter()
+            .map(|(addr, _)| addr)
+            .collect()
+    }
+
+    /// Like [`TactPrefetcher::on_load`], but tags every emitted address
+    /// with the component that produced it, so callers can attribute
+    /// `tact.target` observability events.
+    pub fn on_load_attributed(
+        &mut self,
+        op: &MicroOp,
+        feeder: Option<(Pc, u64)>,
+        image: &MemoryImage,
+    ) -> Vec<(Addr, TactComponent)> {
         debug_assert_eq!(op.class, OpClass::Load, "on_load takes loads");
         let Some(mem) = op.mem else {
             return Vec::new();
@@ -219,7 +246,7 @@ impl TactPrefetcher {
         let pc = op.pc;
         let addr = mem.addr;
         let value = op.load_value;
-        let mut out: Vec<Addr> = Vec::new();
+        let mut out: Vec<(Addr, TactComponent)> = Vec::new();
 
         // 1. Every load is a potential future cross trigger.
         self.trigger_cache.observe(addr.page(), pc);
@@ -233,7 +260,7 @@ impl TactPrefetcher {
                 for &(target, delta) in assocs {
                     if self.targets.contains(target) {
                         self.stats.cross_issued += 1;
-                        out.push(addr.offset(delta));
+                        out.push((addr.offset(delta), TactComponent::Cross));
                     }
                 }
             }
@@ -242,17 +269,17 @@ impl TactPrefetcher {
         // 3. Fire feeder prefetches where this load feeds targets.
         if self.config.enable_feeder {
             let feeder_emits = self.feeder_fire(pc, addr, value, image);
-            out.extend(feeder_emits);
+            out.extend(feeder_emits.into_iter().map(|a| (a, TactComponent::Feeder)));
         }
 
         // 4. Train (and fire Deep-Self) when this load is itself a target.
         if self.targets.contains(pc) {
             let deep = self.train_target(op, addr, feeder);
-            out.extend(deep);
+            out.extend(deep.into_iter().map(|a| (a, TactComponent::Deep)));
         }
 
         out.truncate(self.config.max_prefetches_per_event);
-        out.dedup_by_key(|a| a.line());
+        out.dedup_by_key(|(a, _)| a.line());
         out
     }
 

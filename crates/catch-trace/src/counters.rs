@@ -26,6 +26,22 @@ pub trait Counters {
     }
 }
 
+/// Difference of two snapshots of a monotonically increasing counter.
+///
+/// In debug builds (tests, CI) a non-monotonic pair panics: the stats
+/// `minus` impls exist solely to delta counters that only ever grow
+/// (warm-up exclusion, sampled snapshot reconstruction), so `now <
+/// earlier` always means a counter-bookkeeping bug and must not be
+/// silently masked. Release builds keep the saturating behaviour.
+#[inline]
+pub fn monotonic_delta(now: u64, earlier: u64) -> u64 {
+    debug_assert!(
+        now >= earlier,
+        "non-monotonic counter snapshot: now {now} < earlier {earlier}"
+    );
+    now.saturating_sub(earlier)
+}
+
 /// Pushes one counter, joining prefix and name with `.` when needed.
 pub fn push_counter(out: &mut CounterVec, prefix: &str, name: &str, value: u64) {
     out.push((join_prefix(prefix, name), value));

@@ -7,6 +7,9 @@
 //! cargo run --release --example run_experiment -- --jobs 4 fig10
 //! cargo run --release --example run_experiment -- --sample 5000 fig10
 //! cargo run --release --example run_experiment -- sample-smoke  # CI gate
+//! cargo run --release --example run_experiment -- obs-smoke     # CI gate
+//! cargo run --release --example run_experiment -- --trace-events t.json
+//! cargo run --release --example run_experiment -- --profile tpcc_like
 //! cargo run --release --example run_experiment                  # lists ids
 //! ```
 //!
@@ -18,22 +21,52 @@
 //! `I`-op intervals instead of simulating every op in detail (see
 //! DESIGN.md, "Sampling methodology").
 //!
+//! `--trace-events PATH` switches to trace mode: instead of an experiment
+//! id the positional argument names a workload (default `tpcc_like`, or
+//! `all` for every golden workload) which is simulated under the CATCH
+//! configuration with the full observability layer attached, writing a
+//! cycle-stamped event trace to PATH — Chrome `about://tracing` JSON by
+//! default, JSONL when PATH ends in `.jsonl`. With `all`, workloads run
+//! in parallel on the suite runner; each job writes a part file and the
+//! parts are merged in job-index order, so the trace is byte-identical
+//! for every `--jobs` value.
+//!
+//! `--profile` runs one workload (default `tpcc_like`) with a counting
+//! sink and prints the event taxonomy histogram plus the core's sampled
+//! ROB / scheduler / MSHR occupancies.
+//!
 //! The special id `sample-smoke` is the CI accuracy gate: it runs one
 //! golden workload full and sampled, prints both IPCs with the plan's
 //! reported error bound, and exits non-zero if either the reported bound
 //! or the actual IPC error reaches 5%.
+//!
+//! The special id `obs-smoke` is the CI observability-overhead gate: it
+//! times one golden workload with observability fully off against the
+//! same run with a sink attached but every event class masked, and exits
+//! non-zero when the masked run is ≥ 2% slower (min-of-N timing). It also
+//! asserts the two runs retire identical core statistics.
 
-use catch_core::experiments::{self, runner, EvalConfig};
-use catch_core::{SampleConfig, System, SystemConfig};
+use catch_core::experiments::{self, runner, EvalConfig, GOLDEN_WORKLOADS};
+use catch_core::{
+    merge_parts, part_path, ChromeTraceSink, CountingSink, EventClass, JsonlSink, NullSink, Obs,
+    OccupancyHist, SampleConfig, System, SystemConfig, TraceFormat,
+};
 use catch_workloads::suite;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 fn usage_and_exit() -> ! {
-    eprintln!("usage: run_experiment [--md] [--jobs N] [--sample I] <id> [ops] [warmup]");
+    eprintln!(
+        "usage: run_experiment [--md] [--jobs N] [--sample I] \
+         [--trace-events PATH] [--profile] <id|workload> [ops] [warmup]"
+    );
     eprintln!("available experiments:");
     for id in experiments::all_ids() {
         eprintln!("  {id}");
     }
     eprintln!("  sample-smoke (CI accuracy gate)");
+    eprintln!("  obs-smoke (CI observability-overhead gate)");
     std::process::exit(2);
 }
 
@@ -68,10 +101,211 @@ fn sample_smoke(eval: &EvalConfig) -> ! {
     std::process::exit(0);
 }
 
+/// The CI observability-overhead gate: observability off vs a sink
+/// attached with every class masked. Min-of-N wall-clock, interleaved so
+/// machine drift hits both variants alike; hard-fail at `LIMIT_PCT`.
+fn obs_smoke(eval: &EvalConfig) -> ! {
+    const WORKLOAD: &str = "tpcc_like";
+    const LIMIT_PCT: f64 = 2.0;
+    // Wall-clock noise on a busy host easily exceeds the 2% budget for
+    // any single pair, so reps are interleaved and the estimate uses the
+    // min per variant (noise only ever adds time). Reps keep going until
+    // the estimate is comfortably under the limit or the budget is spent.
+    const MIN_REPS: usize = 5;
+    const MAX_REPS: usize = 15;
+    let trace = suite::by_name(WORKLOAD)
+        .expect("golden workload exists")
+        .generate(eval.ops, eval.seed);
+    let system = System::new(SystemConfig::baseline_exclusive().with_catch());
+    let masked = Obs::attached(Arc::new(Mutex::new(NullSink)), EventClass::NONE);
+
+    // Parity first: a masked sink must not perturb a single counter.
+    let off_run = system.run_st(trace.clone());
+    let masked_run = system.run_st_obs(trace.clone(), &masked);
+    assert_eq!(
+        off_run.core, masked_run.core,
+        "masked observability changed core statistics"
+    );
+
+    let mut best_off = f64::INFINITY;
+    let mut best_masked = f64::INFINITY;
+    let mut reps = 0;
+    while reps < MAX_REPS {
+        // Alternate which variant runs first so per-rep drift (frequency
+        // ramps, cache warming) cannot bias one side.
+        for variant in [reps % 2, (reps + 1) % 2] {
+            let t = Instant::now();
+            if variant == 0 {
+                std::hint::black_box(system.run_st(trace.clone()));
+                best_off = best_off.min(t.elapsed().as_secs_f64());
+            } else {
+                std::hint::black_box(system.run_st_obs(trace.clone(), &masked));
+                best_masked = best_masked.min(t.elapsed().as_secs_f64());
+            }
+        }
+        reps += 1;
+        let est = 100.0 * (best_masked - best_off) / best_off;
+        if reps >= MIN_REPS && est < LIMIT_PCT / 2.0 {
+            break;
+        }
+    }
+    let overhead_pct = 100.0 * (best_masked - best_off) / best_off;
+    println!(
+        "obs-smoke: {WORKLOAD} ops={} off {:.1} ms, masked-sink {:.1} ms, \
+         overhead {overhead_pct:+.2}% (min of {reps})",
+        eval.ops,
+        1e3 * best_off,
+        1e3 * best_masked,
+    );
+    if overhead_pct >= LIMIT_PCT {
+        eprintln!("obs-smoke FAILED: masked-sink overhead at/over {LIMIT_PCT}%");
+        std::process::exit(1);
+    }
+    println!("obs-smoke OK (overhead under {LIMIT_PCT}%)");
+    std::process::exit(0);
+}
+
+/// Trace mode: simulate `workload` (or every golden workload) under the
+/// CATCH configuration with all event classes enabled, exporting to
+/// `path` in the format chosen by its extension.
+fn traced_run(path: &Path, workload: &str, eval: &EvalConfig) -> ! {
+    let format = TraceFormat::from_path(path);
+    let system = System::new(SystemConfig::baseline_exclusive().with_catch());
+    if workload == "all" {
+        let pool = runner::Runner::from_env().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        // Each job writes its own part file (one job's event order is
+        // deterministic; interleaving across jobs is not), merged in
+        // job-index order: identical bytes for every worker count.
+        let parts: Vec<PathBuf> = (0..GOLDEN_WORKLOADS.len())
+            .map(|i| part_path(path, i))
+            .collect();
+        let ipcs = pool.run(&GOLDEN_WORKLOADS, |i, name| {
+            let trace = suite::by_name(name)
+                .expect("golden workload exists")
+                .generate(eval.ops, eval.seed);
+            let part = part_path(path, i);
+            let obs = match format {
+                TraceFormat::Chrome => Obs::attached(
+                    Arc::new(Mutex::new(
+                        ChromeTraceSink::create_fragment(&part).expect("create trace part file"),
+                    )),
+                    EventClass::ALL,
+                ),
+                TraceFormat::Jsonl => Obs::attached(
+                    Arc::new(Mutex::new(
+                        JsonlSink::create(&part).expect("create trace part file"),
+                    )),
+                    EventClass::ALL,
+                ),
+            };
+            let result = system.run_st_warm_obs(trace, eval.warmup, &obs);
+            obs.finish().expect("flush trace part file");
+            result.ipc()
+        });
+        let events = merge_parts(&parts, path, format).expect("merge trace part files");
+        for (name, ipc) in GOLDEN_WORKLOADS.iter().zip(&ipcs) {
+            println!("trace-events: {name} IPC {ipc:.4}");
+        }
+        println!(
+            "trace-events: {} workloads, {events} events -> {} ({format:?})",
+            GOLDEN_WORKLOADS.len(),
+            path.display()
+        );
+    } else {
+        let trace = match suite::by_name(workload) {
+            Ok(spec) => spec.generate(eval.ops, eval.seed),
+            Err(_) => {
+                eprintln!("unknown workload '{workload}' (or 'all'); see tab2 for the suite");
+                std::process::exit(2);
+            }
+        };
+        let (result, events) = match format {
+            TraceFormat::Chrome => {
+                let sink = Arc::new(Mutex::new(
+                    ChromeTraceSink::create(path).expect("create trace file"),
+                ));
+                let obs = Obs::attached(sink.clone(), EventClass::ALL);
+                let result = system.run_st_warm_obs(trace, eval.warmup, &obs);
+                obs.finish().expect("flush trace file");
+                let events = sink.lock().expect("sink lock").events();
+                (result, events)
+            }
+            TraceFormat::Jsonl => {
+                let sink = Arc::new(Mutex::new(
+                    JsonlSink::create(path).expect("create trace file"),
+                ));
+                let obs = Obs::attached(sink.clone(), EventClass::ALL);
+                let result = system.run_st_warm_obs(trace, eval.warmup, &obs);
+                obs.finish().expect("flush trace file");
+                let events = sink.lock().expect("sink lock").events();
+                (result, events)
+            }
+        };
+        println!(
+            "trace-events: {workload} ops={} IPC {:.4}, {events} events -> {} ({format:?})",
+            eval.ops,
+            result.ipc(),
+            path.display()
+        );
+    }
+    std::process::exit(0);
+}
+
+fn occ_line(name: &str, h: &OccupancyHist) -> String {
+    format!(
+        "  {name:<10} mean {:>7.1}  max {:>5}  samples {}",
+        h.mean(),
+        h.max,
+        h.samples
+    )
+}
+
+/// Profile mode: one workload with a counting sink — prints the event
+/// taxonomy histogram and the core's sampled occupancy summaries.
+fn profile_run(workload: &str, eval: &EvalConfig) -> ! {
+    let trace = match suite::by_name(workload) {
+        Ok(spec) => spec.generate(eval.ops, eval.seed),
+        Err(_) => {
+            eprintln!("unknown workload '{workload}'; see tab2 for the suite");
+            std::process::exit(2);
+        }
+    };
+    let system = System::new(SystemConfig::baseline_exclusive().with_catch());
+    let sink = Arc::new(Mutex::new(CountingSink::new()));
+    let obs = Obs::attached(sink.clone(), EventClass::ALL);
+    let result = system.run_st_warm_obs(trace, eval.warmup, &obs);
+    drop(obs);
+    let sink = sink.lock().expect("sink lock");
+    println!(
+        "profile: {workload} ops={} IPC {:.4}, {} events",
+        eval.ops,
+        result.ipc(),
+        sink.total()
+    );
+    let mut counts = sink.counts().to_vec();
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    for (name, n) in counts {
+        println!("  {name:<24} {n:>10}");
+    }
+    println!(
+        "occupancy (sampled every {} cycles):",
+        catch_obs::OCC_SAMPLE_PERIOD
+    );
+    println!("{}", occ_line("rob", &result.core.rob_occ));
+    println!("{}", occ_line("sched", &result.core.sched_occ));
+    println!("{}", occ_line("mshr", &result.core.mshr_occ));
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut markdown = false;
     let mut sample: Option<usize> = None;
+    let mut trace_events: Option<PathBuf> = None;
+    let mut profile = false;
     // Flags may appear in any order ahead of the positional arguments.
     loop {
         match args.first().map(String::as_str) {
@@ -107,12 +341,28 @@ fn main() {
                 args.remove(0);
                 sample = Some(i);
             }
+            Some("--trace-events") => {
+                args.remove(0);
+                let Some(raw) = args.first() else {
+                    eprintln!("--trace-events requires an output path");
+                    usage_and_exit();
+                };
+                trace_events = Some(PathBuf::from(raw));
+                args.remove(0);
+            }
+            Some("--profile") => {
+                profile = true;
+                args.remove(0);
+            }
             _ => break,
         }
     }
-    let Some(id) = args.first().cloned() else {
-        usage_and_exit();
-    };
+    // Fail fast on a typo'd CATCH_JOBS before any simulation starts
+    // (suite runs would otherwise panic mid-experiment).
+    if let Err(e) = runner::Runner::from_env() {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
     let mut eval = EvalConfig::standard();
     eval.sample = sample;
     if let Some(ops) = args.get(1).and_then(|s| s.parse().ok()) {
@@ -121,8 +371,22 @@ fn main() {
     if let Some(warmup) = args.get(2).and_then(|s| s.parse().ok()) {
         eval.warmup = warmup;
     }
+    if let Some(path) = trace_events {
+        let workload = args.first().map(String::as_str).unwrap_or("tpcc_like");
+        traced_run(&path, workload, &eval);
+    }
+    if profile {
+        let workload = args.first().map(String::as_str).unwrap_or("tpcc_like");
+        profile_run(workload, &eval);
+    }
+    let Some(id) = args.first().cloned() else {
+        usage_and_exit();
+    };
     if id == "sample-smoke" {
         sample_smoke(&eval);
+    }
+    if id == "obs-smoke" {
+        obs_smoke(&eval);
     }
     if !experiments::all_ids().contains(&id.as_str()) {
         eprintln!(
