@@ -1,14 +1,23 @@
 //! The set-associative tag array.
 
 use crate::config::CacheConfig;
-use crate::replacement::ReplacementPolicy;
+use crate::replacement::AnyRepl;
 use crate::stats::CacheStats;
 use catch_trace::LineAddr;
+use std::sync::Mutex;
 
-#[derive(Copy, Clone, Debug)]
-struct Entry {
-    line: LineAddr,
-    dirty: bool,
+/// Interns a cache name, so every array holds a `&'static str` instead of
+/// cloning the config's `String`. The leak is bounded: the simulator uses
+/// a handful of fixed names ("L1D", "L2", "LLC"...).
+fn intern(name: &str) -> &'static str {
+    static TABLE: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut table = TABLE.lock().expect("interner poisoned");
+    if let Some(&hit) = table.iter().find(|&&t| t == name) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    table.push(leaked);
+    leaked
 }
 
 /// A line evicted by a fill.
@@ -26,14 +35,24 @@ pub struct Victim {
 /// trace-driven, so no data payload is stored. All state updates
 /// (recency, insertion, eviction) happen immediately at call time; timing
 /// is handled by the hierarchy controller and the in-flight ledger.
+///
+/// Tags are packed flat (`sets × ways`) with per-set valid/dirty
+/// bitmasks, so a set probe walks a dense `LineAddr` slice guided by one
+/// `u64` instead of chasing `Option<Entry>` discriminants.
 #[derive(Debug)]
 pub struct CacheArray {
-    name: String,
+    name: &'static str,
     sets: usize,
     ways: usize,
     latency: u64,
-    entries: Vec<Option<Entry>>,
-    repl: Box<dyn ReplacementPolicy>,
+    /// Packed tags; slot `set * ways + way` is meaningful only when bit
+    /// `way` of `valid[set]` is set.
+    tags: Vec<LineAddr>,
+    /// Per-set valid bitmask (bit `w` ⇒ way `w` holds a line).
+    valid: Vec<u64>,
+    /// Per-set dirty bitmask (subset of `valid`).
+    dirty: Vec<u64>,
+    repl: AnyRepl,
     stats: CacheStats,
 }
 
@@ -43,25 +62,46 @@ impl CacheArray {
     /// # Panics
     ///
     /// Panics if `config` has an invalid geometry (construct configs with
-    /// [`CacheConfig::new`], which validates).
+    /// [`CacheConfig::new`], which validates) or more than 64 ways (the
+    /// per-set bitmask width).
     pub fn new(config: &CacheConfig) -> Self {
+        Self::with_policy(
+            config,
+            config.repl.build_any(
+                config
+                    .sets()
+                    .expect("CacheConfig::new validated the geometry"),
+                config.ways,
+            ),
+        )
+    }
+
+    /// Builds an array with an explicit (possibly custom) policy.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CacheArray::new`].
+    pub fn with_policy(config: &CacheConfig, repl: AnyRepl) -> Self {
         let sets = config
             .sets()
             .expect("CacheConfig::new validated the geometry");
+        assert!(config.ways <= 64, "per-set bitmasks hold at most 64 ways");
         CacheArray {
-            name: config.name.clone(),
+            name: intern(&config.name),
             sets,
             ways: config.ways,
             latency: config.latency,
-            entries: vec![None; sets * config.ways],
-            repl: config.repl.build(sets, config.ways),
+            tags: vec![LineAddr::new(0); sets * config.ways],
+            valid: vec![0; sets],
+            dirty: vec![0; sets],
+            repl,
             stats: CacheStats::default(),
         }
     }
 
     /// Cache name.
-    pub fn name(&self) -> &str {
-        &self.name
+    pub fn name(&self) -> &'static str {
+        self.name
     }
 
     /// Number of sets.
@@ -104,10 +144,16 @@ impl CacheArray {
 
     fn find(&self, line: LineAddr) -> Option<(usize, usize)> {
         let set = self.set_of(line);
-        (0..self.ways).find_map(|way| {
-            let e = self.entries[self.slot(set, way)]?;
-            (e.line == line).then_some((set, way))
-        })
+        let base = set * self.ways;
+        let mut mask = self.valid[set];
+        while mask != 0 {
+            let way = mask.trailing_zeros() as usize;
+            if self.tags[base + way] == line {
+                return Some((set, way));
+            }
+            mask &= mask - 1;
+        }
+        None
     }
 
     /// Looks the line up, updating recency and hit/miss statistics.
@@ -135,38 +181,45 @@ impl CacheArray {
     pub fn fill(&mut self, line: LineAddr, dirty: bool, prefetched: bool) -> Option<Victim> {
         self.stats.fills += 1;
         if let Some((set, way)) = self.find(line) {
-            let slot = self.slot(set, way);
-            let entry = self.entries[slot]
-                .as_mut()
-                .expect("find returned an occupied way");
-            entry.dirty |= dirty;
+            if dirty {
+                self.dirty[set] |= 1 << way;
+            }
             self.repl.on_hit(set, way);
             return None;
         }
         let set = self.set_of(line);
-        let (way, victim) =
-            match (0..self.ways).find(|&w| self.entries[self.slot(set, w)].is_none()) {
-                Some(way) => (way, None),
-                None => {
-                    let way = self.repl.victim(set);
-                    debug_assert!(way < self.ways, "policy returned an in-range way");
-                    let slot = self.slot(set, way);
-                    let old = self.entries[slot].expect("full set has no empty ways");
-                    self.stats.evictions += 1;
-                    if old.dirty {
-                        self.stats.dirty_evictions += 1;
-                    }
-                    (
-                        way,
-                        Some(Victim {
-                            line: old.line,
-                            dirty: old.dirty,
-                        }),
-                    )
-                }
-            };
+        let full_mask = if self.ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.ways) - 1
+        };
+        let free = !self.valid[set] & full_mask;
+        let (way, victim) = if free != 0 {
+            (free.trailing_zeros() as usize, None)
+        } else {
+            let way = self.repl.victim(set);
+            debug_assert!(way < self.ways, "policy returned an in-range way");
+            let old_dirty = self.dirty[set] & (1 << way) != 0;
+            self.stats.evictions += 1;
+            if old_dirty {
+                self.stats.dirty_evictions += 1;
+            }
+            (
+                way,
+                Some(Victim {
+                    line: self.tags[self.slot(set, way)],
+                    dirty: old_dirty,
+                }),
+            )
+        };
         let slot = self.slot(set, way);
-        self.entries[slot] = Some(Entry { line, dirty });
+        self.tags[slot] = line;
+        self.valid[set] |= 1 << way;
+        if dirty {
+            self.dirty[set] |= 1 << way;
+        } else {
+            self.dirty[set] &= !(1 << way);
+        }
         self.repl.on_fill(set, way, prefetched);
         victim
     }
@@ -174,19 +227,17 @@ impl CacheArray {
     /// Removes `line` if present, returning whether it was dirty.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
         let (set, way) = self.find(line)?;
-        let slot = self.slot(set, way);
-        let entry = self.entries[slot].take();
+        let was_dirty = self.dirty[set] & (1 << way) != 0;
+        self.valid[set] &= !(1 << way);
+        self.dirty[set] &= !(1 << way);
         self.stats.invalidations += 1;
-        entry.map(|e| e.dirty)
+        Some(was_dirty)
     }
 
     /// Marks `line` dirty if present; returns whether it was found.
     pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
         if let Some((set, way)) = self.find(line) {
-            let slot = self.slot(set, way);
-            if let Some(e) = self.entries[slot].as_mut() {
-                e.dirty = true;
-            }
+            self.dirty[set] |= 1 << way;
             self.repl.on_hit(set, way);
             true
         } else {
@@ -196,7 +247,7 @@ impl CacheArray {
 
     /// Number of currently valid lines.
     pub fn occupancy(&self) -> usize {
-        self.entries.iter().flatten().count()
+        self.valid.iter().map(|v| v.count_ones() as usize).sum()
     }
 }
 

@@ -1,8 +1,8 @@
 //! MSHR-style tracking of in-flight fills.
 
 use crate::level::Level;
+use catch_trace::hash::FxHashMap;
 use catch_trace::LineAddr;
-use std::collections::HashMap;
 
 /// Who initiated the fill that is (or was) in flight.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -53,7 +53,7 @@ impl InFlight {
 /// hid), which Figure 11 of the paper reports.
 #[derive(Debug, Default)]
 pub struct InFlightLedger {
-    map: HashMap<LineAddr, InFlight>,
+    map: FxHashMap<LineAddr, InFlight>,
 }
 
 impl InFlightLedger {

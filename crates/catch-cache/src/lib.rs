@@ -47,5 +47,5 @@ pub use hierarchy::{
 };
 pub use ledger::{FillOrigin, InFlightLedger};
 pub use level::Level;
-pub use replacement::{Lru, RandomRepl, ReplKind, ReplacementPolicy, Srrip};
+pub use replacement::{AnyRepl, Lru, RandomRepl, ReplKind, ReplacementPolicy, Srrip};
 pub use stats::{CacheStats, HierarchyStats, PrefetchTimeliness, TrafficStats};

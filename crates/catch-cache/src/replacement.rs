@@ -29,6 +29,66 @@ impl ReplKind {
             ReplKind::Random => Box::new(RandomRepl::new(sets, ways, 0xCA7C4)),
         }
     }
+
+    /// Instantiates the policy devirtualised, for the array hot path.
+    pub fn build_any(self, sets: usize, ways: usize) -> AnyRepl {
+        match self {
+            ReplKind::Lru => AnyRepl::Lru(Lru::new(sets, ways)),
+            ReplKind::LruLip => AnyRepl::Lru(Lru::with_lip_prefetch(sets, ways)),
+            ReplKind::Srrip => AnyRepl::Srrip(Srrip::new(sets, ways)),
+            ReplKind::Random => AnyRepl::Random(RandomRepl::new(sets, ways, 0xCA7C4)),
+        }
+    }
+}
+
+/// A replacement policy with the built-in kinds dispatched statically.
+///
+/// Every lookup/fill touches the policy, so the array stores this enum
+/// instead of a `Box<dyn ReplacementPolicy>` — the common kinds cost a
+/// jump table instead of a vtable load plus an indirect call. `Custom`
+/// keeps the trait open for tests and out-of-tree policies.
+#[derive(Debug)]
+pub enum AnyRepl {
+    /// True LRU (optionally with LIP prefetch insertion).
+    Lru(Lru),
+    /// 2-bit SRRIP.
+    Srrip(Srrip),
+    /// Deterministic random.
+    Random(RandomRepl),
+    /// Anything else, via the object-safe trait.
+    Custom(Box<dyn ReplacementPolicy>),
+}
+
+impl AnyRepl {
+    /// Called when `way` in `set` hits.
+    pub fn on_hit(&mut self, set: usize, way: usize) {
+        match self {
+            AnyRepl::Lru(p) => p.on_hit(set, way),
+            AnyRepl::Srrip(p) => p.on_hit(set, way),
+            AnyRepl::Random(p) => p.on_hit(set, way),
+            AnyRepl::Custom(p) => p.on_hit(set, way),
+        }
+    }
+
+    /// Called when a line is filled into `way` of `set`.
+    pub fn on_fill(&mut self, set: usize, way: usize, prefetched: bool) {
+        match self {
+            AnyRepl::Lru(p) => p.on_fill(set, way, prefetched),
+            AnyRepl::Srrip(p) => p.on_fill(set, way, prefetched),
+            AnyRepl::Random(p) => p.on_fill(set, way, prefetched),
+            AnyRepl::Custom(p) => p.on_fill(set, way, prefetched),
+        }
+    }
+
+    /// Chooses a victim way in a full `set`.
+    pub fn victim(&mut self, set: usize) -> usize {
+        match self {
+            AnyRepl::Lru(p) => p.victim(set),
+            AnyRepl::Srrip(p) => p.victim(set),
+            AnyRepl::Random(p) => p.victim(set),
+            AnyRepl::Custom(p) => p.victim(set),
+        }
+    }
 }
 
 /// Per-set replacement state machine.
@@ -261,5 +321,34 @@ mod tests {
             p.on_fill(1, 0, false);
             assert!(p.victim(1) < 4);
         }
+    }
+
+    #[test]
+    fn any_repl_matches_boxed_policy() {
+        let mut devirt = ReplKind::Lru.build_any(1, 4);
+        let mut boxed = ReplKind::Lru.build(1, 4);
+        for w in 0..4 {
+            devirt.on_fill(0, w, false);
+            boxed.on_fill(0, w, false);
+        }
+        devirt.on_hit(0, 0);
+        boxed.on_hit(0, 0);
+        assert_eq!(devirt.victim(0), boxed.victim(0));
+    }
+
+    #[test]
+    fn any_repl_custom_keeps_trait_open() {
+        #[derive(Debug)]
+        struct AlwaysZero;
+        impl ReplacementPolicy for AlwaysZero {
+            fn on_hit(&mut self, _: usize, _: usize) {}
+            fn on_fill(&mut self, _: usize, _: usize, _: bool) {}
+            fn victim(&mut self, _: usize) -> usize {
+                0
+            }
+        }
+        let mut p = AnyRepl::Custom(Box::new(AlwaysZero));
+        p.on_fill(0, 3, true);
+        assert_eq!(p.victim(0), 0);
     }
 }

@@ -57,5 +57,6 @@ pub use catch_obs::{
     merge_parts, part_path, ChromeTraceSink, CountingSink, Event, EventClass, EventKind, EventSink,
     JsonlSink, NullSink, Obs, OccupancyHist, TraceFormat, VecSink,
 };
+pub use catch_trace::hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use catch_trace::{Category, Trace};
 pub use catch_workloads::WorkloadSpec;

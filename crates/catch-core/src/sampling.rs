@@ -123,7 +123,10 @@ impl Snapshot {
 /// panicking on a blown cycle budget.
 fn run_detailed(core: &mut Core, hier: &mut CacheHierarchy, end: usize, budget: u64) {
     while !core.done() && (core.retired() as usize) < end {
-        core.tick(hier);
+        // Skip-ahead never retires during a jumped span, so the
+        // `retired < end` boundary is observed exactly as in the naive
+        // loop.
+        core.tick_or_skip(hier);
         assert!(
             core.cycle() < budget,
             "sampled run exceeded cycle budget: likely deadlock at cycle {}",

@@ -194,7 +194,7 @@ impl System {
         if warmup_ops > 0 {
             let budget = 1000 * core.trace().len() as u64 + 10_000_000;
             while !core.done() && (core.retired() as usize) < warmup_ops {
-                core.tick(&mut hier);
+                core.tick_or_skip(&mut hier);
                 assert!(core.cycle() < budget, "warm-up exceeded cycle budget");
             }
             core.end_warmup();
@@ -231,15 +231,35 @@ impl System {
             .collect();
         let total_ops: usize = cores.iter().map(|c| c.trace().len()).sum();
         let budget = 1000 * total_ops as u64 + 10_000_000;
-        let mut cycle = 0u64;
+        let mut rounds = 0u64;
+        let skip_ahead = self.config.core.skip_ahead;
         while cores.iter().any(|c| !c.done()) {
+            let mut all_idle = true;
             for core in cores.iter_mut() {
                 if !core.done() {
-                    core.tick(&mut hier);
+                    all_idle &= !core.tick_progress(&mut hier);
                 }
             }
-            cycle += 1;
-            assert!(cycle < budget, "MP run exceeded cycle budget");
+            // Lockstep skip-ahead: only when every live core had an
+            // idle cycle may the shared clock jump, and only to the
+            // earliest event across cores — any nearer event on one
+            // core could feed the others through the shared LLC/DRAM.
+            if all_idle && skip_ahead {
+                let target = cores
+                    .iter_mut()
+                    .filter(|c| !c.done())
+                    .filter_map(|c| c.next_event_cycle(true))
+                    .min();
+                if let Some(target) = target {
+                    for core in cores.iter_mut() {
+                        if !core.done() && target > core.cycle() {
+                            core.advance_to(&mut hier, target, true);
+                        }
+                    }
+                }
+            }
+            rounds += 1;
+            assert!(rounds < budget, "MP run exceeded cycle budget");
         }
         let per_core: Vec<RunResult> = cores
             .iter()

@@ -193,6 +193,13 @@ pub struct CoreConfig {
     pub max_outstanding_loads: usize,
     /// Code lines the runahead may prefetch per stall.
     pub code_runahead_lines: usize,
+    /// Stall skip-ahead: when a tick makes no pipeline progress, jump
+    /// the clock to the next event (earliest MSHR fill, readiness,
+    /// fetch resume) instead of ticking idle cycles. Statistics, event
+    /// streams and occupancy histograms are bit-identical either way
+    /// (asserted by the `skip_ahead_parity` suite); the toggle exists
+    /// for that parity testing and for measuring the speedup.
+    pub skip_ahead: bool,
 }
 
 impl CoreConfig {
@@ -219,6 +226,9 @@ impl CoreConfig {
             demoted_memory_latency: 200,
             max_outstanding_loads: 16,
             code_runahead_lines: 8,
+            // `CATCH_NO_SKIP=1` forces the naive per-cycle loop — used
+            // by the parity suite and the CI throughput comparison.
+            skip_ahead: std::env::var_os("CATCH_NO_SKIP").is_none(),
         }
     }
 

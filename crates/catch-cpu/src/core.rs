@@ -9,12 +9,17 @@ use catch_cache::{AccessKind, CacheHierarchy};
 use catch_criticality::{AnyDetector, CriticalityDetector, HeuristicDetector, RetiredInst};
 use catch_obs::{Event, EventClass, EventKind, Obs, OccupancyHist, OCC_SAMPLE_PERIOD};
 use catch_prefetch::MemoryImage;
+use catch_trace::hash::FxHashMap;
 use catch_trace::{ArchReg, MicroOp, OpClass, Trace};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// How often (in retired µops) newly detected critical PCs are pushed to
 /// TACT.
 const CRITICAL_SYNC_INTERVAL: u64 = 512;
+
+/// Cadence (in cycles) of ledger/bookkeeping maintenance. A multiple of
+/// [`OCC_SAMPLE_PERIOD`], which the skip-ahead bulk replay relies on.
+const MAINT_PERIOD: u64 = 65_536;
 
 /// One out-of-order core bound to a trace.
 ///
@@ -33,7 +38,7 @@ pub struct Core {
     detector: AnyDetector,
     next_id: u64,
     last_writer: [Option<u64>; ArchReg::COUNT],
-    last_store: HashMap<u64, u64>,
+    last_store: FxHashMap<u64, u64>,
     cycle: u64,
     retired: u64,
     critical_sync_at: u64,
@@ -73,7 +78,7 @@ impl Core {
             },
             next_id: 0,
             last_writer: [None; ArchReg::COUNT],
-            last_store: HashMap::new(),
+            last_store: FxHashMap::default(),
             cycle: 0,
             retired: 0,
             critical_sync_at: CRITICAL_SYNC_INTERVAL,
@@ -162,16 +167,43 @@ impl Core {
 
     /// Advances one cycle: retire → issue → allocate → fetch.
     pub fn tick(&mut self, hier: &mut CacheHierarchy) {
+        let _ = self.tick_progress(hier);
+    }
+
+    /// One cycle, reporting whether any pipeline stage made progress
+    /// (retired, issued, allocated or fetched a µop, or took an I-cache
+    /// miss). A no-progress cycle changes nothing but the clock and the
+    /// bulk-reproducible per-cycle statistics, which is what makes
+    /// [`Core::tick_or_skip`] safe: the skipped span is guaranteed to
+    /// replay as idle ticks.
+    pub fn tick_progress(&mut self, hier: &mut CacheHierarchy) -> bool {
         let cycle = self.cycle;
         if cycle.is_multiple_of(OCC_SAMPLE_PERIOD) {
             self.sample_occupancy(cycle);
         }
-        self.retire_stage(cycle);
-        self.issue_stage(hier, cycle);
-        self.allocate_stage(cycle);
-        self.fetch_stage(hier, cycle);
+        let mut progress = self.retire_stage(cycle);
+        progress |= self.issue_stage(hier, cycle);
+        progress |= self.allocate_stage(cycle);
+        progress |= self.fetch_stage(hier, cycle);
         self.cycle += 1;
         self.periodic_maintenance(hier);
+        progress
+    }
+
+    /// One scheduling quantum with stall skip-ahead: a normal tick,
+    /// plus — when that tick made no progress and the configuration
+    /// enables skipping — a jump straight to the next cycle at which
+    /// anything architectural can happen. Statistics and event streams
+    /// are bit-identical to per-cycle ticking.
+    pub fn tick_or_skip(&mut self, hier: &mut CacheHierarchy) {
+        let progress = self.tick_progress(hier);
+        if !progress && self.config.skip_ahead {
+            if let Some(target) = self.next_event_cycle(true) {
+                if target > self.cycle {
+                    self.advance_to(hier, target, true);
+                }
+            }
+        }
     }
 
     /// Records the periodic occupancy samples (always-on histograms) and
@@ -181,7 +213,14 @@ impl Core {
         let rob_cap = self.rob.capacity() as u64;
         let sched_cap = self.config.sched_window as u64;
         let sched_used = (self.rob.unstarted() as u64).min(sched_cap);
-        let mshr_used = self.outstanding_loads.len() as u64;
+        // Completed fills are pruned lazily, so count live entries: a
+        // fill with `done == cycle` still holds its MSHR at sample time
+        // (the per-cycle loop pruned `done <= cycle - 1` last issue).
+        let mshr_used = self
+            .outstanding_loads
+            .iter()
+            .filter(|&&done| done >= cycle)
+            .count() as u64;
         let mshr_cap = self.config.max_outstanding_loads as u64;
         self.rob_occ.record(rob_used, rob_cap);
         self.sched_occ.record(sched_used, sched_cap);
@@ -208,18 +247,155 @@ impl Core {
         }
     }
 
-    /// Ledger/bookkeeping housekeeping, every 65 536 cycles.
+    /// Ledger/bookkeeping housekeeping, every [`MAINT_PERIOD`] cycles.
+    /// Every clock-advance path (tick, drain, skip-ahead, functional
+    /// fast-forward) funnels through this or [`Core::maintenance_at`],
+    /// so full and sampled runs cannot drift on boundary handling.
     fn periodic_maintenance(&mut self, hier: &mut CacheHierarchy) {
-        if self.cycle.is_multiple_of(65_536) {
-            hier.maintain(self.cycle);
-            let floor = self
-                .rob
-                .entries()
-                .front()
-                .map(|e| e.id)
-                .unwrap_or(self.next_id);
-            self.last_store.retain(|_, id| *id >= floor);
+        if self.cycle.is_multiple_of(MAINT_PERIOD) {
+            self.maintenance_at(hier, self.cycle);
         }
+    }
+
+    /// The maintenance body for a specific boundary cycle `now` (a
+    /// multiple of [`MAINT_PERIOD`]): hierarchy ledger retirement plus
+    /// pruning of store-forwarding entries older than the ROB.
+    fn maintenance_at(&mut self, hier: &mut CacheHierarchy, now: u64) {
+        hier.maintain(now);
+        let floor = self
+            .rob
+            .entries()
+            .front()
+            .map(|e| e.id)
+            .unwrap_or(self.next_id);
+        self.last_store.retain(|_, id| *id >= floor);
+    }
+
+    /// The earliest cycle `>= self.cycle` at which a pipeline stage
+    /// could possibly make progress, given that the tick that just ran
+    /// made none. `include_fetch` is false for [`Core::drain`], whose
+    /// loop never fetches. Returns `None` when no event source exists
+    /// (only possible for a finished or deadlocked core).
+    ///
+    /// Every candidate is a *lower bound* on its source's next progress
+    /// cycle, so jumping to the minimum can never step over work; an
+    /// early candidate merely costs one extra idle probe tick. Public
+    /// for the multi-programmed driver, which may only jump when every
+    /// live core is idle and must use the minimum across cores.
+    pub fn next_event_cycle(&mut self, include_fetch: bool) -> Option<u64> {
+        let now = self.cycle;
+        let prev = now.saturating_sub(1);
+        let mut next = u64::MAX;
+        // Retirement: the head's completion cycle, if it has issued.
+        if let Some(done) = self.rob.head_completion() {
+            next = next.min(done.max(now));
+        }
+        // Issue: readiness of unissued entries in the scheduler window.
+        // During an idle span no producer completes and nothing
+        // retires, so memoised readiness values stay exact. The oldest
+        // unissued entry always has known readiness (all older entries
+        // have issued), so a non-empty ROB always yields a candidate
+        // here or above.
+        let window = self.rob.len().min(self.config.sched_window);
+        let max_loads = self.config.max_outstanding_loads;
+        let mshr_full_at_prev = self
+            .outstanding_loads
+            .iter()
+            .filter(|&&done| done > prev)
+            .count()
+            >= max_loads;
+        let mut want_mshr_free = false;
+        for i in 0..window {
+            if self.rob.entries()[i].started {
+                continue;
+            }
+            let Some(ready) = self.rob.readiness(i) else {
+                continue;
+            };
+            let entry = &self.rob.entries()[i];
+            let eff = ready.max(entry.alloc + 1).max(now);
+            if entry.op.class == OpClass::Load && eff == now && mshr_full_at_prev {
+                // Ready but MSHR-blocked: the earliest it can issue is
+                // when the oldest outstanding fill frees its MSHR.
+                want_mshr_free = true;
+            } else {
+                next = next.min(eff);
+            }
+        }
+        if want_mshr_free {
+            if let Some(free_at) = self
+                .outstanding_loads
+                .iter()
+                .filter(|&&done| done > prev)
+                .min()
+            {
+                next = next.min((*free_at).max(now));
+            }
+        }
+        // Fetch: resumes when the I-cache stall ends. A mispredict
+        // block resolves at branch issue (covered above); a full fetch
+        // buffer drains at allocation (also progress).
+        if include_fetch
+            && !self.frontend.blocked()
+            && self.fetch_buffer.len() < self.config.fetch_buffer
+            && !self.frontend.done(&self.trace)
+        {
+            next = next.min(self.frontend.stall_until().max(now));
+        }
+        (next != u64::MAX).then_some(next)
+    }
+
+    /// Jumps the clock from `self.cycle` to `target`, replaying the
+    /// per-cycle side effects of the skipped idle span exactly as the
+    /// naive loop would have produced them: occupancy samples (with
+    /// their observability events) at every sample period, stalled
+    /// fetch-cycle accounting, and periodic maintenance at every
+    /// crossed boundary, in live-tick order. `with_fetch_stalls`
+    /// mirrors whether the skipped loop would have run its fetch stage
+    /// (false under [`Core::drain`], which also never samples). Public
+    /// for the multi-programmed driver.
+    pub fn advance_to(&mut self, hier: &mut CacheHierarchy, target: u64, with_fetch_stalls: bool) {
+        let start = self.cycle;
+        debug_assert!(target > start, "advance_to must move forward");
+        if with_fetch_stalls {
+            // Each skipped tick with fetch-buffer space and an active
+            // I-cache stall counts one stalled cycle (ticks in
+            // [start, target) below stall_until).
+            if !self.frontend.blocked() && self.fetch_buffer.len() < self.config.fetch_buffer {
+                let stalled = self
+                    .frontend
+                    .stall_until()
+                    .min(target)
+                    .saturating_sub(start);
+                if stalled > 0 {
+                    self.frontend.add_stall_cycles(stalled);
+                }
+            }
+            // Samples land at multiples of OCC_SAMPLE_PERIOD in
+            // [start, target); maintenance boundaries (multiples of
+            // MAINT_PERIOD, itself a multiple of the sample period) in
+            // (start, target]. The maintenance a tick performs for
+            // cycle x runs at the end of tick x-1, so at a shared x it
+            // precedes the sample the next tick opens with.
+            let mut x = start.next_multiple_of(OCC_SAMPLE_PERIOD);
+            while x <= target {
+                if x > start && x.is_multiple_of(MAINT_PERIOD) {
+                    self.maintenance_at(hier, x);
+                }
+                if x < target {
+                    self.sample_occupancy(x);
+                }
+                x += OCC_SAMPLE_PERIOD;
+            }
+        } else {
+            // Drain ticks neither sample nor fetch: only maintenance.
+            let mut x = (start + 1).next_multiple_of(MAINT_PERIOD);
+            while x <= target {
+                self.maintenance_at(hier, x);
+                x += MAINT_PERIOD;
+            }
+        }
+        self.cycle = target;
     }
 
     /// Ticks without fetching until the pipeline is empty (fetch buffer
@@ -237,11 +413,21 @@ impl Core {
         let budget = self.cycle + 1000 * pending + 1_000_000;
         while !(self.rob.is_empty() && self.fetch_buffer.is_empty()) {
             let cycle = self.cycle;
-            self.retire_stage(cycle);
-            self.issue_stage(hier, cycle);
-            self.allocate_stage(cycle);
+            let mut progress = self.retire_stage(cycle);
+            progress |= self.issue_stage(hier, cycle);
+            progress |= self.allocate_stage(cycle);
             self.cycle += 1;
             self.periodic_maintenance(hier);
+            if !progress && self.config.skip_ahead {
+                // Same skip as the full loop, minus the fetch event
+                // source (drain never fetches) and minus occupancy
+                // samples / stall accounting (drain ticks take none).
+                if let Some(target) = self.next_event_cycle(false) {
+                    if target > self.cycle {
+                        self.advance_to(hier, target, false);
+                    }
+                }
+            }
             assert!(
                 self.cycle < budget,
                 "core {} failed to drain: likely deadlock at cycle {}",
@@ -307,7 +493,7 @@ impl Core {
     pub fn run_to_completion(&mut self, hier: &mut CacheHierarchy) -> CoreStats {
         let budget = 1000 * self.trace.len() as u64 + 10_000_000;
         while !self.done() {
-            self.tick(hier);
+            self.tick_or_skip(hier);
             assert!(
                 self.cycle < budget,
                 "core {} exceeded cycle budget: likely deadlock at cycle {}",
@@ -318,11 +504,13 @@ impl Core {
         self.stats()
     }
 
-    fn retire_stage(&mut self, cycle: u64) {
+    fn retire_stage(&mut self, cycle: u64) -> bool {
+        let mut retired_any = false;
         for _ in 0..self.config.retire_width {
             let Some(entry) = self.rob.try_retire(cycle) else {
                 break;
             };
+            retired_any = true;
             self.retired += 1;
             self.obs.emit(EventClass::CORE, || Event {
                 cycle,
@@ -355,15 +543,15 @@ impl Core {
                 }
             }
         }
+        retired_any
     }
 
-    fn issue_stage(&mut self, hier: &mut CacheHierarchy, cycle: u64) {
+    fn issue_stage(&mut self, hier: &mut CacheHierarchy, cycle: u64) -> bool {
         let mut int_budget = self.config.ports.int_ports;
         let mut fp_budget = self.config.ports.fp_ports;
         let mut load_budget = self.config.ports.load_ports;
         let mut store_budget = self.config.ports.store_ports;
-        // MSHR occupancy: drop completed fills, then cap new loads.
-        self.outstanding_loads.retain(|&done| done > cycle);
+        let mut issued_any = false;
 
         let window = self.rob.len().min(self.config.sched_window);
         for i in 0..window {
@@ -385,7 +573,14 @@ impl Core {
             if class == OpClass::Load
                 && self.outstanding_loads.len() >= self.config.max_outstanding_loads
             {
-                continue;
+                // MSHR fills are pruned lazily — only when the list hits
+                // the cap — so the common case does no per-cycle scan.
+                // Everything kept (and everything pushed this cycle)
+                // completes after `cycle`, so length = live occupancy.
+                self.outstanding_loads.retain(|&done| done > cycle);
+                if self.outstanding_loads.len() >= self.config.max_outstanding_loads {
+                    continue;
+                }
             }
             let budget = match class {
                 OpClass::Load => &mut load_budget,
@@ -397,6 +592,7 @@ impl Core {
                 continue;
             }
             *budget -= 1;
+            issued_any = true;
 
             let (complete, hit_level) = self.execute(hier, i, cycle);
             if class == OpClass::Load && hit_level.is_some_and(|l| l != catch_cache::Level::L1) {
@@ -423,6 +619,7 @@ impl Core {
                     .resume_after_redirect(complete + self.config.mispredict_penalty);
             }
         }
+        issued_any
     }
 
     fn execute(
@@ -455,7 +652,8 @@ impl Core {
         }
     }
 
-    fn allocate_stage(&mut self, cycle: u64) {
+    fn allocate_stage(&mut self, cycle: u64) -> bool {
+        let mut allocated_any = false;
         for _ in 0..self.config.alloc_width {
             if !self.rob.has_space() {
                 break;
@@ -463,6 +661,7 @@ impl Core {
             let Some((op, mispredicted)) = self.fetch_buffer.pop_front() else {
                 break;
             };
+            allocated_any = true;
             let id = self.next_id;
             self.next_id += 1;
 
@@ -501,19 +700,26 @@ impl Core {
                 kind: EventKind::Alloc { pc: op.pc.get() },
             });
         }
+        allocated_any
     }
 
-    fn fetch_stage(&mut self, hier: &mut CacheHierarchy, cycle: u64) {
+    fn fetch_stage(&mut self, hier: &mut CacheHierarchy, cycle: u64) -> bool {
         let space = self
             .config
             .fetch_buffer
             .saturating_sub(self.fetch_buffer.len());
         if space == 0 {
-            return;
+            return false;
         }
-        for fetched in self.frontend.fetch(&self.trace, cycle, hier, space) {
-            self.fetch_buffer.push_back(fetched);
-        }
+        // An I-cache miss fetches nothing but is still progress: it
+        // accesses the hierarchy, arms the stall timer and may issue
+        // runahead prefetches. (A stalled cycle's counter increment is
+        // not progress — the skip path bulk-accounts those.)
+        let misses_before = self.frontend.stats().icache_misses;
+        let pushed = self
+            .frontend
+            .fetch(&self.trace, cycle, hier, space, &mut self.fetch_buffer);
+        pushed > 0 || self.frontend.stats().icache_misses != misses_before
     }
 }
 

@@ -6,6 +6,7 @@ use crate::config::CoreConfig;
 use catch_cache::{AccessKind, CacheHierarchy, Level};
 use catch_prefetch::CodeRunahead;
 use catch_trace::{LineAddr, MicroOp, OpClass, Trace};
+use std::collections::VecDeque;
 
 /// Front-end counters.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -50,6 +51,9 @@ pub struct Frontend {
     stall_until: u64,
     blocked_on_mispredict: bool,
     stats: FrontendStats,
+    /// Scratch for the runahead line walk (reused across stalls so the
+    /// per-cycle path allocates nothing).
+    runahead_scratch: Vec<LineAddr>,
 }
 
 impl Frontend {
@@ -68,6 +72,7 @@ impl Frontend {
             stall_until: 0,
             blocked_on_mispredict: false,
             stats: FrontendStats::default(),
+            runahead_scratch: Vec::new(),
         }
     }
 
@@ -108,24 +113,39 @@ impl Frontend {
         self.blocked_on_mispredict
     }
 
-    /// Fetches up to `fetch_width` µops at `cycle`. Returns
-    /// `(op, mispredicted)` pairs in program order.
+    /// The cycle fetch resumes after the current I-cache stall (0 when
+    /// not stalled). Used by the skip-ahead event computation.
+    pub fn stall_until(&self) -> u64 {
+        self.stall_until
+    }
+
+    /// Bulk-accounts `n` stalled fetch cycles: the per-cycle loop counts
+    /// one per stalled tick; the skip path adds the whole span at once.
+    pub fn add_stall_cycles(&mut self, n: u64) {
+        self.stats.icache_stall_cycles += n;
+    }
+
+    /// Fetches up to `fetch_width` µops at `cycle`, pushing
+    /// `(op, mispredicted)` pairs in program order onto `out` (the
+    /// core's fetch buffer — filled in place so the per-cycle path
+    /// allocates nothing). Returns the number of µops fetched.
     pub fn fetch(
         &mut self,
         trace: &Trace,
         cycle: u64,
         hier: &mut CacheHierarchy,
         budget: usize,
-    ) -> Vec<(MicroOp, bool)> {
-        let mut out = Vec::new();
+        out: &mut VecDeque<(MicroOp, bool)>,
+    ) -> usize {
+        let mut pushed = 0;
         if self.blocked_on_mispredict || cycle < self.stall_until {
             if cycle < self.stall_until && !self.blocked_on_mispredict {
                 self.stats.icache_stall_cycles += 1;
             }
-            return out;
+            return pushed;
         }
         let width = self.fetch_width.min(budget);
-        while out.len() < width {
+        while pushed < width {
             let Some(op) = trace.ops().get(self.cursor) else {
                 break;
             };
@@ -162,13 +182,15 @@ impl Frontend {
                 if mispredicted {
                     self.stats.mispredicts += 1;
                     self.blocked_on_mispredict = true;
-                    out.push((op, true));
+                    out.push_back((op, true));
+                    pushed += 1;
                     break;
                 }
             }
-            out.push((op, mispredicted));
+            out.push_back((op, mispredicted));
+            pushed += 1;
         }
-        out
+        pushed
     }
 
     /// Functionally consumes one micro-op during a sampling fast-forward:
@@ -217,15 +239,15 @@ impl Frontend {
         cycle: u64,
         hier: &mut CacheHierarchy,
     ) {
-        let mut lines = Vec::new();
+        self.runahead_scratch.clear();
         let mut last = Some(miss_line);
         for op in trace.ops().iter().skip(self.cursor) {
-            if lines.len() >= self.runahead_lines * 2 {
+            if self.runahead_scratch.len() >= self.runahead_lines * 2 {
                 break;
             }
             let line = op.pc.line();
             if Some(line) != last {
-                lines.push(line);
+                self.runahead_scratch.push(line);
                 last = Some(line);
             }
             if op.class == OpClass::Branch {
@@ -242,7 +264,10 @@ impl Frontend {
                 }
             }
         }
-        for line in self.runahead.on_stall(miss_line, lines.into_iter()) {
+        for line in self
+            .runahead
+            .on_stall(miss_line, self.runahead_scratch.drain(..))
+        {
             self.stats.code_prefetches += 1;
             hier.access(self.core_id, AccessKind::CodePrefetch, line, cycle);
         }
@@ -275,12 +300,14 @@ mod tests {
         let trace = straight_trace(8);
         let mut h = hier();
         let mut f = Frontend::new(0, &CoreConfig::baseline());
-        let got = f.fetch(&trace, 0, &mut h, 16);
-        assert!(got.is_empty(), "cold I-miss stalls fetch");
+        let mut out = VecDeque::new();
+        let got = f.fetch(&trace, 0, &mut h, 16, &mut out);
+        assert_eq!(got, 0, "cold I-miss stalls fetch");
         assert_eq!(f.stats().icache_misses, 1);
         // After the fill, fetch proceeds at full width.
-        let got = f.fetch(&trace, 10_000, &mut h, 16);
-        assert_eq!(got.len(), 4);
+        let got = f.fetch(&trace, 10_000, &mut h, 16, &mut out);
+        assert_eq!(got, 4);
+        assert_eq!(out.len(), 4);
         assert_eq!(f.stats().fetched, 4);
     }
 
@@ -291,8 +318,9 @@ mod tests {
         let mut config = CoreConfig::baseline();
         config.perfect_l1i = true;
         let mut f = Frontend::new(0, &config);
-        let got = f.fetch(&trace, 0, &mut h, 16);
-        assert_eq!(got.len(), 4);
+        let mut out = VecDeque::new();
+        let got = f.fetch(&trace, 0, &mut h, 16, &mut out);
+        assert_eq!(got, 4);
         assert_eq!(f.stats().icache_misses, 0);
     }
 
@@ -311,17 +339,18 @@ mod tests {
         config.perfect_l1i = true;
         let mut f = Frontend::new(0, &config);
         // Fetch until a mispredict blocks.
+        let mut out = VecDeque::new();
         let mut fetched = 0;
         let mut cycle = 0;
         while !f.blocked() && fetched < 16 {
-            fetched += f.fetch(&trace, cycle, &mut h, 4).len();
+            fetched += f.fetch(&trace, cycle, &mut h, 4, &mut out);
             cycle += 1;
         }
         assert!(f.blocked(), "alternating branch must mispredict");
-        assert!(f.fetch(&trace, cycle, &mut h, 4).is_empty());
+        assert_eq!(f.fetch(&trace, cycle, &mut h, 4, &mut out), 0);
         f.resume_after_redirect(cycle + 20);
-        assert!(f.fetch(&trace, cycle + 10, &mut h, 4).is_empty());
-        assert!(!f.fetch(&trace, cycle + 20, &mut h, 4).is_empty());
+        assert_eq!(f.fetch(&trace, cycle + 10, &mut h, 4, &mut out), 0);
+        assert!(f.fetch(&trace, cycle + 20, &mut h, 4, &mut out) > 0);
     }
 
     #[test]
@@ -332,7 +361,8 @@ mod tests {
         let mut config = CoreConfig::baseline();
         config.tact.code = true;
         let mut f = Frontend::new(0, &config);
-        let _ = f.fetch(&trace, 0, &mut h, 16); // cold miss triggers runahead
+        let mut out = VecDeque::new();
+        let _ = f.fetch(&trace, 0, &mut h, 16, &mut out); // cold miss triggers runahead
         assert!(f.stats().code_prefetches > 0);
         // The prefetched next line should now be present or in flight.
         let second_line = trace.ops()[16].pc.line();
@@ -346,9 +376,10 @@ mod tests {
         let mut config = CoreConfig::baseline();
         config.perfect_l1i = true;
         let mut f = Frontend::new(0, &config);
+        let mut out = VecDeque::new();
         let mut cycle = 0;
         while !f.done(&trace) {
-            f.fetch(&trace, cycle, &mut h, 4);
+            f.fetch(&trace, cycle, &mut h, 4, &mut out);
             cycle += 1;
         }
         assert_eq!(f.cursor(), 5);

@@ -1,8 +1,8 @@
 //! The reorder buffer and dependence-readiness tracking.
 
 use catch_cache::Level;
+use catch_trace::hash::FxHashMap;
 use catch_trace::MicroOp;
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 /// One in-flight micro-op.
@@ -61,7 +61,7 @@ pub struct Rob {
     entries: VecDeque<RobEntry>,
     capacity: usize,
     /// Completion cycles of *started* in-flight ops, by id.
-    completion: HashMap<u64, u64>,
+    completion: FxHashMap<u64, u64>,
     /// Ids below this have retired (always ready).
     retired_below: u64,
     /// Entries allocated but not yet issued (scheduler pressure).
@@ -79,7 +79,7 @@ impl Rob {
         Rob {
             entries: VecDeque::with_capacity(capacity),
             capacity,
-            completion: HashMap::new(),
+            completion: FxHashMap::default(),
             retired_below: 0,
             unstarted: 0,
         }

@@ -114,7 +114,11 @@ impl DramSystem {
     }
 
     fn drain_writes(&mut self, channel: usize, cycle: u64) {
-        let batch: Vec<LineAddr> = self.pending_writes[channel].drain(..).collect();
+        // Take the channel's buffer rather than draining into a fresh
+        // allocation, and hand it back (cleared, capacity intact) after
+        // servicing — drains are frequent enough that the churn showed up
+        // in profiles.
+        let mut batch = std::mem::take(&mut self.pending_writes[channel]);
         self.stats.write_batches += 1;
         self.obs.emit(EventClass::DRAM, || Event {
             cycle,
@@ -123,9 +127,11 @@ impl DramSystem {
                 count: batch.len() as u32,
             },
         });
-        for line in batch {
+        for &line in &batch {
             self.service(line, cycle);
         }
+        batch.clear();
+        self.pending_writes[channel] = batch;
     }
 
     /// Posts a write; drains the batch when full.

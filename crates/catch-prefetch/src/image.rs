@@ -1,7 +1,7 @@
 //! A read-only image of the values loads observe.
 
+use catch_trace::hash::FxHashMap;
 use catch_trace::{Addr, Trace};
-use std::collections::HashMap;
 
 /// Memory contents as observed by the trace's loads.
 ///
@@ -13,7 +13,7 @@ use std::collections::HashMap;
 /// targets.
 #[derive(Debug, Default, Clone)]
 pub struct MemoryImage {
-    values: HashMap<u64, u64>,
+    values: FxHashMap<u64, u64>,
 }
 
 impl MemoryImage {

@@ -33,8 +33,8 @@ pub use target::{TargetEntry, TargetTable};
 pub use trigger_cache::TriggerCache;
 
 use crate::image::MemoryImage;
+use catch_trace::hash::FxHashMap;
 use catch_trace::{Addr, MicroOp, OpClass, Pc};
-use std::collections::HashMap;
 
 /// Configuration of the TACT data prefetchers.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -150,11 +150,11 @@ pub struct TactPrefetcher {
     trigger_cache: TriggerCache,
     regfile: FeederRegFile,
     /// Learned cross associations: trigger PC → (target PC, delta bytes).
-    cross_assocs: HashMap<Pc, Vec<(Pc, i64)>>,
+    cross_assocs: FxHashMap<Pc, Vec<(Pc, i64)>>,
     /// Last observed address of cross-candidate PCs under training.
-    candidate_addrs: HashMap<Pc, Addr>,
+    candidate_addrs: FxHashMap<Pc, Addr>,
     /// Confirmed feeder PCs → (self-stride state, dependent targets).
-    feeders: HashMap<Pc, (SelfStride, Vec<Pc>)>,
+    feeders: FxHashMap<Pc, (SelfStride, Vec<Pc>)>,
     stats: TactStats,
 }
 
@@ -165,9 +165,9 @@ impl TactPrefetcher {
             targets: TargetTable::new(config.max_targets),
             trigger_cache: TriggerCache::new(8, 8, 4),
             regfile: FeederRegFile::new(),
-            cross_assocs: HashMap::new(),
-            candidate_addrs: HashMap::new(),
-            feeders: HashMap::new(),
+            cross_assocs: FxHashMap::default(),
+            candidate_addrs: FxHashMap::default(),
+            feeders: FxHashMap::default(),
             config,
             stats: TactStats::default(),
         }

@@ -1,0 +1,131 @@
+//! Stall skip-ahead parity: the skip-ahead cycle loop must be
+//! *bit-identical* to the naive one-cycle-at-a-time loop — every
+//! counter, every occupancy histogram bucket, and every emitted
+//! observability event, on every golden workload.
+//!
+//! Skip-ahead jumps the clock over spans where no pipeline progress is
+//! possible, bulk-reproducing the per-cycle side effects (occupancy
+//! samples, icache stall accounting, periodic maintenance) that the
+//! naive loop would have performed. These tests are the proof the
+//! reproduction is exact; `CoreConfig::skip_ahead` exists so both loops
+//! stay runnable forever.
+
+use catch_core::report::json::run_results_to_json;
+use catch_core::{EventClass, Obs, SampleConfig, System, SystemConfig, VecSink};
+use catch_workloads::suite;
+use std::sync::{Arc, Mutex};
+
+/// Same slice, scale and seed as the golden-stats snapshot.
+const SLICE: [&str; 6] = [
+    "xalanc_like",
+    "astar_like",
+    "bio_like",
+    "sysmark_like",
+    "tpcc_like",
+    "excel_like",
+];
+const OPS: usize = 25_000;
+const WARMUP: usize = 8_000;
+const SEED: u64 = 42;
+
+fn with_skip(mut config: SystemConfig, skip: bool) -> System {
+    config.core.skip_ahead = skip;
+    System::new(config)
+}
+
+#[test]
+fn st_counters_bit_identical_on_every_golden_workload() {
+    let naive = with_skip(SystemConfig::baseline_exclusive(), false);
+    let skip = with_skip(SystemConfig::baseline_exclusive(), true);
+    for name in SLICE {
+        let trace = suite::by_name(name)
+            .expect("known workload")
+            .generate(OPS, SEED);
+        let a = naive.run_st_warm(trace.clone(), WARMUP);
+        let b = skip.run_st_warm(trace, WARMUP);
+        assert_eq!(
+            run_results_to_json(&[a]),
+            run_results_to_json(&[b]),
+            "skip-ahead diverged from the naive loop on {name}"
+        );
+    }
+}
+
+#[test]
+fn catch_config_counters_bit_identical() {
+    // The full CATCH machine exercises the TACT prefetchers and the
+    // criticality detector on top of the baseline pipeline.
+    let naive = with_skip(SystemConfig::baseline_exclusive().with_catch(), false);
+    let skip = with_skip(SystemConfig::baseline_exclusive().with_catch(), true);
+    for name in ["tpcc_like", "xalanc_like"] {
+        let trace = suite::by_name(name)
+            .expect("known workload")
+            .generate(OPS, SEED);
+        let a = naive.run_st_warm(trace.clone(), WARMUP);
+        let b = skip.run_st_warm(trace, WARMUP);
+        assert_eq!(
+            run_results_to_json(&[a]),
+            run_results_to_json(&[b]),
+            "skip-ahead diverged under CATCH on {name}"
+        );
+    }
+}
+
+#[test]
+fn event_streams_bit_identical() {
+    // Every observability event — cycle stamps included — must match,
+    // exactly as `--trace-events all` would record them.
+    let collect = |skip: bool| {
+        let system = with_skip(SystemConfig::baseline_exclusive().with_catch(), skip);
+        let trace = suite::by_name("tpcc_like")
+            .expect("known workload")
+            .generate(6_000, SEED);
+        let sink = Arc::new(Mutex::new(VecSink::new()));
+        let obs = Obs::attached(sink.clone(), EventClass::ALL);
+        let _ = system.run_st_obs(trace, &obs);
+        drop(obs);
+        let events = sink.lock().expect("sink lock").take();
+        events
+    };
+    let naive = collect(false);
+    let skip = collect(true);
+    assert_eq!(naive.len(), skip.len(), "event counts diverged");
+    for (i, (a, b)) in naive.iter().zip(skip.iter()).enumerate() {
+        assert_eq!(a, b, "event {i} diverged");
+    }
+}
+
+#[test]
+fn mp_counters_bit_identical() {
+    let mix = catch_workloads::mp::rate4_mixes()
+        .into_iter()
+        .find(|m| m.name == "rate4_xalanc_like")
+        .expect("rate4 mix exists");
+    let naive = with_skip(SystemConfig::baseline_exclusive().with_cores(4), false);
+    let skip = with_skip(SystemConfig::baseline_exclusive().with_cores(4), true);
+    let a = naive.run_mp(mix.generate(6_000, SEED));
+    let b = skip.run_mp(mix.generate(6_000, SEED));
+    assert_eq!(
+        run_results_to_json(&a.per_core),
+        run_results_to_json(&b.per_core),
+        "skip-ahead diverged on the MP lockstep loop"
+    );
+}
+
+#[test]
+fn sampled_runs_bit_identical() {
+    // Sampled mode mixes fast-forward with detailed windows; both must
+    // land on the same reconstruction regardless of the loop.
+    let sample = SampleConfig::new(5_000).with_max_clusters(10);
+    let trace = suite::by_name("astar_like")
+        .expect("known workload")
+        .generate(OPS, SEED);
+    let naive =
+        with_skip(SystemConfig::baseline_exclusive(), false).run_sampled(trace.clone(), &sample);
+    let skip = with_skip(SystemConfig::baseline_exclusive(), true).run_sampled(trace, &sample);
+    assert_eq!(
+        run_results_to_json(&[naive.result]),
+        run_results_to_json(&[skip.result]),
+        "skip-ahead diverged in sampled mode"
+    );
+}

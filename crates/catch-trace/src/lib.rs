@@ -37,6 +37,7 @@
 
 mod builder;
 pub mod counters;
+pub mod hash;
 mod ids;
 mod io;
 mod op;
