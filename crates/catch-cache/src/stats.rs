@@ -1,7 +1,9 @@
 //! Statistics for caches, traffic and prefetch timeliness.
 
 use catch_obs::OccupancyHist;
-use catch_trace::counters::{join_prefix, monotonic_delta, push_counter, CounterVec, Counters};
+use catch_trace::counters::{
+    join_prefix, monotonic_delta, push_counter, CounterSource, CounterVec, Counters, FromCounters,
+};
 use std::fmt;
 
 /// Counters for one cache array.
@@ -32,6 +34,20 @@ impl Counters for CacheStats {
         push_counter(out, prefix, "evictions", self.evictions);
         push_counter(out, prefix, "dirty_evictions", self.dirty_evictions);
         push_counter(out, prefix, "invalidations", self.invalidations);
+    }
+}
+
+impl FromCounters for CacheStats {
+    fn from_counters(prefix: &str, src: &mut CounterSource) -> Result<Self, String> {
+        Ok(CacheStats {
+            accesses: src.take(prefix, "accesses")?,
+            hits: src.take(prefix, "hits")?,
+            misses: src.take(prefix, "misses")?,
+            fills: src.take(prefix, "fills")?,
+            evictions: src.take(prefix, "evictions")?,
+            dirty_evictions: src.take(prefix, "dirty_evictions")?,
+            invalidations: src.take(prefix, "invalidations")?,
+        })
     }
 }
 
@@ -127,6 +143,20 @@ impl Counters for TrafficStats {
     }
 }
 
+impl FromCounters for TrafficStats {
+    fn from_counters(prefix: &str, src: &mut CounterSource) -> Result<Self, String> {
+        Ok(TrafficStats {
+            llc_requests: src.take(prefix, "llc_requests")?,
+            llc_replies: src.take(prefix, "llc_replies")?,
+            llc_writebacks: src.take(prefix, "llc_writebacks")?,
+            back_invalidates: src.take(prefix, "back_invalidates")?,
+            c2c_transfers: src.take(prefix, "c2c_transfers")?,
+            dram_reads: src.take(prefix, "dram_reads")?,
+            dram_writes: src.take(prefix, "dram_writes")?,
+        })
+    }
+}
+
 impl TrafficStats {
     /// Combines two snapshots field-by-field with `f`.
     fn zip(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
@@ -206,6 +236,21 @@ impl Counters for PrefetchTimeliness {
         push_counter(out, prefix, "saved_over_80", self.saved_over_80);
         push_counter(out, prefix, "saved_10_to_80", self.saved_10_to_80);
         push_counter(out, prefix, "saved_under_10", self.saved_under_10);
+    }
+}
+
+impl FromCounters for PrefetchTimeliness {
+    fn from_counters(prefix: &str, src: &mut CounterSource) -> Result<Self, String> {
+        Ok(PrefetchTimeliness {
+            issued: src.take(prefix, "issued")?,
+            from_llc: src.take(prefix, "from_llc")?,
+            from_l2: src.take(prefix, "from_l2")?,
+            from_memory: src.take(prefix, "from_memory")?,
+            used: src.take(prefix, "used")?,
+            saved_over_80: src.take(prefix, "saved_over_80")?,
+            saved_10_to_80: src.take(prefix, "saved_10_to_80")?,
+            saved_under_10: src.take(prefix, "saved_under_10")?,
+        })
     }
 }
 
@@ -337,6 +382,37 @@ impl Counters for HierarchyStats {
             .counters_into(&join_prefix(prefix, "timeliness"), out);
         self.mshr_occ
             .counters_into(&join_prefix(prefix, "mshr_occ"), out);
+    }
+}
+
+impl FromCounters for HierarchyStats {
+    fn from_counters(prefix: &str, src: &mut CounterSource) -> Result<Self, String> {
+        // Per-core vector lengths are not stored separately: cores emit
+        // consecutively-numbered prefixes (`l1i0`, `l1i1`, …), so the
+        // length is recovered by probing for the next index.
+        fn per_core(
+            prefix: &str,
+            name: &str,
+            src: &mut CounterSource,
+        ) -> Result<Vec<CacheStats>, String> {
+            let mut v = Vec::new();
+            loop {
+                let p = join_prefix(prefix, &format!("{name}{}", v.len()));
+                if !src.next_in(&p) {
+                    return Ok(v);
+                }
+                v.push(CacheStats::from_counters(&p, src)?);
+            }
+        }
+        Ok(HierarchyStats {
+            l1i: per_core(prefix, "l1i", src)?,
+            l1d: per_core(prefix, "l1d", src)?,
+            l2: per_core(prefix, "l2", src)?,
+            llc: CacheStats::from_counters(&join_prefix(prefix, "llc"), src)?,
+            traffic: TrafficStats::from_counters(&join_prefix(prefix, "traffic"), src)?,
+            timeliness: PrefetchTimeliness::from_counters(&join_prefix(prefix, "timeliness"), src)?,
+            mshr_occ: OccupancyHist::from_counters(&join_prefix(prefix, "mshr_occ"), src)?,
+        })
     }
 }
 

@@ -29,7 +29,7 @@ fn run_slice(config: &SystemConfig, eval: &EvalConfig) -> Vec<RunResult> {
         .iter()
         .map(|n| {
             let spec = suite::by_name(n).expect("slice workloads exist");
-            system.run_st_warm(spec.generate(eval.ops, eval.seed), eval.warmup)
+            super::run_one(&system, eval, &spec)
         })
         .collect()
 }

@@ -4,19 +4,25 @@ use super::{category_columns, category_pct_row, run_suite, EvalConfig};
 use crate::report::{ExperimentReport, Table, ValueKind};
 use crate::system::SystemConfig;
 
+/// Suite configurations this experiment simulates (baseline first);
+/// consumed by the experiment body and by `experiments::suite_requests`.
+pub(crate) fn suite_configs() -> Vec<SystemConfig> {
+    vec![
+        SystemConfig::baseline_exclusive(),
+        SystemConfig::baseline_exclusive().without_l2(6656 << 10),
+        SystemConfig::baseline_exclusive().without_l2(9728 << 10),
+    ]
+}
+
 /// Regenerates Figure 1: the baseline (1 MB L2 + 5.5 MB exclusive LLC)
 /// against `NoL2 + 6.5 MB LLC` (iso-capacity) and `NoL2 + 9.5 MB LLC`
 /// (iso-area), reported as per-category percent deltas.
 pub fn fig01_remove_l2(eval: &EvalConfig) -> ExperimentReport {
-    let base = run_suite(&SystemConfig::baseline_exclusive(), eval);
-    let no_l2_65 = run_suite(
-        &SystemConfig::baseline_exclusive().without_l2(6656 << 10),
-        eval,
-    );
-    let no_l2_95 = run_suite(
-        &SystemConfig::baseline_exclusive().without_l2(9728 << 10),
-        eval,
-    );
+    let [base_cfg, no_l2_65_cfg, no_l2_95_cfg]: [SystemConfig; 3] =
+        suite_configs().try_into().expect("three configurations");
+    let base = run_suite(&base_cfg, eval);
+    let no_l2_65 = run_suite(&no_l2_65_cfg, eval);
+    let no_l2_95 = run_suite(&no_l2_95_cfg, eval);
 
     let mut table = Table::new(
         "performance impact of removing L2 (vs 1MB L2 + 5.5MB excl. LLC)",

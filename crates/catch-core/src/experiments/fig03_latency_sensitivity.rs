@@ -6,6 +6,26 @@ use crate::report::{ExperimentReport, Table, ValueKind};
 use crate::system::SystemConfig;
 use catch_cache::Level;
 
+/// The levels and extra-latency steps the figure sweeps.
+const LEVELS: [Level; 3] = [Level::L1, Level::L2, Level::Llc];
+const EXTRAS: std::ops::RangeInclusive<u64> = 1..=3;
+
+fn slowed(level: Level, extra: u64) -> SystemConfig {
+    SystemConfig::baseline_exclusive().with_extra_latency(level, extra)
+}
+
+/// Suite configurations this experiment simulates (baseline first);
+/// consumed by the experiment body and by `experiments::suite_requests`.
+pub(crate) fn suite_configs() -> Vec<SystemConfig> {
+    let mut configs = vec![SystemConfig::baseline_exclusive()];
+    for level in LEVELS {
+        for extra in EXTRAS {
+            configs.push(slowed(level, extra));
+        }
+    }
+    configs
+}
+
 /// Regenerates Figure 3: +1/+2/+3 cycles at the L1, L2 and LLC of the
 /// baseline, geomean percent impact.
 pub fn fig03_latency_sensitivity(eval: &EvalConfig) -> ExperimentReport {
@@ -15,13 +35,10 @@ pub fn fig03_latency_sensitivity(eval: &EvalConfig) -> ExperimentReport {
         vec!["+1 cyc".into(), "+2 cyc".into(), "+3 cyc".into()],
         ValueKind::PercentDelta,
     );
-    for level in [Level::L1, Level::L2, Level::Llc] {
+    for level in LEVELS {
         let mut row = Vec::new();
-        for extra in 1..=3u64 {
-            let slowed = run_suite(
-                &SystemConfig::baseline_exclusive().with_extra_latency(level, extra),
-                eval,
-            );
+        for extra in EXTRAS {
+            let slowed = run_suite(&slowed(level, extra), eval);
             row.push(pct(geomean_ratio(&base, &slowed)));
         }
         table.push_row(level.to_string(), row);

@@ -8,6 +8,47 @@ use catch_cache::Level;
 use catch_cpu::LoadOracle;
 use catch_criticality::DetectorConfig;
 
+/// The per-level demotion variants the figure sweeps.
+const VARIANTS: [(Level, &str); 3] = [
+    (Level::L1, "L1 hits to L2 lat"),
+    (Level::L2, "L2 hits to LLC lat"),
+    (Level::Llc, "LLC hits to Mem lat"),
+];
+
+fn demote(level: Level, label: &str, only_noncritical: bool) -> SystemConfig {
+    let mut config = SystemConfig::baseline_exclusive()
+        .oracle_study()
+        .with_oracle(LoadOracle::Demote {
+            level,
+            only_noncritical,
+        })
+        .named(format!(
+            "{label} {}",
+            if only_noncritical {
+                "NonCritical"
+            } else {
+                "ALL"
+            }
+        ));
+    if only_noncritical {
+        // Criticality must be judged *at the demoted level*.
+        config = config.with_detector(DetectorConfig::paper().with_track_levels(&[level]));
+    }
+    config
+}
+
+/// Suite configurations this experiment simulates (baseline first);
+/// consumed by the experiment body and by `experiments::suite_requests`.
+pub(crate) fn suite_configs() -> Vec<SystemConfig> {
+    let mut configs = vec![SystemConfig::baseline_exclusive().oracle_study()];
+    for (level, label) in VARIANTS {
+        for only_noncritical in [false, true] {
+            configs.push(demote(level, label, only_noncritical));
+        }
+    }
+    configs
+}
+
 fn mean_converted(results: &[RunResult]) -> f64 {
     if results.is_empty() {
         return 0.0;
@@ -33,30 +74,9 @@ pub fn fig04_criticality_oracle(eval: &EvalConfig) -> ExperimentReport {
         ValueKind::Raw,
     );
 
-    for (level, label) in [
-        (Level::L1, "L1 hits to L2 lat"),
-        (Level::L2, "L2 hits to LLC lat"),
-        (Level::Llc, "LLC hits to Mem lat"),
-    ] {
+    for (level, label) in VARIANTS {
         for only_noncritical in [false, true] {
-            let mut config = base_config
-                .clone()
-                .with_oracle(LoadOracle::Demote {
-                    level,
-                    only_noncritical,
-                })
-                .named(format!(
-                    "{label} {}",
-                    if only_noncritical {
-                        "NonCritical"
-                    } else {
-                        "ALL"
-                    }
-                ));
-            if only_noncritical {
-                // Criticality must be judged *at the demoted level*.
-                config = config.with_detector(DetectorConfig::paper().with_track_levels(&[level]));
-            }
+            let config = demote(level, label, only_noncritical);
             let runs = run_suite(&config, eval);
             table.push_row(
                 config.name.clone(),

@@ -8,6 +8,43 @@ use crate::system::SystemConfig;
 use catch_cpu::LoadOracle;
 use catch_criticality::DetectorConfig;
 
+/// Tracked-PC budgets the figure sweeps.
+const PC_BUDGETS: [usize; 5] = [32, 64, 128, 1024, 2048];
+
+fn pc_config(entries: usize) -> SystemConfig {
+    SystemConfig::baseline_exclusive()
+        .oracle_study()
+        .with_oracle(LoadOracle::CriticalPrefetch)
+        .with_detector(DetectorConfig::paper().with_table_entries(entries))
+        .named(format!("{entries} PC"))
+}
+
+fn all_pc_config() -> SystemConfig {
+    SystemConfig::baseline_exclusive()
+        .oracle_study()
+        .with_oracle(LoadOracle::PrefetchAll)
+        .named("All PC")
+}
+
+fn no_l2_config() -> SystemConfig {
+    SystemConfig::baseline_exclusive()
+        .oracle_study()
+        .without_l2(6656 << 10)
+        .with_oracle(LoadOracle::CriticalPrefetch)
+        .with_detector(DetectorConfig::paper().with_table_entries(2048))
+        .named("NoL2 + 2048 PC")
+}
+
+/// Suite configurations this experiment simulates (baseline first);
+/// consumed by the experiment body and by `experiments::suite_requests`.
+pub(crate) fn suite_configs() -> Vec<SystemConfig> {
+    let mut configs = vec![SystemConfig::baseline_exclusive().oracle_study()];
+    configs.extend(PC_BUDGETS.iter().map(|&entries| pc_config(entries)));
+    configs.push(all_pc_config());
+    configs.push(no_l2_config());
+    configs
+}
+
 fn mean_converted(results: &[RunResult]) -> f64 {
     100.0
         * results
@@ -30,12 +67,8 @@ pub fn fig05_oracle_prefetch(eval: &EvalConfig) -> ExperimentReport {
         ValueKind::Raw,
     );
 
-    for entries in [32usize, 64, 128, 1024, 2048] {
-        let config = base_config
-            .clone()
-            .with_oracle(LoadOracle::CriticalPrefetch)
-            .with_detector(DetectorConfig::paper().with_table_entries(entries))
-            .named(format!("{entries} PC"));
+    for entries in PC_BUDGETS {
+        let config = pc_config(entries);
         let runs = run_suite(&config, eval);
         table.push_row(
             config.name.clone(),
@@ -44,28 +77,14 @@ pub fn fig05_oracle_prefetch(eval: &EvalConfig) -> ExperimentReport {
     }
 
     // All PCs, criticality ignored.
-    let all = run_suite(
-        &base_config
-            .clone()
-            .with_oracle(LoadOracle::PrefetchAll)
-            .named("All PC"),
-        eval,
-    );
+    let all = run_suite(&all_pc_config(), eval);
     table.push_row(
         "All PC",
         vec![pct(geomean_ratio(&base, &all)), mean_converted(&all)],
     );
 
     // NoL2 with a deep critical table: the L2 becomes irrelevant.
-    let no_l2 = run_suite(
-        &base_config
-            .clone()
-            .without_l2(6656 << 10)
-            .with_oracle(LoadOracle::CriticalPrefetch)
-            .with_detector(DetectorConfig::paper().with_table_entries(2048))
-            .named("NoL2 + 2048 PC"),
-        eval,
-    );
+    let no_l2 = run_suite(&no_l2_config(), eval);
     table.push_row(
         "NoL2 + 2048 PC",
         vec![pct(geomean_ratio(&base, &no_l2)), mean_converted(&no_l2)],

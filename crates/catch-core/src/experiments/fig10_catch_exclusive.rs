@@ -4,13 +4,11 @@ use super::{category_columns, category_pct_row, run_suite, EvalConfig};
 use crate::report::{ExperimentReport, Table, ValueKind};
 use crate::system::SystemConfig;
 
-/// Regenerates Figure 10: the five configurations of the headline result,
-/// per category and geomean, relative to the 1 MB L2 + 5.5 MB exclusive
-/// LLC baseline.
-pub fn fig10_catch_exclusive(eval: &EvalConfig) -> ExperimentReport {
-    let base = run_suite(&SystemConfig::baseline_exclusive(), eval);
-
-    let configs = [
+/// Suite configurations this experiment simulates (baseline first);
+/// consumed by the experiment body and by `experiments::suite_requests`.
+pub(crate) fn suite_configs() -> Vec<SystemConfig> {
+    vec![
+        SystemConfig::baseline_exclusive(),
         SystemConfig::baseline_exclusive().without_l2(6656 << 10),
         SystemConfig::baseline_exclusive().without_l2(9728 << 10),
         SystemConfig::baseline_exclusive()
@@ -22,7 +20,15 @@ pub fn fig10_catch_exclusive(eval: &EvalConfig) -> ExperimentReport {
         SystemConfig::baseline_exclusive()
             .with_catch()
             .named("CATCH"),
-    ];
+    ]
+}
+
+/// Regenerates Figure 10: the five configurations of the headline result,
+/// per category and geomean, relative to the 1 MB L2 + 5.5 MB exclusive
+/// LLC baseline.
+pub fn fig10_catch_exclusive(eval: &EvalConfig) -> ExperimentReport {
+    let mut configs = suite_configs();
+    let base = run_suite(&configs.remove(0), eval);
 
     let mut table = Table::new(
         "perf vs 1MB L2 + 5.5MB exclusive LLC",

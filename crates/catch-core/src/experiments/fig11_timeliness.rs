@@ -5,16 +5,19 @@ use crate::report::{ExperimentReport, Table, ValueKind};
 use crate::system::SystemConfig;
 use catch_trace::Category;
 
+/// Suite configurations this experiment simulates; consumed by the
+/// experiment body and by `experiments::suite_requests`.
+pub(crate) fn suite_configs() -> Vec<SystemConfig> {
+    vec![SystemConfig::baseline_exclusive()
+        .without_l2(9728 << 10)
+        .with_catch()]
+}
+
 /// Regenerates Figure 11: on the two-level CATCH configuration, the
 /// fraction of TACT prefetches served from the LLC and the distribution
 /// of LLC-latency savings among used prefetches, per category.
 pub fn fig11_timeliness(eval: &EvalConfig) -> ExperimentReport {
-    let runs = run_suite(
-        &SystemConfig::baseline_exclusive()
-            .without_l2(9728 << 10)
-            .with_catch(),
-        eval,
-    );
+    let runs = run_suite(&suite_configs().remove(0), eval);
 
     let mut table = Table::new(
         "TACT prefetch timeliness (percent)",

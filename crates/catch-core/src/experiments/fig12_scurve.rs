@@ -4,22 +4,29 @@ use super::{run_suite, EvalConfig};
 use crate::report::{ExperimentReport, Table, ValueKind};
 use crate::system::SystemConfig;
 
+/// Suite configurations this experiment simulates (baseline first);
+/// consumed by the experiment body and by `experiments::suite_requests`.
+pub(crate) fn suite_configs() -> Vec<SystemConfig> {
+    vec![
+        SystemConfig::baseline_exclusive(),
+        SystemConfig::baseline_exclusive().without_l2(6656 << 10),
+        SystemConfig::baseline_exclusive()
+            .without_l2(9728 << 10)
+            .with_catch(),
+        SystemConfig::baseline_exclusive().with_catch(),
+    ]
+}
+
 /// Regenerates Figure 12: per-workload performance ratio against the
 /// baseline for `NoL2+6.5MB`, `NoL2+9.5MB+CATCH` and `CATCH`, sorted by
 /// the CATCH ratio (the paper plots these as S-curves).
 pub fn fig12_scurve(eval: &EvalConfig) -> ExperimentReport {
-    let base = run_suite(&SystemConfig::baseline_exclusive(), eval);
-    let no_l2 = run_suite(
-        &SystemConfig::baseline_exclusive().without_l2(6656 << 10),
-        eval,
-    );
-    let two_level_catch = run_suite(
-        &SystemConfig::baseline_exclusive()
-            .without_l2(9728 << 10)
-            .with_catch(),
-        eval,
-    );
-    let catch = run_suite(&SystemConfig::baseline_exclusive().with_catch(), eval);
+    let [base_cfg, no_l2_cfg, two_level_cfg, catch_cfg]: [SystemConfig; 4] =
+        suite_configs().try_into().expect("four configurations");
+    let base = run_suite(&base_cfg, eval);
+    let no_l2 = run_suite(&no_l2_cfg, eval);
+    let two_level_catch = run_suite(&two_level_cfg, eval);
+    let catch = run_suite(&catch_cfg, eval);
 
     let mut rows: Vec<(String, Vec<f64>)> = base
         .iter()

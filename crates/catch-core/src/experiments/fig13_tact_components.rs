@@ -4,30 +4,49 @@ use super::{category_columns, category_pct_row, run_suite, EvalConfig};
 use crate::report::{ExperimentReport, Table, ValueKind};
 use crate::system::SystemConfig;
 
+/// One cumulative component step: (code, cross, deep, feeder) enables.
+type Components = (bool, bool, bool, bool);
+
+/// The cumulative component steps the figure builds up.
+const STEPS: [(&str, Components); 4] = [
+    ("Code", (true, false, false, false)),
+    ("+CROSS", (true, true, false, false)),
+    ("+Deep", (true, true, true, false)),
+    ("+Feeder", (true, true, true, true)),
+];
+
+fn step_config(label: &str, (code, cross, deep, feeder): Components) -> SystemConfig {
+    SystemConfig::baseline_exclusive()
+        .without_l2(6656 << 10)
+        .with_tact_components(code, cross, deep, feeder)
+        .named(label)
+}
+
+/// Suite configurations this experiment simulates (baseline first);
+/// consumed by the experiment body and by `experiments::suite_requests`.
+pub(crate) fn suite_configs() -> Vec<SystemConfig> {
+    let mut configs = vec![SystemConfig::baseline_exclusive().without_l2(6656 << 10)];
+    configs.extend(
+        STEPS
+            .iter()
+            .map(|&(label, components)| step_config(label, components)),
+    );
+    configs
+}
+
 /// Regenerates Figure 13: the cumulative build-up Code → +Cross → +Deep →
 /// +Feeder over the no-L2 configuration (6.5 MB LLC), per category.
 pub fn fig13_tact_components(eval: &EvalConfig) -> ExperimentReport {
     let no_l2 = SystemConfig::baseline_exclusive().without_l2(6656 << 10);
     let base = run_suite(&no_l2, eval);
 
-    let steps = [
-        ("Code", (true, false, false, false)),
-        ("+CROSS", (true, true, false, false)),
-        ("+Deep", (true, true, true, false)),
-        ("+Feeder", (true, true, true, true)),
-    ];
-
     let mut table = Table::new(
         "cumulative TACT components over NoL2 + 6.5MB LLC",
         category_columns(),
         ValueKind::PercentDelta,
     );
-    for (label, (code, cross, deep, feeder)) in steps {
-        let config = no_l2
-            .clone()
-            .with_tact_components(code, cross, deep, feeder)
-            .named(label);
-        let runs = run_suite(&config, eval);
+    for (label, components) in STEPS {
+        let runs = run_suite(&step_config(label, components), eval);
         table.push_row(label, category_pct_row(&base, &runs));
     }
 

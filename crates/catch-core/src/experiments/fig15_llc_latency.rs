@@ -6,6 +6,32 @@ use crate::report::{ExperimentReport, Table, ValueKind};
 use crate::system::SystemConfig;
 use catch_cache::Level;
 
+/// The two hierarchy variants and LLC latency steps the figure sweeps.
+type MakeConfig = fn() -> SystemConfig;
+const VARIANTS: [(&str, MakeConfig); 2] = [
+    ("NoL2 + 6.5MB LLC", || {
+        SystemConfig::baseline_exclusive().without_l2(6656 << 10)
+    }),
+    ("NoL2 + 9.5MB LLC + CATCH", || {
+        SystemConfig::baseline_exclusive()
+            .without_l2(9728 << 10)
+            .with_catch()
+    }),
+];
+const EXTRAS: [u64; 3] = [0, 6, 12];
+
+/// Suite configurations this experiment simulates (baseline first);
+/// consumed by the experiment body and by `experiments::suite_requests`.
+pub(crate) fn suite_configs() -> Vec<SystemConfig> {
+    let mut configs = vec![SystemConfig::baseline_exclusive()];
+    for (_, make) in VARIANTS {
+        for extra in EXTRAS {
+            configs.push(make().with_extra_latency(Level::Llc, extra));
+        }
+    }
+    configs
+}
+
 /// Regenerates Figure 15: the no-L2 configuration and the two-level CATCH
 /// configuration under +0/+6/+12 cycles of LLC latency, relative to the
 /// (unmodified-latency) baseline.
@@ -18,21 +44,9 @@ pub fn fig15_llc_latency(eval: &EvalConfig) -> ExperimentReport {
         ValueKind::PercentDelta,
     );
 
-    type MakeConfig = fn() -> SystemConfig;
-    let variants: [(&str, MakeConfig); 2] = [
-        ("NoL2 + 6.5MB LLC", || {
-            SystemConfig::baseline_exclusive().without_l2(6656 << 10)
-        }),
-        ("NoL2 + 9.5MB LLC + CATCH", || {
-            SystemConfig::baseline_exclusive()
-                .without_l2(9728 << 10)
-                .with_catch()
-        }),
-    ];
-
-    for (label, make) in variants {
+    for (label, make) in VARIANTS {
         let mut row = Vec::new();
-        for extra in [0u64, 6, 12] {
+        for extra in EXTRAS {
             let config = make().with_extra_latency(Level::Llc, extra);
             let runs = run_suite(&config, eval);
             row.push(pct(geomean_ratio(&base, &runs)));

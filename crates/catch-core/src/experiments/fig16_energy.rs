@@ -7,15 +7,24 @@ use crate::report::{ExperimentReport, Table, ValueKind};
 use crate::system::SystemConfig;
 use catch_trace::Category;
 
+/// Suite configurations this experiment simulates (baseline first);
+/// consumed by the experiment body and by `experiments::suite_requests`.
+pub(crate) fn suite_configs() -> Vec<SystemConfig> {
+    vec![
+        SystemConfig::baseline_exclusive(),
+        SystemConfig::baseline_exclusive()
+            .without_l2(9728 << 10)
+            .with_catch(),
+    ]
+}
+
 /// Regenerates Figure 16: per-category energy savings of
 /// `NoL2 + 9.5 MB LLC + CATCH` over the three-level baseline, plus the
 /// traffic shifts the paper reports (cache/DRAM down, interconnect up).
 pub fn fig16_energy(eval: &EvalConfig) -> ExperimentReport {
     let constants = EnergyConstants::paper_like();
-    let base_cfg = SystemConfig::baseline_exclusive();
-    let catch_cfg = SystemConfig::baseline_exclusive()
-        .without_l2(9728 << 10)
-        .with_catch();
+    let [base_cfg, catch_cfg]: [SystemConfig; 2] =
+        suite_configs().try_into().expect("two configurations");
 
     let base = run_suite(&base_cfg, eval);
     let catch = run_suite(&catch_cfg, eval);

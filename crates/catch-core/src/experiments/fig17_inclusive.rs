@@ -4,12 +4,11 @@ use super::{category_columns, category_pct_row, run_suite, EvalConfig};
 use crate::report::{ExperimentReport, Table, ValueKind};
 use crate::system::SystemConfig;
 
-/// Regenerates Figure 17: the 256 KB L2 + 8 MB inclusive LLC baseline
-/// against NoL2, NoL2+CATCH, NoL2+CATCH+9MB and CATCH.
-pub fn fig17_inclusive(eval: &EvalConfig) -> ExperimentReport {
-    let base = run_suite(&SystemConfig::baseline_inclusive(), eval);
-
-    let configs = [
+/// Suite configurations this experiment simulates (baseline first);
+/// consumed by the experiment body and by `experiments::suite_requests`.
+pub(crate) fn suite_configs() -> Vec<SystemConfig> {
+    vec![
+        SystemConfig::baseline_inclusive(),
         SystemConfig::baseline_inclusive()
             .without_l2(8 << 20)
             .named("noL2"),
@@ -24,7 +23,14 @@ pub fn fig17_inclusive(eval: &EvalConfig) -> ExperimentReport {
         SystemConfig::baseline_inclusive()
             .with_catch()
             .named("CATCH"),
-    ];
+    ]
+}
+
+/// Regenerates Figure 17: the 256 KB L2 + 8 MB inclusive LLC baseline
+/// against NoL2, NoL2+CATCH, NoL2+CATCH+9MB and CATCH.
+pub fn fig17_inclusive(eval: &EvalConfig) -> ExperimentReport {
+    let mut configs = suite_configs();
+    let base = run_suite(&configs.remove(0), eval);
 
     let mut table = Table::new(
         "perf vs 256KB L2 + 8MB inclusive LLC",

@@ -24,9 +24,18 @@ pub struct Runner {
 }
 
 impl Runner {
-    /// A runner with exactly `jobs` workers (clamped to at least 1).
+    /// A runner with exactly `jobs` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `jobs == 0`: a zero worker count is always a caller
+    /// bug, and silently clamping it to 1 would contradict the strict
+    /// rejection of `CATCH_JOBS=0` / `--jobs 0` (see
+    /// [`Runner::parse_jobs`]). Callers handling user input validate
+    /// with [`Runner::parse_jobs`] or [`Runner::from_env`] first.
     pub fn with_jobs(jobs: usize) -> Self {
-        Runner { jobs: jobs.max(1) }
+        assert!(jobs >= 1, "Runner::with_jobs: job count must be at least 1");
+        Runner { jobs }
     }
 
     /// A runner sized from the environment: `CATCH_JOBS` if set,
@@ -181,10 +190,9 @@ mod tests {
     }
 
     #[test]
-    fn zero_jobs_clamps_to_one() {
-        assert_eq!(Runner::with_jobs(0).jobs(), 1);
-        let out = Runner::with_jobs(0).run(&[1, 2, 3], |_, &j| j);
-        assert_eq!(out, vec![1, 2, 3]);
+    #[should_panic(expected = "job count must be at least 1")]
+    fn zero_jobs_is_rejected() {
+        let _ = Runner::with_jobs(0);
     }
 
     #[test]

@@ -113,6 +113,29 @@ pub fn tab2_workloads() -> ExperimentReport {
     }
 }
 
+/// Critical-load-table sizes the Section VI-D2 study sweeps.
+const TABLE_SIZES: [usize; 5] = [8, 16, 32, 64, 128];
+
+fn table_size_config(entries: usize) -> SystemConfig {
+    SystemConfig::baseline_exclusive()
+        .with_catch()
+        .with_detector(DetectorConfig::paper().with_table_entries(entries))
+        .named(format!("{entries} entries"))
+}
+
+/// Suite configurations the Section VI-D2 study simulates (baseline
+/// first); consumed by the experiment body and by
+/// `experiments::suite_requests`.
+pub(crate) fn sec6d2_suite_configs() -> Vec<SystemConfig> {
+    let mut configs = vec![SystemConfig::baseline_exclusive()];
+    configs.extend(
+        TABLE_SIZES
+            .iter()
+            .map(|&entries| table_size_config(entries)),
+    );
+    configs
+}
+
 /// Regenerates the Section VI-D2 study: sensitivity of CATCH to the
 /// critical-load-table size.
 pub fn sec6d2_table_size(eval: &EvalConfig) -> ExperimentReport {
@@ -122,11 +145,8 @@ pub fn sec6d2_table_size(eval: &EvalConfig) -> ExperimentReport {
         vec!["geomean gain".into()],
         ValueKind::PercentDelta,
     );
-    for entries in [8usize, 16, 32, 64, 128] {
-        let config = SystemConfig::baseline_exclusive()
-            .with_catch()
-            .with_detector(DetectorConfig::paper().with_table_entries(entries))
-            .named(format!("{entries} entries"));
+    for entries in TABLE_SIZES {
+        let config = table_size_config(entries);
         let runs = run_suite(&config, eval);
         table.push_row(config.name.clone(), vec![pct(geomean_ratio(&base, &runs))]);
     }

@@ -39,10 +39,12 @@ pub mod energy;
 pub mod experiments;
 mod metrics;
 pub mod report;
+pub mod runcache;
 mod sampling;
 mod system;
 
 pub use metrics::{geomean, geomean_ratio, MpResult, RunResult};
+pub use runcache::{run_fingerprint, CacheMode, CacheSummary, Fingerprint, RunCache};
 pub use sampling::{SampledRun, SamplingSummary};
 pub use system::{System, SystemConfig};
 

@@ -3,7 +3,7 @@
 use catch_cache::{CacheHierarchy, HierarchyStats};
 use catch_cpu::CoreStats;
 use catch_dram::{DramStats, DramSystem};
-use catch_trace::counters::{join_prefix, CounterVec, Counters};
+use catch_trace::counters::{join_prefix, CounterSource, CounterVec, Counters, FromCounters};
 use catch_trace::Category;
 
 /// Everything measured over one core's run under one configuration.
@@ -35,6 +35,39 @@ impl Counters for RunResult {
 }
 
 impl RunResult {
+    /// Rebuilds a result from identity fields plus its flat counter
+    /// export (the inverse of [`Counters::counters_into`]); used by the
+    /// on-disk run cache. `label` is the workload category label as
+    /// rendered in reports.
+    pub fn from_parts(
+        workload: String,
+        label: &str,
+        config: String,
+        counters: CounterVec,
+    ) -> Result<Self, String> {
+        let category = *Category::ALL
+            .iter()
+            .find(|c| c.label() == label)
+            .ok_or_else(|| format!("unknown workload category label '{label}'"))?;
+        let mut src = CounterSource::new(counters);
+        let core = CoreStats::from_counters("core", &mut src)?;
+        let hierarchy = HierarchyStats::from_counters("hierarchy", &mut src)?;
+        let dram = if src.next_in("dram") {
+            Some(DramStats::from_counters("dram", &mut src)?)
+        } else {
+            None
+        };
+        src.finish()?;
+        Ok(RunResult {
+            workload,
+            category,
+            config,
+            core,
+            hierarchy,
+            dram,
+        })
+    }
+
     /// Collects a result from a finished core + hierarchy.
     pub fn collect(
         workload: String,

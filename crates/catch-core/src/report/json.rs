@@ -7,8 +7,12 @@
 //! `\n` separators — because the golden-stats regression test compares it
 //! byte-for-byte against a committed snapshot.
 //!
-//! There is deliberately no parser: nothing in the workspace reads JSON
-//! back, and emit-only keeps the surface trivially auditable.
+//! The only reader is the on-disk run cache ([`parse`]): a strict
+//! recursive-descent parser over the exact subset the writer emits
+//! (objects, strings, unsigned integers). Anything else — floats,
+//! arrays, booleans, duplicate laxness — is a parse error, which the
+//! cache treats as a miss. Keeping reader and writer to the same tiny
+//! grammar keeps the surface trivially auditable.
 
 use catch_trace::counters::{CounterVec, Counters};
 
@@ -73,6 +77,223 @@ pub fn run_results_to_json(results: &[crate::RunResult]) -> String {
     format!("[\n{}\n]\n", body.join(",\n"))
 }
 
+/// A parsed JSON value, restricted to what [`run_result_to_json`] and the
+/// run-cache envelope emit: objects with string keys, string leaves and
+/// unsigned-integer leaves.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JsonValue {
+    /// A string literal.
+    Str(String),
+    /// A non-negative integer (every counter is a `u64`).
+    Num(u64),
+    /// An object; insertion-ordered, as written.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up `key` in an object (None for non-objects or absent keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is a number.
+    pub fn as_num(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The entry list, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `text` as a single JSON value in the writer's subset
+/// (object / string / unsigned integer). Trailing content, floats,
+/// arrays, booleans and nulls are errors — a cache file that fails to
+/// parse is simply recomputed.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\n' || b == b'\r' || b == b'\t' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'0'..=b'9') => Ok(JsonValue::Num(self.number()?)),
+            other => Err(format!(
+                "unexpected {:?} at byte {} (writer subset: object/string/uint)",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        let mut entries = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(entries));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "non-ASCII \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape '{hex}'"))?;
+                            // The writer only emits \u for control chars;
+                            // reject surrogates rather than pair them.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid codepoint \\u{hex}"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(format!("bad escape {:?}", other.map(|c| c as char)));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 scalar (input is &str, so
+                    // slicing at char boundaries is safe via chars()).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().expect("non-empty");
+                    if (c as u32) < 0x20 {
+                        return Err("raw control character in string".to_string());
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        if text.len() > 1 && text.starts_with('0') {
+            return Err(format!("leading zero in number at byte {start}"));
+        }
+        text.parse::<u64>()
+            .map_err(|e| format!("bad number '{text}': {e}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +318,50 @@ mod tests {
     #[test]
     fn empty_results_render_as_empty_array() {
         assert_eq!(run_results_to_json(&[]), "[]\n");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let counters = vec![
+            ("core.cycles".to_string(), 42u64),
+            ("esc\"aped\n".to_string(), 0u64),
+        ];
+        let json = format!(
+            "{{\n  \"name\": \"a\\\\b\\u0001\",\n  \"counters\": {}\n}}",
+            counters_to_json(&counters, 1)
+        );
+        let v = parse(&json).expect("writer output must parse");
+        assert_eq!(v.get("name").and_then(JsonValue::as_str), Some("a\\b\u{1}"));
+        let c = v.get("counters").expect("counters present");
+        assert_eq!(c.get("core.cycles").and_then(JsonValue::as_num), Some(42));
+        assert_eq!(c.get("esc\"aped\n").and_then(JsonValue::as_num), Some(0));
+        assert_eq!(c.as_obj().map(<[_]>::len), Some(2));
+    }
+
+    #[test]
+    fn parse_rejects_out_of_subset_input() {
+        for bad in [
+            "",
+            "{",
+            "{}x",
+            "[1]",
+            "true",
+            "-1",
+            "1.5",
+            "01",
+            "{\"a\"}",
+            "{\"a\": }",
+            "{\"a\": 1,}",
+            "\"\\q\"",
+            "\"unterminated",
+            "18446744073709551616", // u64::MAX + 1
+        ] {
+            assert!(parse(bad).is_err(), "'{bad}' must not parse");
+        }
+        assert_eq!(parse(" { } ").expect("ok"), JsonValue::Obj(Vec::new()));
+        assert_eq!(
+            parse("18446744073709551615").expect("ok").as_num(),
+            Some(u64::MAX)
+        );
     }
 }

@@ -1,0 +1,653 @@
+//! Content-addressed memoization of suite simulations.
+//!
+//! The experiment registry re-simulates the same (configuration,
+//! workload) pairs many times over: `fig01`, `fig03`, `fig10`, `fig12`,
+//! `fig15` and the tables all include the exclusive baseline suite, and
+//! every suite run used to regenerate each workload trace per job. The
+//! run cache removes that duplication without changing a single byte of
+//! any report:
+//!
+//! * **Fingerprinting** — [`run_fingerprint`] hashes the structural
+//!   content of a [`SystemConfig`] (its `Debug` rendering with the
+//!   display name stripped), the [`EvalConfig`], the workload id and
+//!   [`SCHEMA_VERSION`] into a 128-bit key. Two requests share a key iff
+//!   they describe the same simulation — so `fig10`'s `"CATCH"` and
+//!   `fig12`'s `"base-excl+CATCH"` (structurally identical machines)
+//!   simulate once; the requested display name is patched onto the
+//!   cached result instead.
+//! * **Single-flight deduplication** — concurrent requests for one key
+//!   block on the first requester's computation instead of racing a
+//!   duplicate simulation. A panicking computation marks its slot failed
+//!   and wakes waiters so one of them retries.
+//! * **Trace store** — traces are generated once per
+//!   (workload, ops, seed) and shared as [`Arc<Trace>`] across every
+//!   configuration that replays them.
+//! * **Disk persistence** — with `CATCH_RUN_CACHE=<dir>`, finished runs
+//!   are serialised through the first-party JSON writer
+//!   ([`crate::report::json`]) together with an integrity hash over the
+//!   canonical re-rendering, so a later process can skip the simulation
+//!   entirely. Any mismatch (schema version, fingerprint, counter
+//!   layout, integrity) silently falls back to recomputation.
+//!
+//! Correctness argument: a cached result is only ever reused under the
+//! exact structural key that produced it, simulations are deterministic
+//! functions of (config, eval, workload), and the only post-hoc mutation
+//! is the report-label `config` field (which no counter depends on) —
+//! hence cache-off, cache-on and warm-disk runs are byte-identical,
+//! which the `cache_parity` suite in `catch-tests` asserts.
+
+use crate::experiments::EvalConfig;
+use crate::metrics::RunResult;
+use crate::report::json;
+use crate::system::SystemConfig;
+use catch_trace::counters::CounterVec;
+use catch_trace::hash::FxHasher;
+use catch_trace::Trace;
+use catch_workloads::WorkloadSpec;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Environment variable selecting the cache mode: unset (or empty) keeps
+/// the in-memory cache, `off`/`0` disables caching entirely, and any
+/// other value is a directory for cross-process persistence.
+pub const RUN_CACHE_ENV: &str = "CATCH_RUN_CACHE";
+
+/// Bump on any change that invalidates persisted results: counter
+/// schema, trace generation, or simulator semantics. Part of every
+/// fingerprint, so stale disk entries can never match.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A 128-bit content fingerprint (two independent 64-bit Fx passes).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Hashes `payload` twice with distinct domain-prefix bytes; 64 bits per
+/// half keeps accidental collisions across a few hundred keys negligible
+/// (and the workload id is re-checked on every disk load anyway).
+fn fp128(payload: &str) -> Fingerprint {
+    let half = |tag: u8| {
+        let mut h = FxHasher::default();
+        h.write_u8(tag);
+        h.write(payload.as_bytes());
+        h.finish()
+    };
+    Fingerprint(((half(0x0D) as u128) << 64) | half(0xF1) as u128)
+}
+
+/// Structural cache key for one (config, eval, workload) simulation.
+///
+/// The config's display `name` is a report label with no effect on the
+/// simulation, so it is stripped before hashing — structurally identical
+/// configs requested under different names share one key. Everything
+/// else rides on the derived `Debug` renderings, which cover every field
+/// (including env-captured ones like `CoreConfig::skip_ahead`), so any
+/// field perturbation changes the key.
+pub fn run_fingerprint(config: &SystemConfig, eval: &EvalConfig, workload: &str) -> Fingerprint {
+    let mut anon = config.clone();
+    anon.name = String::new();
+    fp128(&format!(
+        "schema{SCHEMA_VERSION}|{anon:?}|{eval:?}|{workload}"
+    ))
+}
+
+/// One memoization slot: in flight, ready, or failed (computer panicked).
+enum SlotState<V> {
+    InFlight,
+    Ready(V),
+    Failed,
+}
+
+struct Slot<V> {
+    state: Mutex<SlotState<V>>,
+    ready: Condvar,
+}
+
+/// Marks the slot failed if the computation unwinds, so waiters retry
+/// instead of blocking forever.
+struct FailGuard<'a, V> {
+    slot: &'a Slot<V>,
+    armed: bool,
+}
+
+impl<V> Drop for FailGuard<'_, V> {
+    fn drop(&mut self) {
+        if self.armed {
+            *self.slot.state.lock().unwrap_or_else(|e| e.into_inner()) = SlotState::Failed;
+            self.slot.ready.notify_all();
+        }
+    }
+}
+
+/// A concurrency-safe memo map with single-flight deduplication: the
+/// first requester of a key computes; concurrent requesters block until
+/// the value is ready and share it.
+struct SingleFlight<K, V> {
+    slots: Mutex<HashMap<K, Arc<Slot<V>>>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
+    fn new() -> Self {
+        SingleFlight {
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn clear(&self) {
+        self.slots.lock().expect("memo map poisoned").clear();
+    }
+
+    /// Returns the memoized value and whether this call was a hit
+    /// (either already ready, or satisfied by waiting on another
+    /// requester's in-flight computation).
+    fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> (V, bool) {
+        let mut compute = Some(compute);
+        loop {
+            let (slot, is_computer) = {
+                let mut slots = self.slots.lock().expect("memo map poisoned");
+                match slots.entry(key.clone()) {
+                    std::collections::hash_map::Entry::Occupied(e) => (e.get().clone(), false),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let slot = Arc::new(Slot {
+                            state: Mutex::new(SlotState::InFlight),
+                            ready: Condvar::new(),
+                        });
+                        e.insert(slot.clone());
+                        (slot, true)
+                    }
+                }
+            };
+            if is_computer {
+                let mut guard = FailGuard {
+                    slot: &slot,
+                    armed: true,
+                };
+                let value = (compute.take().expect("computer runs once"))();
+                guard.armed = false;
+                *slot.state.lock().expect("slot poisoned") = SlotState::Ready(value.clone());
+                slot.ready.notify_all();
+                return (value, false);
+            }
+            let mut state = slot.state.lock().expect("slot poisoned");
+            loop {
+                match &*state {
+                    SlotState::Ready(v) => return (v.clone(), true),
+                    SlotState::Failed => break,
+                    SlotState::InFlight => {
+                        state = slot.ready.wait(state).expect("slot poisoned");
+                    }
+                }
+            }
+            // The computer panicked: evict the failed slot (unless a
+            // retrier already replaced it) and race to become the new
+            // computer.
+            drop(state);
+            let mut slots = self.slots.lock().expect("memo map poisoned");
+            if let Some(current) = slots.get(&key) {
+                if Arc::ptr_eq(current, &slot) {
+                    slots.remove(&key);
+                }
+            }
+        }
+    }
+}
+
+/// Where cached results live.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CacheMode {
+    /// No caching: every request simulates (and regenerates its trace).
+    Off,
+    /// In-process memoization only (the default).
+    Memory,
+    /// In-process memoization plus persistence under the directory.
+    Disk(PathBuf),
+}
+
+impl CacheMode {
+    /// Reads the mode from [`RUN_CACHE_ENV`].
+    pub fn from_env() -> Self {
+        match std::env::var(RUN_CACHE_ENV) {
+            Err(_) => CacheMode::Memory,
+            Ok(v) if v.is_empty() => CacheMode::Memory,
+            Ok(v) if v == "off" || v == "0" => CacheMode::Off,
+            Ok(dir) => CacheMode::Disk(PathBuf::from(dir)),
+        }
+    }
+}
+
+/// Monotonic cache activity counters (a snapshot, not a live view).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheSummary {
+    /// Simulation requests served from memory (incl. single-flight waits).
+    pub hits: u64,
+    /// Simulation requests that actually simulated.
+    pub misses: u64,
+    /// Trace requests served from the shared store.
+    pub trace_hits: u64,
+    /// Trace requests that generated.
+    pub trace_misses: u64,
+    /// Results loaded from disk instead of simulating.
+    pub disk_hits: u64,
+    /// Results persisted to disk.
+    pub disk_stores: u64,
+    /// Bytes read from persisted results.
+    pub bytes_read: u64,
+    /// Bytes written to persisted results.
+    pub bytes_written: u64,
+}
+
+impl fmt::Display for CacheSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "run cache: {} hits / {} misses (traces {} reused / {} built), \
+             disk {} loaded / {} stored, {} B read / {} B written",
+            self.hits,
+            self.misses,
+            self.trace_hits,
+            self.trace_misses,
+            self.disk_hits,
+            self.disk_stores,
+            self.bytes_read,
+            self.bytes_written
+        )
+    }
+}
+
+#[derive(Default)]
+struct Activity {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    trace_hits: AtomicU64,
+    trace_misses: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_stores: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The process-wide run cache (see the module docs).
+pub struct RunCache {
+    mode: Mutex<CacheMode>,
+    results: SingleFlight<u128, Arc<RunResult>>,
+    traces: SingleFlight<(String, usize, u64), Arc<Trace>>,
+    activity: Activity,
+}
+
+static GLOBAL: OnceLock<RunCache> = OnceLock::new();
+
+impl RunCache {
+    /// A fresh, empty cache in the given mode.
+    pub fn new(mode: CacheMode) -> Self {
+        RunCache {
+            mode: Mutex::new(mode),
+            results: SingleFlight::new(),
+            traces: SingleFlight::new(),
+            activity: Activity::default(),
+        }
+    }
+
+    /// The process-wide cache, lazily initialised from [`RUN_CACHE_ENV`]
+    /// on first use. Binaries that take cache flags must set the env var
+    /// (or call [`RunCache::set_mode`]) before the first simulation.
+    pub fn global() -> &'static RunCache {
+        GLOBAL.get_or_init(|| RunCache::new(CacheMode::from_env()))
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> CacheMode {
+        self.mode.lock().expect("mode poisoned").clone()
+    }
+
+    /// Switches mode (does not drop memoized entries; pair with
+    /// [`RunCache::reset_memory`] when isolation matters).
+    pub fn set_mode(&self, mode: CacheMode) {
+        *self.mode.lock().expect("mode poisoned") = mode;
+    }
+
+    /// Drops every memoized result and trace (activity counters keep
+    /// accumulating). Lets one process measure a cold-vs-warm-disk pass.
+    pub fn reset_memory(&self) {
+        self.results.clear();
+        self.traces.clear();
+    }
+
+    /// Snapshot of the activity counters.
+    pub fn summary(&self) -> CacheSummary {
+        let a = &self.activity;
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        CacheSummary {
+            hits: get(&a.hits),
+            misses: get(&a.misses),
+            trace_hits: get(&a.trace_hits),
+            trace_misses: get(&a.trace_misses),
+            disk_hits: get(&a.disk_hits),
+            disk_stores: get(&a.disk_stores),
+            bytes_read: get(&a.bytes_read),
+            bytes_written: get(&a.bytes_written),
+        }
+    }
+
+    /// The shared trace for (workload, ops, seed): generated once,
+    /// shared by every configuration that replays it.
+    pub fn trace(&self, spec: &WorkloadSpec, ops: usize, seed: u64) -> Arc<Trace> {
+        if self.mode() == CacheMode::Off {
+            bump(&self.activity.trace_misses);
+            return Arc::new(spec.generate(ops, seed));
+        }
+        let key = (spec.name.to_string(), ops, seed);
+        let (trace, hit) = self
+            .traces
+            .get_or_compute(key, || Arc::new(spec.generate(ops, seed)));
+        bump(if hit {
+            &self.activity.trace_hits
+        } else {
+            &self.activity.trace_misses
+        });
+        trace
+    }
+
+    /// Memoized simulation: returns the cached result for the structural
+    /// key of (config, eval, workload), computing via `compute` at most
+    /// once per key (per process — or per cache directory lifetime in
+    /// disk mode). The result's `config` label is always the requested
+    /// `config.name`, whatever name first populated the key.
+    pub fn run_result(
+        &self,
+        config: &SystemConfig,
+        eval: &EvalConfig,
+        workload: &str,
+        compute: impl FnOnce() -> RunResult,
+    ) -> RunResult {
+        if self.mode() == CacheMode::Off {
+            bump(&self.activity.misses);
+            return compute();
+        }
+        let fp = run_fingerprint(config, eval, workload);
+        let (cached, hit) = self.results.get_or_compute(fp.0, || {
+            if let CacheMode::Disk(dir) = self.mode() {
+                if let Some(loaded) = self.load_disk(&dir, fp, workload) {
+                    bump(&self.activity.disk_hits);
+                    return Arc::new(loaded);
+                }
+            }
+            bump(&self.activity.misses);
+            let result = compute();
+            if let CacheMode::Disk(dir) = self.mode() {
+                self.store_disk(&dir, fp, &result);
+            }
+            Arc::new(result)
+        });
+        if hit {
+            bump(&self.activity.hits);
+        }
+        let mut out = (*cached).clone();
+        out.config = config.name.clone();
+        out
+    }
+
+    /// Best-effort disk load; any failure (missing, unparsable, wrong
+    /// schema/fingerprint/workload, integrity mismatch) means "miss".
+    fn load_disk(&self, dir: &Path, fp: Fingerprint, workload: &str) -> Option<RunResult> {
+        let text = std::fs::read_to_string(entry_path(dir, fp)).ok()?;
+        let parsed = json::parse(&text).ok()?;
+        if parsed.get("schema")?.as_num()? != SCHEMA_VERSION {
+            return None;
+        }
+        if parsed.get("fingerprint")?.as_str()? != fp.to_string() {
+            return None;
+        }
+        let integrity = parsed.get("integrity")?.as_str()?;
+        let result = parsed.get("result")?;
+        let stored_workload = result.get("workload")?.as_str()?;
+        if stored_workload != workload {
+            return None;
+        }
+        let label = result.get("category")?.as_str()?;
+        let config = result.get("config")?.as_str()?;
+        let counters: CounterVec = result
+            .get("counters")?
+            .as_obj()?
+            .iter()
+            .map(|(k, v)| Some((k.clone(), v.as_num()?)))
+            .collect::<Option<_>>()?;
+        let rebuilt = RunResult::from_parts(
+            stored_workload.to_string(),
+            label,
+            config.to_string(),
+            counters,
+        )
+        .ok()?;
+        // The integrity hash covers the canonical re-rendering of the
+        // *rebuilt* result, so it validates the whole decode chain
+        // (parse + counter replay), not just the file bytes.
+        if fp128(&json::run_result_to_json(&rebuilt, 0)).to_string() != integrity {
+            return None;
+        }
+        self.activity
+            .bytes_read
+            .fetch_add(text.len() as u64, Ordering::Relaxed);
+        Some(rebuilt)
+    }
+
+    /// Best-effort atomic disk store (tmp file + rename); the stored
+    /// result carries an empty `config` label so the file bytes do not
+    /// depend on which experiment populated the entry.
+    fn store_disk(&self, dir: &Path, fp: Fingerprint, result: &RunResult) {
+        let mut canonical = result.clone();
+        canonical.config = String::new();
+        let integrity = fp128(&json::run_result_to_json(&canonical, 0));
+        let text = format!(
+            "{{\n  \"schema\": {SCHEMA_VERSION},\n  \"fingerprint\": \"{fp}\",\n  \
+             \"integrity\": \"{integrity}\",\n  \"result\": {}\n}}\n",
+            json::run_result_to_json(&canonical, 1)
+        );
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let tmp = dir.join(format!(".{fp}.tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, &text).is_err() {
+            return;
+        }
+        if std::fs::rename(&tmp, entry_path(dir, fp)).is_ok() {
+            bump(&self.activity.disk_stores);
+            self.activity
+                .bytes_written
+                .fetch_add(text.len() as u64, Ordering::Relaxed);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+fn entry_path(dir: &Path, fp: Fingerprint) -> PathBuf {
+    dir.join(format!("{fp}.json"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemConfig;
+    use catch_cache::Level;
+    use catch_cpu::LoadOracle;
+    use catch_criticality::DetectorConfig;
+    use std::sync::atomic::AtomicUsize;
+
+    fn quick() -> EvalConfig {
+        EvalConfig::quick()
+    }
+
+    #[test]
+    fn every_config_builder_changes_fingerprint() {
+        let eval = quick();
+        let base = SystemConfig::baseline_exclusive();
+        let fp = |c: &SystemConfig| run_fingerprint(c, &eval, "mcf_like");
+        // One variant per config-mutating builder.
+        let variants = vec![
+            SystemConfig::baseline_inclusive(),
+            base.clone().with_cores(4),
+            base.clone().without_l2(6656 << 10),
+            base.clone().with_catch(),
+            base.clone().with_tact_components(true, false, false, false),
+            base.clone().with_oracle(LoadOracle::CriticalPrefetch),
+            base.clone().with_oracle(LoadOracle::Demote {
+                level: Level::L1,
+                only_noncritical: false,
+            }),
+            base.clone()
+                .with_detector(DetectorConfig::paper().with_table_entries(8)),
+            base.clone().with_extra_latency(Level::Llc, 6),
+            base.clone().with_ring(4),
+            base.clone().oracle_study(),
+        ];
+        let mut seen = vec![fp(&base)];
+        for v in &variants {
+            let key = fp(v);
+            assert!(
+                !seen.contains(&key),
+                "builder produced a colliding fingerprint for {:?}",
+                v.name
+            );
+            seen.push(key);
+        }
+    }
+
+    #[test]
+    fn eval_and_workload_perturbations_change_fingerprint() {
+        let base = SystemConfig::baseline_exclusive();
+        let eval = quick();
+        let reference = run_fingerprint(&base, &eval, "mcf_like");
+        let mut ops = eval;
+        ops.ops += 1;
+        let mut warmup = eval;
+        warmup.warmup += 1;
+        let mut seed = eval;
+        seed.seed += 1;
+        let sampled = eval.with_sample(4_000);
+        for (what, e) in [
+            ("ops", ops),
+            ("warmup", warmup),
+            ("seed", seed),
+            ("sample", sampled),
+        ] {
+            assert_ne!(
+                run_fingerprint(&base, &e, "mcf_like"),
+                reference,
+                "changing {what} must change the key"
+            );
+        }
+        assert_ne!(run_fingerprint(&base, &eval, "astar_like"), reference);
+    }
+
+    #[test]
+    fn display_name_does_not_affect_fingerprint() {
+        let eval = quick();
+        let catch = SystemConfig::baseline_exclusive().with_catch();
+        let renamed = catch.clone().named("CATCH");
+        assert_eq!(
+            run_fingerprint(&catch, &eval, "mcf_like"),
+            run_fingerprint(&renamed, &eval, "mcf_like"),
+            "the display name is a report label, not simulation content"
+        );
+    }
+
+    #[test]
+    fn single_flight_computes_once_across_threads() {
+        let flight: SingleFlight<u64, u64> = SingleFlight::new();
+        let computed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let (v, _) = flight.get_or_compute(7, || {
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        42
+                    });
+                    assert_eq!(v, 42);
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::SeqCst), 1, "exactly one compute");
+    }
+
+    #[test]
+    fn single_flight_recovers_from_panicking_computer() {
+        let flight: SingleFlight<u64, u64> = SingleFlight::new();
+        let waiter_value = std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| {
+                // Give the panicking computer time to claim the slot.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                flight.get_or_compute(1, || 99).0
+            });
+            let computer = scope.spawn(|| {
+                let _ = flight.get_or_compute(1, || -> u64 { panic!("boom") });
+            });
+            assert!(computer.join().is_err(), "computer panic propagates");
+            waiter.join().expect("waiter recovers")
+        });
+        assert_eq!(waiter_value, 99, "a waiter retried after the failure");
+    }
+
+    #[test]
+    fn off_mode_always_computes() {
+        let cache = RunCache::new(CacheMode::Off);
+        let spec = catch_workloads::suite::by_name("linpack_like").expect("known");
+        let a = cache.trace(&spec, 400, 1);
+        let b = cache.trace(&spec, 400, 1);
+        assert!(!Arc::ptr_eq(&a, &b), "off mode must not share traces");
+        assert_eq!(cache.summary().trace_misses, 2);
+    }
+
+    #[test]
+    fn memory_mode_shares_traces_and_results() {
+        let cache = RunCache::new(CacheMode::Memory);
+        let spec = catch_workloads::suite::by_name("linpack_like").expect("known");
+        let a = cache.trace(&spec, 400, 1);
+        let b = cache.trace(&spec, 400, 1);
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "one generation per (workload, ops, seed)"
+        );
+        assert!(!Arc::ptr_eq(&a, &cache.trace(&spec, 400, 2)));
+
+        let eval = quick();
+        let config = SystemConfig::baseline_exclusive();
+        let renamed = config.clone().named("other-label");
+        let computes = AtomicUsize::new(0);
+        let run = |cfg: &SystemConfig| {
+            cache.run_result(cfg, &eval, "linpack_like", || {
+                computes.fetch_add(1, Ordering::SeqCst);
+                crate::System::new(cfg.clone()).run_st((*a).clone())
+            })
+        };
+        let first = run(&config);
+        let second = run(&renamed);
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "one simulation per key");
+        assert_eq!(first.config, "base-excl");
+        assert_eq!(
+            second.config, "other-label",
+            "hit patched to requested name"
+        );
+        assert_eq!(first.core, second.core, "counters identical across names");
+        cache.reset_memory();
+        let _ = run(&config);
+        assert_eq!(
+            computes.load(Ordering::SeqCst),
+            2,
+            "reset drops memoization"
+        );
+    }
+}

@@ -31,6 +31,20 @@ impl catch_trace::counters::Counters for BranchStats {
     }
 }
 
+impl catch_trace::counters::FromCounters for BranchStats {
+    fn from_counters(
+        prefix: &str,
+        src: &mut catch_trace::counters::CounterSource,
+    ) -> Result<Self, String> {
+        Ok(BranchStats {
+            conditional: src.take(prefix, "conditional")?,
+            cond_mispredicts: src.take(prefix, "cond_mispredicts")?,
+            indirect: src.take(prefix, "indirect")?,
+            indirect_mispredicts: src.take(prefix, "indirect_mispredicts")?,
+        })
+    }
+}
+
 impl BranchStats {
     /// Overall misprediction rate.
     pub fn mispredict_rate(&self) -> f64 {

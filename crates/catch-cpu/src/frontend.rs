@@ -34,6 +34,21 @@ impl catch_trace::counters::Counters for FrontendStats {
     }
 }
 
+impl catch_trace::counters::FromCounters for FrontendStats {
+    fn from_counters(
+        prefix: &str,
+        src: &mut catch_trace::counters::CounterSource,
+    ) -> Result<Self, String> {
+        Ok(FrontendStats {
+            fetched: src.take(prefix, "fetched")?,
+            icache_misses: src.take(prefix, "icache_misses")?,
+            code_prefetches: src.take(prefix, "code_prefetches")?,
+            mispredicts: src.take(prefix, "mispredicts")?,
+            icache_stall_cycles: src.take(prefix, "icache_stall_cycles")?,
+        })
+    }
+}
+
 /// Fetches micro-ops in program order, consulting the L1I per code line
 /// and stopping at mispredicted branches until the core reports
 /// resolution.

@@ -63,6 +63,30 @@ impl catch_trace::counters::Counters for MemStats {
     }
 }
 
+impl catch_trace::counters::FromCounters for MemStats {
+    fn from_counters(
+        prefix: &str,
+        src: &mut catch_trace::counters::CounterSource,
+    ) -> Result<Self, String> {
+        let mut s = MemStats {
+            loads: src.take(prefix, "loads")?,
+            forwarded: src.take(prefix, "forwarded")?,
+            ..MemStats::default()
+        };
+        for (i, name) in ["l1", "l2", "llc", "memory"].iter().enumerate() {
+            s.loads_by_level[i] = src.take(prefix, &format!("loads_{name}"))?;
+        }
+        s.oracle_converted = src.take(prefix, "oracle_converted")?;
+        s.stride_prefetches = src.take(prefix, "stride_prefetches")?;
+        s.stream_prefetches = src.take(prefix, "stream_prefetches")?;
+        s.tact_prefetches = src.take(prefix, "tact_prefetches")?;
+        for (i, v) in s.load_latency_hist.iter_mut().enumerate() {
+            *v = src.take(prefix, &format!("latency_bucket_{i}"))?;
+        }
+        Ok(s)
+    }
+}
+
 impl MemStats {
     /// Upper bounds (inclusive, cycles) of [`MemStats::load_latency_hist`]
     /// buckets; the final bucket collects everything beyond.

@@ -58,6 +58,27 @@ impl catch_trace::counters::Counters for CoreStats {
     }
 }
 
+impl catch_trace::counters::FromCounters for CoreStats {
+    fn from_counters(
+        prefix: &str,
+        src: &mut catch_trace::counters::CounterSource,
+    ) -> Result<Self, String> {
+        use catch_trace::counters::join_prefix;
+        Ok(CoreStats {
+            instructions: src.take(prefix, "instructions")?,
+            cycles: src.take(prefix, "cycles")?,
+            frontend: FrontendStats::from_counters(&join_prefix(prefix, "frontend"), src)?,
+            branches: BranchStats::from_counters(&join_prefix(prefix, "branches"), src)?,
+            memory: MemStats::from_counters(&join_prefix(prefix, "memory"), src)?,
+            detector: DetectorStats::from_counters(&join_prefix(prefix, "detector"), src)?,
+            tact: TactStats::from_counters(&join_prefix(prefix, "tact"), src)?,
+            rob_occ: OccupancyHist::from_counters(&join_prefix(prefix, "rob_occ"), src)?,
+            sched_occ: OccupancyHist::from_counters(&join_prefix(prefix, "sched_occ"), src)?,
+            mshr_occ: OccupancyHist::from_counters(&join_prefix(prefix, "mshr_occ"), src)?,
+        })
+    }
+}
+
 impl CoreStats {
     /// Counter-wise difference `self - earlier`, used to exclude a
     /// warm-up phase from measurement. All counters are monotonic, so the

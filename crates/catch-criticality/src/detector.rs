@@ -42,6 +42,22 @@ impl catch_trace::counters::Counters for DetectorStats {
     }
 }
 
+impl catch_trace::counters::FromCounters for DetectorStats {
+    fn from_counters(
+        prefix: &str,
+        src: &mut catch_trace::counters::CounterSource,
+    ) -> Result<Self, String> {
+        Ok(DetectorStats {
+            retired: src.take(prefix, "retired")?,
+            walks: src.take(prefix, "walks")?,
+            critical_load_observations: src.take(prefix, "critical_load_observations")?,
+            walk_steps: src.take(prefix, "walk_steps")?,
+            relearns: src.take(prefix, "relearns")?,
+            overflows: src.take(prefix, "overflows")?,
+        })
+    }
+}
+
 /// Hardware-style criticality detector (paper Section IV-A).
 ///
 /// Feed every retired instruction to [`CriticalityDetector::on_retire`];

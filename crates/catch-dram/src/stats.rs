@@ -40,6 +40,25 @@ impl catch_trace::counters::Counters for DramStats {
     }
 }
 
+impl catch_trace::counters::FromCounters for DramStats {
+    fn from_counters(
+        prefix: &str,
+        src: &mut catch_trace::counters::CounterSource,
+    ) -> Result<Self, String> {
+        use catch_trace::counters::join_prefix;
+        Ok(DramStats {
+            reads: src.take(prefix, "reads")?,
+            writes: src.take(prefix, "writes")?,
+            row_hits: src.take(prefix, "row_hits")?,
+            row_empties: src.take(prefix, "row_empties")?,
+            row_conflicts: src.take(prefix, "row_conflicts")?,
+            total_read_latency: src.take(prefix, "total_read_latency")?,
+            write_batches: src.take(prefix, "write_batches")?,
+            bank_occ: OccupancyHist::from_counters(&join_prefix(prefix, "bank_occ"), src)?,
+        })
+    }
+}
+
 impl DramStats {
     /// Combines the scalar counters field-by-field with `f`; `bank_occ`
     /// is carried from `self` and combined by the callers.

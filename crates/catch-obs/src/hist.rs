@@ -6,7 +6,9 @@
 //! stats blocks, so every run — traced or not — reports per-structure
 //! utilization through the existing `Counters`/report path.
 
-use catch_trace::counters::{monotonic_delta, push_counter, CounterVec, Counters};
+use catch_trace::counters::{
+    monotonic_delta, push_counter, CounterSource, CounterVec, Counters, FromCounters,
+};
 
 /// Number of relative-occupancy buckets (eighths of capacity).
 pub const OCC_BUCKETS: usize = 8;
@@ -111,6 +113,21 @@ impl Counters for OccupancyHist {
         for (i, b) in self.buckets.iter().enumerate() {
             push_counter(out, prefix, &format!("bucket{i}"), *b);
         }
+    }
+}
+
+impl FromCounters for OccupancyHist {
+    fn from_counters(prefix: &str, src: &mut CounterSource) -> Result<Self, String> {
+        let mut h = OccupancyHist {
+            samples: src.take(prefix, "samples")?,
+            sum: src.take(prefix, "sum")?,
+            max: src.take(prefix, "max")?,
+            buckets: [0; OCC_BUCKETS],
+        };
+        for (i, b) in h.buckets.iter_mut().enumerate() {
+            *b = src.take(prefix, &format!("bucket{i}"))?;
+        }
+        Ok(h)
     }
 }
 

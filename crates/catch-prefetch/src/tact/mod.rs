@@ -134,6 +134,22 @@ impl catch_trace::counters::Counters for TactStats {
     }
 }
 
+impl catch_trace::counters::FromCounters for TactStats {
+    fn from_counters(
+        prefix: &str,
+        src: &mut catch_trace::counters::CounterSource,
+    ) -> Result<Self, String> {
+        Ok(TactStats {
+            targets_allocated: src.take(prefix, "targets_allocated")?,
+            deep_issued: src.take(prefix, "deep_issued")?,
+            cross_issued: src.take(prefix, "cross_issued")?,
+            feeder_issued: src.take(prefix, "feeder_issued")?,
+            cross_learned: src.take(prefix, "cross_learned")?,
+            feeder_learned: src.take(prefix, "feeder_learned")?,
+        })
+    }
+}
+
 /// The TACT data-prefetch engine.
 ///
 /// Drive it with:

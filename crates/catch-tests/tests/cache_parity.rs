@@ -1,0 +1,234 @@
+//! Run-cache parity: memoization must be invisible in the science.
+//!
+//! The process-wide [`RunCache`] may serve a simulation from memory, from
+//! disk, or compute it fresh — the rendered reports must be byte-identical
+//! in every mode, every structurally distinct configuration must map to a
+//! distinct fingerprint, and the registry orchestrator (`run_all`) must
+//! assemble its reports entirely from cache hits.
+//!
+//! Tests here mutate the global cache's mode, so every test that touches
+//! it serializes on one lock and restores in-memory mode before releasing.
+
+use catch_cache::Level;
+use catch_core::experiments::{self, run_suite_parallel, EvalConfig};
+use catch_core::report::json::{run_result_to_json, run_results_to_json};
+use catch_core::{run_fingerprint, CacheMode, RunCache, RunResult, SystemConfig};
+use catch_criticality::DetectorConfig;
+use catch_trace::counters::Counters;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Serializes tests that flip the global cache's mode (integration tests
+/// share one process and the cache is process-wide).
+static CACHE_LOCK: Mutex<()> = Mutex::new(());
+
+fn tiny() -> EvalConfig {
+    EvalConfig {
+        ops: 2_000,
+        warmup: 500,
+        seed: 42,
+        sample: None,
+    }
+}
+
+/// Runs `f` with the global cache in `mode` and a cleared memory cache,
+/// restoring default in-memory mode afterwards.
+fn with_mode<R>(mode: CacheMode, f: impl FnOnce(&'static RunCache) -> R) -> R {
+    let cache = RunCache::global();
+    cache.set_mode(mode);
+    cache.reset_memory();
+    let out = f(cache);
+    cache.set_mode(CacheMode::Memory);
+    cache.reset_memory();
+    out
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("catch-cache-parity-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn reports_are_byte_identical_across_cache_modes() {
+    let _guard = CACHE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let eval = tiny();
+    let render = |_: &str| experiments::run("fig1", &eval).to_string();
+
+    let off = with_mode(CacheMode::Off, |_| render("off"));
+    let memory = with_mode(CacheMode::Memory, |_| render("memory"));
+    assert_eq!(off, memory, "in-memory caching changed a report");
+
+    let dir = scratch_dir("modes");
+    let (cold, warm) = with_mode(CacheMode::Disk(dir.clone()), |cache| {
+        let cold = render("disk-cold");
+        // Drop the memory cache: the warm pass must decode from disk.
+        cache.reset_memory();
+        let before = cache.summary();
+        let warm = render("disk-warm");
+        let after = cache.summary();
+        assert_eq!(
+            after.misses, before.misses,
+            "warm disk pass recomputed a simulation"
+        );
+        assert!(
+            after.disk_hits > before.disk_hits,
+            "warm disk pass never touched the disk cache"
+        );
+        (cold, warm)
+    });
+    assert_eq!(off, cold, "cold disk-backed report differs");
+    assert_eq!(off, warm, "warm disk-backed report differs");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn suite_runs_identical_with_and_without_cache() {
+    let _guard = CACHE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let eval = tiny();
+    let config = SystemConfig::baseline_exclusive().with_catch();
+    let run = || run_suite_parallel(&config, &eval, Some(2));
+    let uncached = with_mode(CacheMode::Off, |_| run());
+    let cached = with_mode(CacheMode::Memory, |_| {
+        let first = run();
+        let second = run(); // pure hits
+        assert_eq!(
+            run_results_to_json(&first),
+            run_results_to_json(&second),
+            "memoized rerun diverged"
+        );
+        first
+    });
+    assert_eq!(
+        run_results_to_json(&uncached),
+        run_results_to_json(&cached),
+        "cache-off and cache-on suite results differ"
+    );
+}
+
+#[test]
+fn run_all_assembles_entirely_from_cache_hits() {
+    let _guard = CACHE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let eval = EvalConfig {
+        ops: 800,
+        warmup: 200,
+        seed: 42,
+        sample: None,
+    };
+    // Every registry id with suite requests: after run_all's global work
+    // queue drains, report assembly must add zero misses — the collected
+    // request set and the experiment bodies cannot drift.
+    let ids: Vec<&str> = experiments::all_ids()
+        .into_iter()
+        .filter(|id| !experiments::suite_requests(id).is_empty())
+        .collect();
+    assert_eq!(ids.len(), 12, "suite-request coverage changed");
+    with_mode(CacheMode::Memory, |cache| {
+        let reports = experiments::run_all(&ids, &eval, Some(2));
+        assert_eq!(reports.len(), ids.len());
+        let after_all = cache.summary();
+        // Re-running every report now must be a pure cache replay.
+        for id in &ids {
+            let direct = experiments::run(id, &eval).to_string();
+            let from_all = reports
+                .iter()
+                .find(|(rid, _)| rid == id)
+                .map(|(_, r)| r.to_string())
+                .expect("report present");
+            assert_eq!(direct, from_all, "{id}: run_all report differs");
+        }
+        let after_replay = cache.summary();
+        assert_eq!(
+            after_replay.misses, after_all.misses,
+            "an experiment body requested a simulation run_all did not collect"
+        );
+    });
+}
+
+#[test]
+fn fingerprints_separate_every_config_eval_and_workload_perturbation() {
+    let eval = tiny();
+    let base = SystemConfig::baseline_exclusive();
+    let fp = |c: &SystemConfig, e: &EvalConfig, w: &str| run_fingerprint(c, e, w).0;
+    let reference = fp(&base, &eval, "tpcc_like");
+
+    // Structural SystemConfig perturbations (one per builder axis).
+    let variants: Vec<SystemConfig> = vec![
+        SystemConfig::baseline_inclusive(),
+        base.clone().without_l2(6656 << 10),
+        base.clone().with_catch(),
+        base.clone().with_cores(2),
+        base.clone().with_ring(4),
+        base.clone().oracle_study(),
+        base.clone().with_extra_latency(Level::L1, 1),
+        base.clone().with_tact_components(true, false, false, false),
+        base.clone()
+            .with_detector(DetectorConfig::paper().with_table_entries(8)),
+    ];
+    let mut seen = vec![reference];
+    for v in &variants {
+        let f = fp(v, &eval, "tpcc_like");
+        assert!(!seen.contains(&f), "collision for config '{}'", v.name);
+        seen.push(f);
+    }
+
+    // EvalConfig field perturbations.
+    let mut ops = eval;
+    ops.ops += 1;
+    let mut warmup = eval;
+    warmup.warmup += 1;
+    let mut seed = eval;
+    seed.seed += 1;
+    let sampled = eval.with_sample(500);
+    for (label, e) in [
+        ("ops", ops),
+        ("warmup", warmup),
+        ("seed", seed),
+        ("sample", sampled),
+    ] {
+        let f = fp(&base, &e, "tpcc_like");
+        assert!(!seen.contains(&f), "collision for eval field '{label}'");
+        seen.push(f);
+    }
+
+    // Workload identity.
+    let f = fp(&base, &eval, "mcf_like");
+    assert!(!seen.contains(&f), "collision across workloads");
+
+    // The display name is a report label, not part of the key.
+    assert_eq!(
+        reference,
+        fp(&base.clone().named("renamed"), &eval, "tpcc_like"),
+        "renaming a config must not split the cache key"
+    );
+}
+
+#[test]
+fn run_result_round_trips_through_flat_counters() {
+    // The disk cache persists a RunResult as its flat counter list; the
+    // decode path must reproduce the exact value (same JSON bytes).
+    let _guard = CACHE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let eval = tiny();
+    let results = with_mode(CacheMode::Off, |_| {
+        run_suite_parallel(
+            &SystemConfig::baseline_exclusive().with_catch(),
+            &eval,
+            Some(1),
+        )
+    });
+    for r in &results {
+        let rebuilt = RunResult::from_parts(
+            r.workload.clone(),
+            r.category.label(),
+            r.config.clone(),
+            r.counters(""),
+        )
+        .expect("round trip decodes");
+        assert_eq!(
+            run_result_to_json(r, 0),
+            run_result_to_json(&rebuilt, 0),
+            "round trip changed {}",
+            r.workload
+        );
+    }
+}

@@ -47,6 +47,80 @@ pub fn push_counter(out: &mut CounterVec, prefix: &str, name: &str, value: u64) 
     out.push((join_prefix(prefix, name), value));
 }
 
+/// Ordered replay of a flat counter list, used to reconstruct stats
+/// structs from a persisted [`CounterVec`].
+///
+/// Reconstruction mirrors [`Counters::counters_into`]: each struct
+/// consumes its counters *in emission order*, and every read checks the
+/// stored name against the expected one. A mismatch (renamed counter,
+/// reordered fields, missing or extra entries) is a schema change and
+/// surfaces as an `Err` — the run cache treats that as a miss and
+/// recomputes rather than deserialising garbage.
+#[derive(Clone, Debug)]
+pub struct CounterSource {
+    counters: CounterVec,
+    cursor: usize,
+}
+
+impl CounterSource {
+    /// Wraps a flat counter list for ordered replay.
+    pub fn new(counters: CounterVec) -> Self {
+        CounterSource {
+            counters,
+            cursor: 0,
+        }
+    }
+
+    /// Consumes the next counter, checking it is named
+    /// `prefix.name` (mirroring [`push_counter`]).
+    pub fn take(&mut self, prefix: &str, name: &str) -> Result<u64, String> {
+        let expect = join_prefix(prefix, name);
+        match self.counters.get(self.cursor) {
+            Some((k, v)) if *k == expect => {
+                self.cursor += 1;
+                Ok(*v)
+            }
+            Some((k, _)) => Err(format!(
+                "counter schema mismatch: expected '{expect}', found '{k}'"
+            )),
+            None => Err(format!("counter stream ended; expected '{expect}'")),
+        }
+    }
+
+    /// Peeks whether the next counter lives under `prefix` (i.e. its name
+    /// is `prefix.<something>`). Used to discover optional blocks and
+    /// per-core vector lengths without a side channel.
+    pub fn next_in(&self, prefix: &str) -> bool {
+        self.counters.get(self.cursor).is_some_and(|(k, _)| {
+            k.strip_prefix(prefix)
+                .is_some_and(|rest| rest.starts_with('.'))
+        })
+    }
+
+    /// Checks every counter was consumed; trailing entries mean the
+    /// stored list came from a newer (or older) schema.
+    pub fn finish(self) -> Result<(), String> {
+        match self.counters.get(self.cursor) {
+            None => Ok(()),
+            Some((k, _)) => Err(format!(
+                "{} unconsumed counters starting at '{k}'",
+                self.counters.len() - self.cursor
+            )),
+        }
+    }
+}
+
+/// Types reconstructible from their own [`Counters`] export.
+///
+/// The implementation must consume exactly the counters
+/// [`Counters::counters_into`] emits, in the same order — the pair of
+/// impls forms a byte-exact round trip, asserted by the `cache_parity`
+/// suite in `catch-tests`.
+pub trait FromCounters: Sized {
+    /// Rebuilds the struct by consuming its counters from `src`.
+    fn from_counters(prefix: &str, src: &mut CounterSource) -> Result<Self, String>;
+}
+
 /// Joins a counter prefix and a sub-name with `.` (no leading dot for an
 /// empty prefix).
 pub fn join_prefix(prefix: &str, name: &str) -> String {

@@ -6,8 +6,12 @@
 //! cargo run --release --example run_experiment -- --md fig10    # markdown
 //! cargo run --release --example run_experiment -- --jobs 4 fig10
 //! cargo run --release --example run_experiment -- --sample 5000 fig10
+//! cargo run --release --example run_experiment -- all           # whole registry
+//! cargo run --release --example run_experiment -- --cache-dir /tmp/cc fig10
+//! cargo run --release --example run_experiment -- --no-cache fig10
 //! cargo run --release --example run_experiment -- sample-smoke  # CI gate
 //! cargo run --release --example run_experiment -- obs-smoke     # CI gate
+//! cargo run --release --example run_experiment -- cache-smoke   # CI gate
 //! cargo run --release --example run_experiment -- --trace-events t.json
 //! cargo run --release --example run_experiment -- --profile tpcc_like
 //! cargo run --release --example run_experiment                  # lists ids
@@ -20,6 +24,17 @@
 //! `--sample I` runs each workload in SimPoint-style sampled mode with
 //! `I`-op intervals instead of simulating every op in detail (see
 //! DESIGN.md, "Sampling methodology").
+//!
+//! `--cache-dir DIR` persists the run cache to DIR (equivalent to
+//! `CATCH_RUN_CACHE=DIR`); `--no-cache` disables all memoization
+//! (equivalent to `CATCH_RUN_CACHE=off`). The default is in-memory
+//! caching only. Every run prints a one-line cache summary
+//! (hits/misses/bytes) to stderr; reports are byte-identical in every
+//! mode (see DESIGN.md, "Run cache").
+//!
+//! The special id `all` runs the entire registry as one deduplicated
+//! work queue (`experiments::run_all`): structurally identical
+//! simulations shared by several figures run exactly once.
 //!
 //! `--trace-events PATH` switches to trace mode: instead of an experiment
 //! id the positional argument names a workload (default `tpcc_like`, or
@@ -45,11 +60,17 @@
 //! same run with a sink attached but every event class masked, and exits
 //! non-zero when the masked run is ≥ 2% slower (min-of-N timing). It also
 //! asserts the two runs retire identical core statistics.
+//!
+//! The special id `cache-smoke` is the CI run-cache gate: it runs the
+//! whole registry twice against a persistent cache directory (dropping
+//! the in-memory cache in between, so the second pass loads from disk),
+//! and exits non-zero unless the second pass is ≥ 2× faster and every
+//! report is byte-identical.
 
 use catch_core::experiments::{self, runner, EvalConfig, GOLDEN_WORKLOADS};
 use catch_core::{
-    merge_parts, part_path, ChromeTraceSink, CountingSink, EventClass, JsonlSink, NullSink, Obs,
-    OccupancyHist, SampleConfig, System, SystemConfig, TraceFormat,
+    merge_parts, part_path, CacheMode, ChromeTraceSink, CountingSink, EventClass, JsonlSink,
+    NullSink, Obs, OccupancyHist, RunCache, SampleConfig, System, SystemConfig, TraceFormat,
 };
 use catch_workloads::suite;
 use std::path::{Path, PathBuf};
@@ -59,15 +80,72 @@ use std::time::Instant;
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: run_experiment [--md] [--jobs N] [--sample I] \
-         [--trace-events PATH] [--profile] <id|workload> [ops] [warmup]"
+         [--cache-dir DIR] [--no-cache] [--trace-events PATH] [--profile] \
+         <id|workload> [ops] [warmup]"
     );
     eprintln!("available experiments:");
     for id in experiments::all_ids() {
         eprintln!("  {id}");
     }
+    eprintln!("  all (whole registry, one deduplicated work queue)");
     eprintln!("  sample-smoke (CI accuracy gate)");
     eprintln!("  obs-smoke (CI observability-overhead gate)");
+    eprintln!("  cache-smoke (CI run-cache gate)");
     std::process::exit(2);
+}
+
+/// The CI run-cache gate: the whole registry twice against a persistent
+/// cache directory, hard-fail unless the warm pass is ≥ `MIN_SPEEDUP`×
+/// faster with byte-identical reports.
+fn cache_smoke(eval: &EvalConfig) -> ! {
+    const MIN_SPEEDUP: f64 = 2.0;
+    let cache = RunCache::global();
+    let dir = match cache.mode() {
+        // Honour an explicit --cache-dir / CATCH_RUN_CACHE=<dir>.
+        CacheMode::Disk(dir) => dir,
+        _ => std::env::temp_dir().join(format!("catch-cache-smoke-{}", std::process::id())),
+    };
+    cache.set_mode(CacheMode::Disk(dir.clone()));
+
+    let ids = experiments::all_ids();
+    let render = |reports: &[(String, catch_core::report::ExperimentReport)]| -> String {
+        reports
+            .iter()
+            .map(|(_, r)| r.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    cache.reset_memory();
+    let t = Instant::now();
+    let cold = render(&experiments::run_all(&ids, eval, None));
+    let cold_secs = t.elapsed().as_secs_f64();
+    eprintln!("cache-smoke cold: {} ({cold_secs:.1}s)", cache.summary());
+
+    // Drop the in-memory cache so the warm pass must load from disk.
+    cache.reset_memory();
+    let t = Instant::now();
+    let warm = render(&experiments::run_all(&ids, eval, None));
+    let warm_secs = t.elapsed().as_secs_f64();
+    eprintln!("cache-smoke warm: {} ({warm_secs:.1}s)", cache.summary());
+
+    let speedup = cold_secs / warm_secs.max(1e-9);
+    println!(
+        "cache-smoke: {} experiments, cold {cold_secs:.1}s, warm {warm_secs:.1}s, \
+         speedup {speedup:.2}x, dir {}",
+        ids.len(),
+        dir.display()
+    );
+    if cold != warm {
+        eprintln!("cache-smoke FAILED: warm-cache reports differ from cold-cache reports");
+        std::process::exit(1);
+    }
+    if speedup < MIN_SPEEDUP {
+        eprintln!("cache-smoke FAILED: warm pass under {MIN_SPEEDUP}x faster");
+        std::process::exit(1);
+    }
+    println!("cache-smoke OK (byte-identical, ≥{MIN_SPEEDUP}x)");
+    std::process::exit(0);
 }
 
 /// The CI sampling gate: one golden workload, full vs sampled, hard-fail
@@ -354,6 +432,19 @@ fn main() {
                 profile = true;
                 args.remove(0);
             }
+            Some("--cache-dir") => {
+                args.remove(0);
+                let Some(raw) = args.first() else {
+                    eprintln!("--cache-dir requires a directory path");
+                    usage_and_exit();
+                };
+                RunCache::global().set_mode(CacheMode::Disk(PathBuf::from(raw)));
+                args.remove(0);
+            }
+            Some("--no-cache") => {
+                RunCache::global().set_mode(CacheMode::Off);
+                args.remove(0);
+            }
             _ => break,
         }
     }
@@ -388,6 +479,21 @@ fn main() {
     if id == "obs-smoke" {
         obs_smoke(&eval);
     }
+    if id == "cache-smoke" {
+        cache_smoke(&eval);
+    }
+    if id == "all" {
+        let reports = experiments::run_all(&experiments::all_ids(), &eval, None);
+        for (_, report) in &reports {
+            if markdown {
+                println!("{}", report.to_markdown());
+            } else {
+                println!("{report}");
+            }
+        }
+        eprintln!("{}", RunCache::global().summary());
+        return;
+    }
     if !experiments::all_ids().contains(&id.as_str()) {
         eprintln!(
             "unknown experiment '{id}'; available: {:?}",
@@ -401,4 +507,5 @@ fn main() {
     } else {
         println!("{report}");
     }
+    eprintln!("{}", RunCache::global().summary());
 }
