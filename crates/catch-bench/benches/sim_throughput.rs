@@ -23,10 +23,19 @@
 //!   (default 15) percent below the checked-in reference. A speedup
 //!   beyond the same margin prints a re-bless reminder but passes —
 //!   a faster runner must not fail CI.
+//! * `CATCH_BENCH_MIN_SPEEDUP=F` — engine-speedup gate: exit non-zero
+//!   unless measured geomean ÷ the `pre_pr` baseline geomean reaches
+//!   `F` (e.g. `1.5` for the event-queue engine's acceptance floor).
+//!   The comparison line prints regardless whenever a `pre_pr` block
+//!   exists.
+//!
+//! The active cycle engine follows `CATCH_ENGINE` (default `timeq`),
+//! so `CATCH_ENGINE=tick cargo bench ...` measures the reference tick
+//! loop on the same scale for an apples-to-apples engine comparison.
 
 use catch_bench::eval_from_env;
 use catch_core::experiments::GOLDEN_WORKLOADS;
-use catch_core::{System, SystemConfig};
+use catch_core::{Engine, System, SystemConfig};
 use catch_harness::Harness;
 use catch_workloads::suite;
 use std::path::{Path, PathBuf};
@@ -117,9 +126,13 @@ fn extract_number(json: &str, key: &str) -> Option<f64> {
 
 fn main() {
     let eval = eval_from_env();
+    let engine = Engine::from_env();
     eprintln!(
-        "[sim_throughput] six golden workloads at ops={} seed={} (full-detail, CATCH config)",
-        eval.ops, eval.seed
+        "[sim_throughput] six golden workloads at ops={} seed={} (full-detail, CATCH config, \
+         {} engine)",
+        eval.ops,
+        eval.seed,
+        engine.name()
     );
     let system = System::new(SystemConfig::baseline_exclusive().with_catch());
     let mut harness = Harness::new("sim_throughput");
@@ -199,6 +212,34 @@ fn main() {
         "sim_throughput: reference {reference:.3} Mcycles/s, measured {geo_cycles:.3} \
          ({delta_pct:+.1}%)"
     );
+    // Engine comparison against the pre-optimisation-PR baseline: the
+    // pre_pr block was blessed on the tick loop before the event-queue
+    // engine landed, so this ratio is the engine PR's headline speedup.
+    let pre_geo = existing
+        .as_deref()
+        .and_then(|j| extract_object(j, "pre_pr"))
+        .and_then(|obj| extract_number(&obj, "geomean_mcycles_per_sec"));
+    if let Some(pre) = pre_geo.filter(|&p| p > 0.0) {
+        let speedup = geo_cycles / pre;
+        println!(
+            "sim_throughput: {} engine speedup vs pre-PR baseline {pre:.3} Mcycles/s: \
+             {speedup:.2}x",
+            engine.name()
+        );
+        if let Some(min) = std::env::var("CATCH_BENCH_MIN_SPEEDUP")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+        {
+            if speedup < min {
+                eprintln!(
+                    "sim_throughput FAILED: speedup {speedup:.2}x under the {min}x floor \
+                     (CATCH_BENCH_MIN_SPEEDUP)"
+                );
+                std::process::exit(1);
+            }
+            println!("sim_throughput: speedup gate OK (≥{min}x)");
+        }
+    }
     if std::env::var_os("CATCH_BENCH_CHECK").is_some() {
         let gate_pct = std::env::var("CATCH_BENCH_GATE_PCT")
             .ok()

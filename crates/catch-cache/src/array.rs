@@ -43,6 +43,10 @@ pub struct Victim {
 pub struct CacheArray {
     name: &'static str,
     sets: usize,
+    /// `sets - 1` when the set count is a power of two (the common
+    /// geometry), letting the index computation mask instead of divide;
+    /// `None` falls back to `%`.
+    set_mask: Option<u64>,
     ways: usize,
     latency: u64,
     /// Packed tags; slot `set * ways + way` is meaningful only when bit
@@ -89,6 +93,7 @@ impl CacheArray {
         CacheArray {
             name: intern(&config.name),
             sets,
+            set_mask: sets.is_power_of_two().then_some(sets as u64 - 1),
             ways: config.ways,
             latency: config.latency,
             tags: vec![LineAddr::new(0); sets * config.ways],
@@ -135,7 +140,10 @@ impl CacheArray {
     }
 
     fn set_of(&self, line: LineAddr) -> usize {
-        (line.get() % self.sets as u64) as usize
+        match self.set_mask {
+            Some(mask) => (line.get() & mask) as usize,
+            None => (line.get() % self.sets as u64) as usize,
+        }
     }
 
     fn slot(&self, set: usize, way: usize) -> usize {

@@ -3,6 +3,7 @@
 use catch_cache::Level;
 use catch_criticality::{DetectorConfig, HeuristicConfig};
 use catch_prefetch::TactConfig;
+use catch_timeq::Engine;
 use catch_trace::OpClass;
 
 /// Execution latency per op class, in cycles.
@@ -200,6 +201,12 @@ pub struct CoreConfig {
     /// (asserted by the `skip_ahead_parity` suite); the toggle exists
     /// for that parity testing and for measuring the speedup.
     pub skip_ahead: bool,
+    /// Which cycle engine drives the run: the reference per-cycle tick
+    /// loop, or the `timeq` event queue that jumps between posted
+    /// `ServiceRequest` timestamps. Both are bit-identical (asserted by
+    /// the `engine_parity` suite); with `skip_ahead` off the engine is
+    /// irrelevant — every cycle ticks.
+    pub engine: Engine,
 }
 
 impl CoreConfig {
@@ -229,6 +236,9 @@ impl CoreConfig {
             // `CATCH_NO_SKIP=1` forces the naive per-cycle loop — used
             // by the parity suite and the CI throughput comparison.
             skip_ahead: std::env::var_os("CATCH_NO_SKIP").is_none(),
+            // `CATCH_ENGINE=tick|timeq` selects the cycle engine (the
+            // parity suite sets it per-System instead).
+            engine: Engine::from_env(),
         }
     }
 

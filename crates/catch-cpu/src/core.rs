@@ -9,6 +9,7 @@ use catch_cache::{AccessKind, CacheHierarchy};
 use catch_criticality::{AnyDetector, CriticalityDetector, HeuristicDetector, RetiredInst};
 use catch_obs::{Event, EventClass, EventKind, Obs, OccupancyHist, OCC_SAMPLE_PERIOD};
 use catch_prefetch::MemoryImage;
+use catch_timeq::{CalendarQueue, Engine, ServiceRequest, Source};
 use catch_trace::hash::FxHashMap;
 use catch_trace::{ArchReg, MicroOp, OpClass, Trace};
 use std::collections::VecDeque;
@@ -50,6 +51,14 @@ pub struct Core {
     /// (bounded by `max_outstanding_loads` — the L1D MSHR file).
     outstanding_loads: Vec<u64>,
     obs: Obs,
+    /// The event queue driving stall skip-ahead under
+    /// [`Engine::TimeQ`]: every wake source posts a [`ServiceRequest`]
+    /// at its event cycle, and the idle-skip target is an O(1) queue
+    /// peek instead of a window rescan.
+    timeq: CalendarQueue,
+    /// Cached `engine == TimeQ && skip_ahead` (posting is pointless
+    /// when idle spans are walked tick by tick).
+    use_timeq: bool,
     /// ROB occupancy, sampled every [`OCC_SAMPLE_PERIOD`] cycles.
     rob_occ: OccupancyHist,
     /// Scheduler pressure (unissued ops clamped to the window), same cadence.
@@ -62,6 +71,7 @@ impl Core {
     /// Creates a core for `trace` with the given configuration.
     pub fn new(id: usize, trace: Trace, config: CoreConfig) -> Self {
         let image = MemoryImage::from_trace(&trace);
+        let use_timeq = config.engine == Engine::TimeQ && config.skip_ahead;
         Core {
             id,
             frontend: Frontend::new(id, &config),
@@ -88,6 +98,8 @@ impl Core {
             trace,
             pending_redirect: None,
             obs: Obs::off(),
+            timeq: CalendarQueue::new(),
+            use_timeq,
             rob_occ: OccupancyHist::default(),
             sched_occ: OccupancyHist::default(),
             mshr_occ: OccupancyHist::default(),
@@ -187,7 +199,53 @@ impl Core {
         progress |= self.fetch_stage(hier, cycle);
         self.cycle += 1;
         self.periodic_maintenance(hier);
+        if self.use_timeq {
+            self.drain_wake_hints(hier);
+        }
         progress
+    }
+
+    /// Moves the wake hints the hierarchy (cache levels, DRAM, TACT)
+    /// deposited during this tick into the event queue. Demand hints
+    /// coalesce with the core's own completion tickets at the same
+    /// cycle; any extra cycle only adds a bit-reproducible idle probe.
+    fn drain_wake_hints(&mut self, hier: &mut CacheHierarchy) {
+        let buf = hier.wake_hints();
+        if buf.is_idle() {
+            return;
+        }
+        let q = &mut self.timeq;
+        buf.drain_into(&mut |req| {
+            if let Err(bp) = q.post(req) {
+                let _ = q.post(ServiceRequest::new(bp.retry_at, req.source));
+            }
+        });
+    }
+
+    /// Posts a wake reservation for `at`, absorbing [`Backpressure`]
+    /// (a race with the queue clock re-posts as a zero-delay
+    /// self-wake).
+    ///
+    /// [`Backpressure`]: catch_timeq::Backpressure
+    fn post_wake(&mut self, at: u64, source: Source) {
+        if let Err(bp) = self.timeq.post(ServiceRequest::new(at, source)) {
+            let _ = self.timeq.post(ServiceRequest::new(bp.retry_at, source));
+        }
+    }
+
+    /// The skip target for the active engine: [`Engine::Tick`]
+    /// recomputes it by scanning ([`Core::next_event_cycle`]);
+    /// [`Engine::TimeQ`] peeks the calendar queue. The queue may hold
+    /// front-end reservations a fetchless drain loop would not scan
+    /// for; probing those cycles is harmless (drain ticks neither
+    /// sample nor account), so `include_fetch` only shapes the scan
+    /// path. Public for the multi-programmed lockstep driver.
+    pub fn next_wake_cycle(&mut self, include_fetch: bool) -> Option<u64> {
+        if self.use_timeq {
+            self.timeq.peek_next(self.cycle)
+        } else {
+            self.next_event_cycle(include_fetch)
+        }
     }
 
     /// One scheduling quantum with stall skip-ahead: a normal tick,
@@ -198,7 +256,7 @@ impl Core {
     pub fn tick_or_skip(&mut self, hier: &mut CacheHierarchy) {
         let progress = self.tick_progress(hier);
         if !progress && self.config.skip_ahead {
-            if let Some(target) = self.next_event_cycle(true) {
+            if let Some(target) = self.next_wake_cycle(true) {
                 if target > self.cycle {
                     self.advance_to(hier, target, true);
                 }
@@ -290,46 +348,34 @@ impl Core {
         if let Some(done) = self.rob.head_completion() {
             next = next.min(done.max(now));
         }
-        // Issue: readiness of unissued entries in the scheduler window.
-        // During an idle span no producer completes and nothing
-        // retires, so memoised readiness values stay exact. The oldest
-        // unissued entry always has known readiness (all older entries
-        // have issued), so a non-empty ROB always yields a candidate
-        // here or above.
-        let window = self.rob.len().min(self.config.sched_window);
-        let max_loads = self.config.max_outstanding_loads;
-        let mshr_full_at_prev = self
-            .outstanding_loads
-            .iter()
-            .filter(|&&done| done > prev)
-            .count()
-            >= max_loads;
-        let mut want_mshr_free = false;
-        for i in 0..window {
-            if self.rob.entries()[i].started {
-                continue;
-            }
-            let Some(ready) = self.rob.readiness(i) else {
-                continue;
-            };
-            let entry = &self.rob.entries()[i];
-            let eff = ready.max(entry.alloc + 1).max(now);
-            if entry.op.class == OpClass::Load && eff == now && mshr_full_at_prev {
-                // Ready but MSHR-blocked: the earliest it can issue is
-                // when the oldest outstanding fill frees its MSHR.
-                want_mshr_free = true;
-            } else {
-                next = next.min(eff);
-            }
+        // Issue, unpromoted entries: the earliest wake-heap
+        // reservation is a lower bound on the next cycle any of them
+        // becomes issuable (an entry still waiting on an unissued
+        // producer has no reservation, but that producer must issue
+        // first and is itself covered here or below).
+        if let Some(eff) = self.rob.next_wake_eff() {
+            next = next.min(eff.max(now));
         }
-        if want_mshr_free {
-            if let Some(free_at) = self
+        // Issue, promoted entries: one sitting inside the scheduler
+        // window was issuable on the no-progress tick that brought us
+        // here, so it is an MSHR-blocked load (port budgets cannot be
+        // exhausted when nothing issued) — the earliest it can issue
+        // is when the oldest outstanding fill frees its MSHR. Promoted
+        // entries beyond the window enter it at a retirement, which
+        // the head-completion candidate covers.
+        let window = self.rob.len().min(self.config.sched_window);
+        if self.rob.has_issuable_below(window) {
+            match self
                 .outstanding_loads
                 .iter()
                 .filter(|&&done| done > prev)
                 .min()
             {
-                next = next.min((*free_at).max(now));
+                Some(free_at) => next = next.min((*free_at).max(now)),
+                // No live fill would mean it was not MSHR-blocked
+                // after all; probe the current cycle rather than risk
+                // stepping over an issue.
+                None => next = next.min(now),
             }
         }
         // Fetch: resumes when the I-cache stall ends. A mispredict
@@ -422,7 +468,7 @@ impl Core {
                 // Same skip as the full loop, minus the fetch event
                 // source (drain never fetches) and minus occupancy
                 // samples / stall accounting (drain ticks take none).
-                if let Some(target) = self.next_event_cycle(false) {
+                if let Some(target) = self.next_wake_cycle(false) {
                     if target > self.cycle {
                         self.advance_to(hier, target, false);
                     }
@@ -482,6 +528,9 @@ impl Core {
         self.last_writer = [None; ArchReg::COUNT];
         self.last_store.clear();
         self.outstanding_loads.clear();
+        // Reservations for the abandoned detailed interval are
+        // meaningless at the fast-forwarded clock; drop them.
+        self.timeq.clear();
     }
 
     /// Runs the core to completion against `hier`, returning final stats.
@@ -553,22 +602,24 @@ impl Core {
         let mut store_budget = self.config.ports.store_ports;
         let mut issued_any = false;
 
+        // Pull every wake reservation due by now into the issuable
+        // mask, then scan only that mask — O(issuable) per cycle. A
+        // promoted entry's effective-ready cycle has passed by
+        // construction, so no per-entry readiness recheck is needed.
+        self.rob.promote_ready(cycle);
         let window = self.rob.len().min(self.config.sched_window);
-        for i in 0..window {
+        let mut pos = 0;
+        // Ascending mask order is deque order, so issue priority (and
+        // with it every counter) is identical to the full window walk.
+        while let Some(i) = self.rob.next_issuable_at_or_after(pos) {
+            if i >= window {
+                break;
+            }
+            pos = i + 1;
             if int_budget + fp_budget + load_budget + store_budget == 0 {
                 break;
             }
-            if self.rob.entries()[i].started {
-                continue;
-            }
-            let Some(ready) = self.rob.readiness(i) else {
-                continue;
-            };
             let entry = &self.rob.entries()[i];
-            let ready = ready.max(entry.alloc + 1);
-            if ready > cycle {
-                continue;
-            }
             let class = entry.op.class;
             if class == OpClass::Load
                 && self.outstanding_loads.len() >= self.config.max_outstanding_loads
@@ -604,6 +655,15 @@ impl Core {
             let id = entry.id;
             let pc = entry.op.pc.get();
             self.rob.start(i, cycle, complete);
+            if self.use_timeq && complete > cycle + 1 {
+                // One reservation covers every consequence of this
+                // completion: head retirement, consumer readiness, and
+                // the MSHR slot a miss fill frees. A wake at
+                // `cycle + 1` is provably dead and not posted: this
+                // tick issued, so the next tick runs unskipped — and
+                // any peek after it prunes the ticket as stale.
+                self.post_wake(complete, Source::Exec);
+            }
             self.obs.emit(EventClass::CORE, || Event {
                 cycle,
                 core: self.id as u32,
@@ -615,8 +675,11 @@ impl Core {
 
             if mispredicted && self.pending_redirect == Some(id) {
                 self.pending_redirect = None;
-                self.frontend
-                    .resume_after_redirect(complete + self.config.mispredict_penalty);
+                let resume = complete + self.config.mispredict_penalty;
+                self.frontend.resume_after_redirect(resume);
+                if self.use_timeq {
+                    self.post_wake(resume, Source::Frontend);
+                }
             }
         }
         issued_any
@@ -719,7 +782,12 @@ impl Core {
         let pushed = self
             .frontend
             .fetch(&self.trace, cycle, hier, space, &mut self.fetch_buffer);
-        pushed > 0 || self.frontend.stats().icache_misses != misses_before
+        let missed = self.frontend.stats().icache_misses != misses_before;
+        if missed && self.use_timeq {
+            // Fetch resumes when the I-cache stall ends.
+            self.post_wake(self.frontend.stall_until(), Source::Frontend);
+        }
+        pushed > 0 || missed
     }
 }
 

@@ -284,7 +284,9 @@ impl Frontend {
             .on_stall(miss_line, self.runahead_scratch.drain(..))
         {
             self.stats.code_prefetches += 1;
-            hier.access(self.core_id, AccessKind::CodePrefetch, line, cycle);
+            let out = hier.access(self.core_id, AccessKind::CodePrefetch, line, cycle);
+            self.runahead
+                .note_issued(hier.wake_hints(), out.ready_at(cycle));
         }
     }
 }

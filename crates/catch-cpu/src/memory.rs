@@ -296,7 +296,9 @@ impl MemoryInterface {
                         line: pf_line.get(),
                     },
                 });
-                hier.access(self.core_id, AccessKind::TactPrefetch, pf_line, cycle);
+                let out = hier.access(self.core_id, AccessKind::TactPrefetch, pf_line, cycle);
+                self.tact
+                    .note_issued(hier.wake_hints(), out.ready_at(cycle));
             }
         }
 

@@ -1,9 +1,10 @@
 //! The reorder buffer and dependence-readiness tracking.
 
 use catch_cache::Level;
-use catch_trace::hash::FxHashMap;
+use catch_timeq::HiBitSet;
 use catch_trace::MicroOp;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// One in-flight micro-op.
 #[derive(Clone, Debug)]
@@ -28,12 +29,24 @@ pub struct RobEntry {
     pub hit_level: Option<Level>,
     /// Mispredicted branch.
     pub mispredicted: bool,
-    /// Memoised readiness cycle, once all producers have started.
+    /// Readiness cycle (max producer completion), filled in the moment
+    /// the last producer starts — see [`Rob::start`]'s waiter walk.
     pub ready_at: Option<u64>,
     /// Allocation-time feeder hint for loads: the youngest producing load
     /// (PC, value) in program order, used by TACT-Feeder training.
     pub feeder: Option<(catch_trace::Pc, u64)>,
+    /// Intrusive waiter links: when this entry waits on the producer in
+    /// `deps[k]`, `next_waiter[k]` chains to the next waiter on that
+    /// same producer, packed as `id << 2 | slot` ([`NO_WAITER`] ends
+    /// the chain) to keep the entry small — it is memcpy'd on retire.
+    next_waiter: [u64; 4],
+    /// Head of the list of dependents registered on this entry (same
+    /// packing).
+    waiter_head: u64,
 }
+
+/// Chain terminator for the packed intrusive waiter links.
+const NO_WAITER: u64 = u64::MAX;
 
 impl RobEntry {
     /// Creates an entry for `op` with the given id and producer set.
@@ -50,22 +63,47 @@ impl RobEntry {
             mispredicted,
             ready_at: None,
             feeder: None,
+            next_waiter: [NO_WAITER; 4],
+            waiter_head: NO_WAITER,
         }
     }
 }
 
-/// Reorder buffer: in-order allocate/retire, out-of-order issue, with a
-/// completion map for dependence resolution.
+/// Reorder buffer: in-order allocate/retire, out-of-order issue, with
+/// event-driven scheduler wakeup instead of per-cycle readiness polls.
+///
+/// * Entry ids are consecutive (one per allocation, retired from the
+///   front), so a producer id maps straight to its deque index — no
+///   completion map, one bounds check per dependence lookup.
+/// * Each entry waiting on unissued producers sits on their intrusive
+///   waiter lists; when a producer starts, [`Rob::start`] walks its
+///   list, and each dependent whose last producer just started gets its
+///   readiness computed once and is pushed into the wake heap at its
+///   effective-ready cycle `max(readiness, alloc + 1)`.
+/// * [`Rob::promote_ready`] drains the heap up to the current cycle
+///   into `issuable_mask`, and the scheduler scans only that mask —
+///   O(issuable) per cycle rather than O(window).
+///
+/// The wake cycle is the max over *all* producer completions, while the
+/// old lazy poll counted producers already retired as ready-at-0; the
+/// difference is confined to components at or below the scan cycle, so
+/// which entries are issuable at any executed tick — and therefore
+/// every counter — is unchanged (asserted by the parity suites).
 #[derive(Debug)]
 pub struct Rob {
     entries: VecDeque<RobEntry>,
     capacity: usize,
-    /// Completion cycles of *started* in-flight ops, by id.
-    completion: FxHashMap<u64, u64>,
-    /// Ids below this have retired (always ready).
-    retired_below: u64,
     /// Entries allocated but not yet issued (scheduler pressure).
     unstarted: usize,
+    /// Unstarted entries ordered by effective-ready cycle: `(eff, id)`
+    /// min-heap, pushed exactly once per entry when its readiness
+    /// becomes known.
+    wake_heap: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Hierarchical bitmask over entry positions: bit `i` set iff
+    /// `entries[i]` is unstarted and its effective-ready cycle has been
+    /// reached. Kept aligned with the deque (shifted down on head pops)
+    /// so scheduler scans touch only issue candidates.
+    issuable_mask: HiBitSet,
 }
 
 impl Rob {
@@ -79,9 +117,9 @@ impl Rob {
         Rob {
             entries: VecDeque::with_capacity(capacity),
             capacity,
-            completion: FxHashMap::default(),
-            retired_below: 0,
             unstarted: 0,
+            wake_heap: BinaryHeap::with_capacity(capacity),
+            issuable_mask: HiBitSet::new(capacity),
         }
     }
 
@@ -110,7 +148,11 @@ impl Rob {
         self.entries.len() < self.capacity
     }
 
-    /// Allocates an entry at `cycle`.
+    /// Allocates an entry at `cycle`, resolving its producers: if all
+    /// have started (or retired) the entry goes straight into the wake
+    /// heap at its effective-ready cycle; otherwise it registers on
+    /// each unissued producer's waiter list and wakes when the last of
+    /// them starts.
     ///
     /// # Panics
     ///
@@ -120,23 +162,69 @@ impl Rob {
         entry.alloc = cycle;
         debug_assert!(!entry.started, "allocating a started entry");
         self.unstarted += 1;
+        let id = entry.id;
+        let index = self.entries.len();
         self.entries.push_back(entry);
+        let front = self.entries.front().expect("just pushed").id;
+        let mut ready = 0u64;
+        let mut pending = false;
+        for k in 0..4 {
+            let Some(d) = self.entries[index].deps[k] else {
+                continue;
+            };
+            match self.producer_ready_at(d) {
+                Some(c) => ready = ready.max(c),
+                None => {
+                    // Producer in flight and unissued: wait on it. A
+                    // duplicate producer registers once per slot; the
+                    // `ready_at` guard in the waiter walk dedups wakes.
+                    pending = true;
+                    let pidx = (d - front) as usize;
+                    let prev_head =
+                        std::mem::replace(&mut self.entries[pidx].waiter_head, id << 2 | k as u64);
+                    self.entries[index].next_waiter[k] = prev_head;
+                }
+            }
+        }
+        if !pending {
+            let e = &mut self.entries[index];
+            e.ready_at = Some(ready);
+            let eff = ready.max(e.alloc + 1);
+            if eff <= cycle + 1 {
+                // Issuable at the very next tick, which always runs
+                // (this allocation was progress, so no skip precedes
+                // it): promote directly and skip the heap round-trip.
+                self.issuable_mask.set(index);
+            } else {
+                self.wake_heap.push(Reverse((eff, id)));
+            }
+        }
     }
 
     /// The cycle at which `id`'s result is available: `Some(0)` if already
     /// retired, the completion cycle if started, `None` if unknown (not
-    /// yet issued).
+    /// yet issued). Ids are consecutive, so an in-flight producer is at
+    /// deque position `id - front.id` — one bounds check, no hashing.
     pub fn producer_ready_at(&self, id: u64) -> Option<u64> {
-        if id < self.retired_below {
+        let front = match self.entries.front() {
+            Some(e) => e.id,
+            // Empty ROB: every referenced producer has retired.
+            None => return Some(0),
+        };
+        if id < front {
             return Some(0);
         }
-        self.completion.get(&id).copied()
+        let entry = &self.entries[(id - front) as usize];
+        debug_assert_eq!(entry.id, id, "ROB ids must be consecutive");
+        entry.started.then_some(entry.complete)
     }
 
-    /// Computes (and memoises) the readiness cycle of the entry at
-    /// `index`: the max completion cycle over its producers. `None` while
-    /// any producer is unissued.
-    pub fn readiness(&mut self, index: usize) -> Option<u64> {
+    /// The readiness cycle of the entry at `index`: the max completion
+    /// cycle over its producers. `None` while any producer is unissued.
+    /// Pure — the stored `ready_at` is written only by the eager wake
+    /// path, so a side-band query here can never leave an entry marked
+    /// ready without a wake-heap reservation.
+    pub fn readiness(&self, index: usize) -> Option<u64> {
         let entry = &self.entries[index];
         if let Some(r) = entry.ready_at {
             return Some(r);
@@ -148,12 +236,13 @@ impl Rob {
                 None => return None,
             }
         }
-        self.entries[index].ready_at = Some(ready);
         Some(ready)
     }
 
     /// Marks entry `index` as issued at `dispatch` completing at
-    /// `complete`.
+    /// `complete`, then walks its waiter list: every dependent whose
+    /// last producer this was gets its readiness computed once and a
+    /// wake-heap reservation at its effective-ready cycle.
     pub fn start(&mut self, index: usize, dispatch: u64, complete: u64) {
         let entry = &mut self.entries[index];
         debug_assert!(!entry.started, "double issue");
@@ -161,7 +250,41 @@ impl Rob {
         entry.dispatch = dispatch;
         entry.complete = complete;
         self.unstarted -= 1;
-        self.completion.insert(entry.id, complete);
+        self.issuable_mask.clear(index);
+        let front = self.entries.front().expect("entry exists").id;
+        let mut cursor = std::mem::replace(&mut self.entries[index].waiter_head, NO_WAITER);
+        while cursor != NO_WAITER {
+            let (wid, slot) = (cursor >> 2, (cursor & 3) as usize);
+            let widx = (wid - front) as usize;
+            cursor = std::mem::replace(&mut self.entries[widx].next_waiter[slot], NO_WAITER);
+            if self.entries[widx].ready_at.is_some() {
+                // A duplicate producer slot already woke this entry.
+                continue;
+            }
+            let deps = self.entries[widx].deps;
+            let mut ready = 0u64;
+            let mut pending = false;
+            for dep in deps.iter().flatten() {
+                match self.producer_ready_at(*dep) {
+                    Some(c) => ready = ready.max(c),
+                    None => {
+                        // Still waiting on another producer's list.
+                        pending = true;
+                        break;
+                    }
+                }
+            }
+            if pending {
+                continue;
+            }
+            let e = &mut self.entries[widx];
+            e.ready_at = Some(ready);
+            let eff = ready.max(e.alloc + 1);
+            // Always via the heap: a direct mask set here would be
+            // visible to the issue scan still walking this cycle, one
+            // cycle before `eff` (which is at least `dispatch + 1`).
+            self.wake_heap.push(Reverse((eff, wid)));
+        }
     }
 
     /// Pops the head if it has completed by `cycle`.
@@ -169,8 +292,9 @@ impl Rob {
         let head = self.entries.front()?;
         if head.started && head.complete <= cycle {
             let entry = self.entries.pop_front().expect("checked front");
-            self.completion.remove(&entry.id);
-            self.retired_below = entry.id + 1;
+            // The head had issued, so bit 0 is clear and the shift
+            // realigns the mask with the popped deque.
+            self.issuable_mask.shift_down_one();
             Some(entry)
         } else {
             None
@@ -185,6 +309,53 @@ impl Rob {
     /// Mutable entry access.
     pub fn entry_mut(&mut self, index: usize) -> &mut RobEntry {
         &mut self.entries[index]
+    }
+
+    /// Drains the wake heap up to `cycle`: every reservation whose
+    /// effective-ready cycle has arrived sets its entry's bit in the
+    /// issuable mask (positions resolved against the current head, so
+    /// retirements between reservation and promotion are free).
+    pub fn promote_ready(&mut self, cycle: u64) {
+        let Some(front) = self.entries.front().map(|e| e.id) else {
+            debug_assert!(self.wake_heap.is_empty(), "wakes outlive their entries");
+            return;
+        };
+        while let Some(&Reverse((eff, id))) = self.wake_heap.peek() {
+            if eff > cycle {
+                break;
+            }
+            self.wake_heap.pop();
+            debug_assert!(id >= front, "woken entry already retired");
+            let idx = (id - front) as usize;
+            // An entry issued out of band (tests drive `start`
+            // directly) leaves its reservation behind; drop it.
+            if !self.entries[idx].started {
+                self.issuable_mask.set(idx);
+            }
+        }
+    }
+
+    /// Position of the first issuable (promoted, unissued) entry at or
+    /// after `from` — the scheduler scan, O(issuable) per cycle via the
+    /// hierarchical mask rather than O(window).
+    pub fn next_issuable_at_or_after(&self, from: usize) -> Option<usize> {
+        self.issuable_mask.next_set_at_or_after(from)
+    }
+
+    /// True when some promoted entry sits inside the scheduler window.
+    /// After a no-progress tick this pins the entry as an MSHR-blocked
+    /// load: port budgets cannot be exhausted when nothing issued.
+    pub fn has_issuable_below(&self, window: usize) -> bool {
+        self.issuable_mask
+            .next_set_at_or_after(0)
+            .is_some_and(|i| i < window)
+    }
+
+    /// Earliest effective-ready cycle still parked in the wake heap, if
+    /// any — a lower bound on the next cycle an unpromoted entry can
+    /// issue, used as a skip-ahead candidate.
+    pub fn next_wake_eff(&self) -> Option<u64> {
+        self.wake_heap.peek().map(|&Reverse((eff, _))| eff)
     }
 
     /// Earliest cycle at which the head could retire, if known (for cycle
@@ -237,8 +408,12 @@ mod tests {
         assert_eq!(rob.readiness(1), None);
         rob.start(0, 0, 7);
         assert_eq!(rob.readiness(1), Some(7));
-        // Memoised.
+        // The waiter walk filled the eager readiness and reserved a wake.
         assert_eq!(rob.entries()[1].ready_at, Some(7));
+        rob.promote_ready(6);
+        assert_eq!(rob.next_issuable_at_or_after(0), None, "not ready yet");
+        rob.promote_ready(7);
+        assert_eq!(rob.next_issuable_at_or_after(0), Some(1));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! stay runnable forever.
 
 use catch_core::report::json::run_results_to_json;
-use catch_core::{EventClass, Obs, SampleConfig, System, SystemConfig, VecSink};
+use catch_core::{Engine, EventClass, Obs, SampleConfig, System, SystemConfig, VecSink};
 use catch_workloads::suite;
 use std::sync::{Arc, Mutex};
 
@@ -110,6 +110,35 @@ fn mp_counters_bit_identical() {
         run_results_to_json(&b.per_core),
         "skip-ahead diverged on the MP lockstep loop"
     );
+}
+
+#[test]
+fn skip_and_engine_matrix_bit_identical() {
+    // The full `CATCH_NO_SKIP` × `CATCH_ENGINE` matrix (expressed
+    // through the config fields those env toggles set): all four
+    // combinations must agree. With skip-ahead off the engine choice is
+    // inert — that leg pins the naive loop as the common reference for
+    // both skip paths.
+    let trace = suite::by_name("tpcc_like")
+        .expect("known workload")
+        .generate(OPS, SEED);
+    let mut outputs = Vec::new();
+    for engine in [Engine::Tick, Engine::TimeQ] {
+        for skip in [false, true] {
+            let mut config = SystemConfig::baseline_exclusive().with_catch();
+            config.core.skip_ahead = skip;
+            config.core.engine = engine;
+            let result = System::new(config).run_st_warm(trace.clone(), WARMUP);
+            outputs.push((engine.name(), skip, run_results_to_json(&[result])));
+        }
+    }
+    let (_, _, reference) = &outputs[0];
+    for (engine, skip, json) in &outputs[1..] {
+        assert_eq!(
+            json, reference,
+            "engine={engine} skip_ahead={skip} diverged from the reference loop"
+        );
+    }
 }
 
 #[test]

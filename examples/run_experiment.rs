@@ -12,6 +12,8 @@
 //! cargo run --release --example run_experiment -- sample-smoke  # CI gate
 //! cargo run --release --example run_experiment -- obs-smoke     # CI gate
 //! cargo run --release --example run_experiment -- cache-smoke   # CI gate
+//! cargo run --release --example run_experiment -- timeq-smoke   # CI gate
+//! cargo run --release --example run_experiment -- --engine tick fig10
 //! cargo run --release --example run_experiment -- --trace-events t.json
 //! cargo run --release --example run_experiment -- --profile tpcc_like
 //! cargo run --release --example run_experiment                  # lists ids
@@ -66,11 +68,24 @@
 //! the in-memory cache in between, so the second pass loads from disk),
 //! and exits non-zero unless the second pass is ≥ 2× faster and every
 //! report is byte-identical.
+//!
+//! The special id `timeq-smoke` is the CI cycle-engine parity gate: it
+//! runs one golden workload under the full CATCH configuration on both
+//! the reference tick loop and the `timeq` event-queue engine, prints a
+//! wall-clock comparison, and exits non-zero unless the two runs retire
+//! bit-identical counters.
+//!
+//! `--engine tick|timeq` selects the cycle engine for ordinary
+//! experiment runs (equivalent to `CATCH_ENGINE`; default: `timeq`).
+//! Results are bit-identical for both — the engine only changes how the
+//! simulator finds the next cycle that can make progress.
 
 use catch_core::experiments::{self, runner, EvalConfig, GOLDEN_WORKLOADS};
+use catch_core::report::json::run_results_to_json;
 use catch_core::{
-    merge_parts, part_path, CacheMode, ChromeTraceSink, CountingSink, EventClass, JsonlSink,
-    NullSink, Obs, OccupancyHist, RunCache, SampleConfig, System, SystemConfig, TraceFormat,
+    merge_parts, part_path, CacheMode, ChromeTraceSink, CountingSink, Engine, EventClass,
+    JsonlSink, NullSink, Obs, OccupancyHist, RunCache, SampleConfig, System, SystemConfig,
+    TraceFormat,
 };
 use catch_workloads::suite;
 use std::path::{Path, PathBuf};
@@ -80,8 +95,8 @@ use std::time::Instant;
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: run_experiment [--md] [--jobs N] [--sample I] \
-         [--cache-dir DIR] [--no-cache] [--trace-events PATH] [--profile] \
-         <id|workload> [ops] [warmup]"
+         [--engine tick|timeq] [--cache-dir DIR] [--no-cache] \
+         [--trace-events PATH] [--profile] <id|workload> [ops] [warmup]"
     );
     eprintln!("available experiments:");
     for id in experiments::all_ids() {
@@ -91,7 +106,50 @@ fn usage_and_exit() -> ! {
     eprintln!("  sample-smoke (CI accuracy gate)");
     eprintln!("  obs-smoke (CI observability-overhead gate)");
     eprintln!("  cache-smoke (CI run-cache gate)");
+    eprintln!("  timeq-smoke (CI cycle-engine parity gate)");
     std::process::exit(2);
+}
+
+/// The CI cycle-engine gate: one golden workload under the CATCH
+/// configuration on both engines, hard-fail unless every counter is
+/// bit-identical. Also prints the wall-clock comparison, since the
+/// event-queue engine's whole reason to exist is throughput.
+fn timeq_smoke(eval: &EvalConfig) -> ! {
+    const WORKLOAD: &str = "tpcc_like";
+    let trace = suite::by_name(WORKLOAD)
+        .expect("golden workload exists")
+        .generate(eval.ops, eval.seed);
+    let build = |engine: Engine| {
+        let mut config = SystemConfig::baseline_exclusive().with_catch();
+        // Pin skip-ahead on: with it off the engine choice is inert and
+        // the comparison would be vacuous.
+        config.core.skip_ahead = true;
+        config.core.engine = engine;
+        System::new(config)
+    };
+    let mut results = Vec::new();
+    for engine in [Engine::Tick, Engine::TimeQ] {
+        let system = build(engine);
+        let t = Instant::now();
+        let result = system.run_st_warm(trace.clone(), eval.warmup);
+        let secs = t.elapsed().as_secs_f64();
+        println!(
+            "timeq-smoke: {WORKLOAD} ops={} engine {:<5} IPC {:.4}, {:.1} ms \
+             ({:.2} Mcycles/s)",
+            eval.ops,
+            engine.name(),
+            result.ipc(),
+            1e3 * secs,
+            result.core.cycles as f64 / secs / 1e6,
+        );
+        results.push(run_results_to_json(&[result]));
+    }
+    if results[0] != results[1] {
+        eprintln!("timeq-smoke FAILED: timeq counters diverged from the tick engine");
+        std::process::exit(1);
+    }
+    println!("timeq-smoke OK (bit-identical counters on both engines)");
+    std::process::exit(0);
 }
 
 /// The CI run-cache gate: the whole registry twice against a persistent
@@ -419,6 +477,22 @@ fn main() {
                 args.remove(0);
                 sample = Some(i);
             }
+            Some("--engine") => {
+                args.remove(0);
+                let Some(raw) = args.first() else {
+                    eprintln!("--engine requires 'tick' or 'timeq'");
+                    usage_and_exit();
+                };
+                let engine = Engine::parse(raw).unwrap_or_else(|e| {
+                    eprintln!("invalid --engine: {e}");
+                    usage_and_exit();
+                });
+                args.remove(0);
+                // CoreConfig resolves its engine from the environment,
+                // so the flag funnels through CATCH_ENGINE (same pattern
+                // as --jobs / CATCH_JOBS).
+                std::env::set_var("CATCH_ENGINE", engine.name());
+            }
             Some("--trace-events") => {
                 args.remove(0);
                 let Some(raw) = args.first() else {
@@ -481,6 +555,9 @@ fn main() {
     }
     if id == "cache-smoke" {
         cache_smoke(&eval);
+    }
+    if id == "timeq-smoke" {
+        timeq_smoke(&eval);
     }
     if id == "all" {
         let reports = experiments::run_all(&experiments::all_ids(), &eval, None);
