@@ -44,7 +44,9 @@ mod sampling;
 mod system;
 
 pub use metrics::{geomean, geomean_ratio, MpResult, RunResult};
-pub use runcache::{run_fingerprint, CacheMode, CacheSummary, Fingerprint, RunCache};
+pub use runcache::{
+    run_fingerprint, CacheMode, CacheSummary, Fingerprint, RunCache, RUN_CACHE_ENV,
+};
 pub use sampling::{SampledRun, SamplingSummary};
 pub use system::{System, SystemConfig};
 

@@ -48,7 +48,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Environment variable selecting the cache mode: unset (or empty) keeps
@@ -243,6 +243,9 @@ pub struct CacheSummary {
     pub bytes_read: u64,
     /// Bytes written to persisted results.
     pub bytes_written: u64,
+    /// Disk entries that were unreadable or corrupt (each one fell back
+    /// to recomputation; the first prints a stderr warning).
+    pub disk_warnings: u64,
 }
 
 impl fmt::Display for CacheSummary {
@@ -259,7 +262,11 @@ impl fmt::Display for CacheSummary {
             self.disk_stores,
             self.bytes_read,
             self.bytes_written
-        )
+        )?;
+        if self.disk_warnings > 0 {
+            write!(f, ", {} disk warnings", self.disk_warnings)?;
+        }
+        Ok(())
     }
 }
 
@@ -273,6 +280,7 @@ struct Activity {
     disk_stores: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    disk_warnings: AtomicU64,
 }
 
 fn bump(counter: &AtomicU64) {
@@ -285,6 +293,7 @@ pub struct RunCache {
     results: SingleFlight<u128, Arc<RunResult>>,
     traces: SingleFlight<(String, usize, u64), Arc<Trace>>,
     activity: Activity,
+    disk_warned: AtomicBool,
 }
 
 static GLOBAL: OnceLock<RunCache> = OnceLock::new();
@@ -297,6 +306,7 @@ impl RunCache {
             results: SingleFlight::new(),
             traces: SingleFlight::new(),
             activity: Activity::default(),
+            disk_warned: AtomicBool::new(false),
         }
     }
 
@@ -338,6 +348,7 @@ impl RunCache {
             disk_stores: get(&a.disk_stores),
             bytes_read: get(&a.bytes_read),
             bytes_written: get(&a.bytes_written),
+            disk_warnings: get(&a.disk_warnings),
         }
     }
 
@@ -399,11 +410,45 @@ impl RunCache {
         out
     }
 
+    /// Records a disk problem: bumps the `disk_warnings` counter every
+    /// time, prints a stderr warning only for the first one (a corrupt
+    /// cache directory would otherwise warn once per entry).
+    fn warn_disk(&self, detail: &str) {
+        bump(&self.activity.disk_warnings);
+        if !self.disk_warned.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: run cache: {detail}; recomputing \
+                 (further disk problems counted silently in cache stats)"
+            );
+        }
+    }
+
     /// Best-effort disk load; any failure (missing, unparsable, wrong
     /// schema/fingerprint/workload, integrity mismatch) means "miss".
+    /// A missing entry is the normal cold-cache case and stays silent;
+    /// an unreadable or corrupt entry is reported via [`Self::warn_disk`].
     fn load_disk(&self, dir: &Path, fp: Fingerprint, workload: &str) -> Option<RunResult> {
-        let text = std::fs::read_to_string(entry_path(dir, fp)).ok()?;
-        let parsed = json::parse(&text).ok()?;
+        let path = entry_path(dir, fp);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(e) => {
+                self.warn_disk(&format!("unreadable entry {}: {e}", path.display()));
+                return None;
+            }
+        };
+        let loaded = self.decode_disk(&text, fp, workload);
+        if loaded.is_none() {
+            self.warn_disk(&format!("corrupt or stale entry {}", path.display()));
+        }
+        loaded
+    }
+
+    /// The decode half of [`Self::load_disk`]: `None` means the entry is
+    /// corrupt or stale (schema bump, fingerprint/workload mismatch,
+    /// integrity failure).
+    fn decode_disk(&self, text: &str, fp: Fingerprint, workload: &str) -> Option<RunResult> {
+        let parsed = json::parse(text).ok()?;
         if parsed.get("schema")?.as_num()? != SCHEMA_VERSION {
             return None;
         }
@@ -649,5 +694,47 @@ mod tests {
             2,
             "reset drops memoization"
         );
+    }
+
+    #[test]
+    fn corrupt_disk_entries_warn_once_and_recompute() {
+        let dir = std::env::temp_dir().join(format!(
+            "catch-runcache-corrupt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create cache dir");
+        let cache = RunCache::new(CacheMode::Disk(dir.clone()));
+        let eval = quick();
+        let config = SystemConfig::baseline_exclusive();
+        // Plant garbage at both keys this test will probe.
+        for workload in ["linpack_like", "mcf_like"] {
+            let fp = run_fingerprint(&config, &eval, workload);
+            std::fs::write(entry_path(&dir, fp), b"{ not json").expect("plant garbage");
+        }
+        let spec = catch_workloads::suite::by_name("linpack_like").expect("known");
+        let trace = cache.trace(&spec, eval.ops, eval.seed);
+        let result = cache.run_result(&config, &eval, "linpack_like", || {
+            crate::System::new(config.clone()).run_st((*trace).clone())
+        });
+        assert_eq!(result.workload, "linpack_like", "fell back to computing");
+        let summary = cache.summary();
+        assert_eq!(summary.disk_warnings, 1, "corrupt entry counted");
+        assert_eq!(summary.disk_hits, 0, "garbage never loads");
+        assert!(
+            summary.to_string().contains("1 disk warnings"),
+            "summary surfaces the count: {summary}"
+        );
+        // A second corrupt entry still counts but must not warn again
+        // (warn-once is per cache instance; asserted via the flag).
+        assert!(cache.disk_warned.load(Ordering::Relaxed));
+        let spec2 = catch_workloads::suite::by_name("mcf_like").expect("known");
+        let trace2 = cache.trace(&spec2, eval.ops, eval.seed);
+        cache.run_result(&config, &eval, "mcf_like", || {
+            crate::System::new(config.clone()).run_st((*trace2).clone())
+        });
+        assert_eq!(cache.summary().disk_warnings, 2, "still counted");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

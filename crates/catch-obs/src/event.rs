@@ -229,6 +229,50 @@ pub enum EventKind {
         /// Evicted program counter.
         pc: u64,
     },
+
+    // --- catch-server job lifecycle -------------------------------------
+    //
+    // Daemon events carry the scheduler's monotonic event sequence in
+    // the `cycle` field and `core = 0`; they are never emitted by a
+    // simulator component (see DESIGN.md §12).
+    /// A request was admitted as a new job.
+    ServerAdmit {
+        /// Daemon-assigned job id.
+        job: u64,
+        /// Queue depth after admission.
+        depth: u32,
+    },
+    /// A request coalesced onto an in-flight job (socket-level dedup).
+    ServerCoalesce {
+        /// Job the request attached to.
+        job: u64,
+        /// Waiters on the job after coalescing.
+        waiters: u32,
+    },
+    /// A request was rejected by admission control (queue full or drain).
+    ServerReject {
+        /// Queue depth at rejection time.
+        depth: u32,
+    },
+    /// A job was picked by the fair-share scheduler and started running.
+    ServerDispatch {
+        /// Job id.
+        job: u64,
+        /// Queue depth after dispatch.
+        depth: u32,
+    },
+    /// A job finished; its report was delivered to every waiter.
+    ServerComplete {
+        /// Job id.
+        job: u64,
+        /// Waiters the result was delivered to.
+        waiters: u32,
+    },
+    /// The daemon began draining: queued jobs rejected, in-flight finish.
+    ServerDrain {
+        /// Queued jobs rejected by the drain.
+        rejected: u32,
+    },
 }
 
 /// One cycle-stamped simulator event.
@@ -267,6 +311,12 @@ impl Event {
             EventKind::CritWalk { .. } => "crit.walk",
             EventKind::CritInsert { .. } => "crit.table_insert",
             EventKind::CritEvict { .. } => "crit.table_evict",
+            EventKind::ServerAdmit { .. } => "server.admit",
+            EventKind::ServerCoalesce { .. } => "server.coalesce",
+            EventKind::ServerReject { .. } => "server.reject",
+            EventKind::ServerDispatch { .. } => "server.dispatch",
+            EventKind::ServerComplete { .. } => "server.complete",
+            EventKind::ServerDrain { .. } => "server.drain",
         }
     }
 
@@ -295,6 +345,12 @@ impl Event {
             EventKind::CritWalk { .. }
             | EventKind::CritInsert { .. }
             | EventKind::CritEvict { .. } => EventClass::CRIT,
+            EventKind::ServerAdmit { .. }
+            | EventKind::ServerCoalesce { .. }
+            | EventKind::ServerReject { .. }
+            | EventKind::ServerDispatch { .. }
+            | EventKind::ServerComplete { .. }
+            | EventKind::ServerDrain { .. } => EventClass::SERVER,
         }
     }
 
@@ -369,6 +425,19 @@ impl Event {
             }
             EventKind::CritInsert { pc } | EventKind::CritEvict { pc } => {
                 let _ = write!(s, "\"pc\":{pc}");
+            }
+            EventKind::ServerAdmit { job, depth } | EventKind::ServerDispatch { job, depth } => {
+                let _ = write!(s, "\"job\":{job},\"depth\":{depth}");
+            }
+            EventKind::ServerCoalesce { job, waiters }
+            | EventKind::ServerComplete { job, waiters } => {
+                let _ = write!(s, "\"job\":{job},\"waiters\":{waiters}");
+            }
+            EventKind::ServerReject { depth } => {
+                let _ = write!(s, "\"depth\":{depth}");
+            }
+            EventKind::ServerDrain { rejected } => {
+                let _ = write!(s, "\"rejected\":{rejected}");
             }
         }
         s.push('}');

@@ -24,8 +24,15 @@ impl EventClass {
     pub const TACT: EventClass = EventClass(1 << 4);
     /// Criticality-detector events (walks, table churn).
     pub const CRIT: EventClass = EventClass(1 << 5);
+    /// `catch-server` job-lifecycle events (admit/dispatch/complete).
+    ///
+    /// Unlike the simulator classes these are not cycle-stamped by a
+    /// core clock: the daemon stamps them with its own monotonic event
+    /// sequence number, and no simulator component ever emits them — so
+    /// enabling [`EventClass::ALL`] on a simulation run is unaffected.
+    pub const SERVER: EventClass = EventClass(1 << 6);
     /// Every class.
-    pub const ALL: EventClass = EventClass(0x3f);
+    pub const ALL: EventClass = EventClass(0x7f);
 
     /// True when every bit of `other` is enabled in `self`.
     #[inline]

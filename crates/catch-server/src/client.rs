@@ -1,0 +1,240 @@
+//! A small synchronous client for the daemon.
+//!
+//! One [`Client`] owns one connection with one outstanding request at a
+//! time (seq-correlated, so interleavings from a buggy server are caught
+//! rather than mis-delivered). The CLI's `--server` mode and the test
+//! suites are both built on this type; anything speaking the protocol
+//! from Rust should be too.
+
+use crate::cachedao::ShardStats;
+use crate::protocol::{Priority, Request, Response, RunRequest, SchedulerStats};
+use catch_core::experiments::EvalConfig;
+use catch_core::CacheSummary;
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection broke (daemon gone, socket missing, ...).
+    Io(io::Error),
+    /// The daemon answered, but not with the frame we expected.
+    Protocol(String),
+    /// The daemon rejected the request with an error response.
+    Server {
+        /// Whether resubmitting later can succeed (queue full, draining).
+        retryable: bool,
+        /// Daemon-supplied reason.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server { retryable, message } => {
+                let kind = if *retryable { "retryable" } else { "permanent" };
+                write!(f, "server error ({kind}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// True when resubmitting the same request later can succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Server {
+                retryable: true,
+                ..
+            }
+        )
+    }
+}
+
+/// One connection to a running daemon.
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+    name: String,
+    priority: Priority,
+    seq: u64,
+}
+
+impl Client {
+    /// Connects to the daemon at `sock`. The default identity is
+    /// `anon-<pid>` at [`Priority::Interactive`]; override with
+    /// [`Client::with_identity`].
+    pub fn connect(sock: &Path) -> io::Result<Client> {
+        let stream = UnixStream::connect(sock)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            name: format!("anon-{}", std::process::id()),
+            priority: Priority::Interactive,
+            seq: 0,
+        })
+    }
+
+    /// Sets the fair-share identity and scheduling class for subsequent
+    /// run requests.
+    pub fn with_identity(mut self, name: &str, priority: Priority) -> Client {
+        self.name = name.to_string();
+        self.priority = priority;
+        self
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.writer.write_all(request.encode().as_bytes())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "daemon closed the connection",
+                )));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Response::decode(&line).map_err(ClientError::Protocol);
+        }
+    }
+
+    fn expect_seq(&self, response: &Response, want: u64) -> Result<(), ClientError> {
+        let got = match response {
+            Response::Report { seq, .. } | Response::Ok { seq } | Response::Stats { seq, .. } => {
+                *seq
+            }
+            // Frame-level errors carry seq 0; accept both.
+            Response::Error { seq, .. } => {
+                return if *seq == want || *seq == 0 {
+                    Ok(())
+                } else {
+                    Err(ClientError::Protocol(format!(
+                        "response for seq {seq}, expected {want}"
+                    )))
+                }
+            }
+        };
+        if got == want {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!(
+                "response for seq {got}, expected {want}"
+            )))
+        }
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Runs one experiment on the daemon and returns the rendered report
+    /// text (byte-identical to a local `experiments::run`).
+    pub fn run(&mut self, id: &str, eval: &EvalConfig) -> Result<String, ClientError> {
+        let seq = self.next_seq();
+        let request = Request::Run(RunRequest {
+            seq,
+            client: self.name.clone(),
+            priority: self.priority,
+            id: id.to_string(),
+            eval: *eval,
+        });
+        let response = self.round_trip(&request)?;
+        self.expect_seq(&response, seq)?;
+        match response {
+            Response::Report { report, .. } => Ok(report),
+            Response::Error {
+                retryable, message, ..
+            } => Err(ClientError::Server { retryable, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected a report, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches scheduler, run-cache and disk-shard statistics.
+    pub fn stats(&mut self) -> Result<(SchedulerStats, CacheSummary, ShardStats), ClientError> {
+        let seq = self.next_seq();
+        let response = self.round_trip(&Request::Stats { seq })?;
+        self.expect_seq(&response, seq)?;
+        match response {
+            Response::Stats {
+                sched,
+                cache,
+                shards,
+                ..
+            } => Ok((sched, cache, shards)),
+            Response::Error {
+                retryable, message, ..
+            } => Err(ClientError::Server { retryable, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected stats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let seq = self.next_seq();
+        let response = self.round_trip(&Request::Ping { seq })?;
+        self.expect_seq(&response, seq)?;
+        match response {
+            Response::Ok { .. } => Ok(()),
+            Response::Error {
+                retryable, message, ..
+            } => Err(ClientError::Server { retryable, message }),
+            other => Err(ClientError::Protocol(format!("expected ok, got {other:?}"))),
+        }
+    }
+
+    /// Asks the daemon to drain and exit. The acknowledgement arrives
+    /// before the drain starts, so a subsequent `wait` on the server
+    /// handle observes a clean exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let seq = self.next_seq();
+        let response = self.round_trip(&Request::Shutdown { seq })?;
+        self.expect_seq(&response, seq)?;
+        match response {
+            Response::Ok { .. } => Ok(()),
+            Response::Error {
+                retryable, message, ..
+            } => Err(ClientError::Server { retryable, message }),
+            other => Err(ClientError::Protocol(format!("expected ok, got {other:?}"))),
+        }
+    }
+
+    /// Sends a raw pre-encoded line (test hook for malformed/oversized
+    /// frames) and returns the next response frame.
+    pub fn send_raw(&mut self, line: &str) -> Result<Response, ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut buf = String::new();
+        let n = self.reader.read_line(&mut buf)?;
+        if n == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            )));
+        }
+        Response::decode(&buf).map_err(ClientError::Protocol)
+    }
+}

@@ -1,0 +1,48 @@
+//! Simulation as a service: a thread-pool daemon for the CATCH
+//! experiment registry.
+//!
+//! `catch-server` turns the local `run_experiment` workflow into a
+//! long-lived daemon that accepts experiment requests over a unix
+//! domain socket, dedups them against in-flight jobs and the
+//! content-addressed run cache, and schedules them across a worker pool
+//! with per-client fair share and strict priority classes. Results are
+//! byte-identical to a local `catch_core::experiments::run` — the
+//! daemon renders the same `Report` through the same `Display` path and
+//! ships the text through the same JSON writer/parser pair the run
+//! cache persists with.
+//!
+//! The crate is layered bottom-up, one module per concern:
+//!
+//! * [`protocol`] — wire format: newline-delimited JSON frames,
+//!   request/response types, the frame-size cap.
+//! * [`admission`] — policy: request fingerprints, dedup decisions,
+//!   queue caps, id validation.
+//! * [`scheduler`] — mechanism: the job table, priority + fair-share
+//!   dispatch order, coalesced waiters, drain semantics.
+//! * [`cachedao`] — read-side access to the on-disk run-cache shards
+//!   (inventory for `/stats` and `cache-stats`).
+//! * [`server`] — the daemon itself: accept loop, connection threads,
+//!   worker pool, graceful shutdown.
+//! * [`client`] — a synchronous client used by the CLI's `--server`
+//!   mode and the test suites.
+//!
+//! Everything is plain `std` threads and blocking IO — no async
+//! runtime, no new dependencies (see DESIGN.md §12 for the protocol
+//! grammar and scheduling policy).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod cachedao;
+pub mod client;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+pub use admission::{request_fingerprint, Admission, DEFAULT_MAX_QUEUE};
+pub use cachedao::ShardStats;
+pub use client::{Client, ClientError};
+pub use protocol::{Priority, Request, Response, RunRequest, SchedulerStats, MAX_FRAME_BYTES};
+pub use scheduler::Scheduler;
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,401 @@
+//! The daemon: unix-socket accept loop, connection threads, worker pool.
+//!
+//! Thread model (all plain `std::thread`, no async runtime):
+//!
+//! * **accept thread** — polls a non-blocking [`UnixListener`], spawning
+//!   one reader thread per connection; exits when shutdown is flagged.
+//! * **connection threads** — frame-decode requests and answer
+//!   stats/ping inline; run requests go through admission into the
+//!   shared [`Scheduler`]. The write half of each socket lives behind a
+//!   mutex so worker threads can deliver results directly.
+//! * **worker threads** — pull jobs off the scheduler (fair-share order)
+//!   and execute them through the ordinary experiment registry, which
+//!   means every simulation resolves through the process-wide
+//!   [`RunCache`]: repeated or concurrent
+//!   identical work is single-flight *below* the job layer too.
+//!
+//! Shutdown is cooperative: a `shutdown` request flags the accept loop,
+//! drains the scheduler (queued jobs rejected with a retryable error,
+//! running jobs finish and deliver), and [`ServerHandle::wait`] then
+//! joins every thread, closes lingering connections and unlinks the
+//! socket — a clean exit 0, asserted by the `server-smoke` CI gate.
+
+use crate::admission::{self, DEFAULT_MAX_QUEUE};
+use crate::cachedao;
+use crate::protocol::{Request, Response, MAX_FRAME_BYTES};
+use crate::scheduler::Scheduler;
+use catch_core::{experiments, CacheMode, RunCache};
+use catch_obs::Obs;
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads executing jobs (each job may itself parallelise
+    /// its suite across the experiment registry's own `Runner`).
+    pub workers: usize,
+    /// Admission cap on queued jobs.
+    pub max_queue: usize,
+    /// Event sink for [`catch_obs::EventClass::SERVER`] events.
+    pub obs: Obs,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            max_queue: DEFAULT_MAX_QUEUE,
+            obs: Obs::off(),
+        }
+    }
+}
+
+/// A bound, running daemon. Dropping the handle does **not** stop the
+/// daemon; call [`ServerHandle::wait`] (after a protocol `shutdown` or
+/// [`ServerHandle::begin_drain`]) for a clean exit.
+pub struct Server;
+
+impl Server {
+    /// Binds `path` and starts the accept loop and `config.workers`
+    /// worker threads. A stale socket file at `path` is removed first
+    /// (the daemon owns its socket path).
+    pub fn bind(path: &Path, config: ServerConfig) -> io::Result<ServerHandle> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+
+        let scheduler = Arc::new(Scheduler::new(config.max_queue, config.obs.clone()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<UnixStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let scheduler = scheduler.clone();
+                std::thread::spawn(move || worker_loop(&scheduler))
+            })
+            .collect();
+
+        let accept = {
+            let scheduler = scheduler.clone();
+            let shutdown = shutdown.clone();
+            let conns = conns.clone();
+            let conn_threads = conn_threads.clone();
+            std::thread::spawn(move || {
+                accept_loop(&listener, &scheduler, &shutdown, &conns, &conn_threads)
+            })
+        };
+
+        Ok(ServerHandle {
+            path: path.to_path_buf(),
+            scheduler,
+            shutdown,
+            accept,
+            workers,
+            conns,
+            conn_threads,
+        })
+    }
+}
+
+/// Join/control handle for a running daemon (see [`Server::bind`]).
+pub struct ServerHandle {
+    path: PathBuf,
+    scheduler: Arc<Scheduler>,
+    shutdown: Arc<AtomicBool>,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<UnixStream>>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The socket path the daemon is serving.
+    pub fn socket(&self) -> &Path {
+        &self.path
+    }
+
+    /// Triggers the same graceful drain a protocol `shutdown` request
+    /// does (idempotent).
+    pub fn begin_drain(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.scheduler.drain();
+    }
+
+    /// Blocks until the daemon has fully drained: accept loop stopped,
+    /// in-flight jobs delivered, workers exited, connections closed,
+    /// socket unlinked. Returns only after a drain was triggered (by a
+    /// protocol `shutdown` or [`ServerHandle::begin_drain`]).
+    pub fn wait(self) -> io::Result<()> {
+        self.accept
+            .join()
+            .map_err(|_| io::Error::other("accept thread panicked"))?;
+        for w in self.workers {
+            w.join()
+                .map_err(|_| io::Error::other("worker thread panicked"))?;
+        }
+        // Workers have delivered everything they ever will; unblock any
+        // reader still parked on a silent client and join it.
+        for stream in self.conns.lock().expect("conns poisoned").drain(..) {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        let threads: Vec<_> = {
+            let mut guard = self.conn_threads.lock().expect("conn threads poisoned");
+            guard.drain(..).collect()
+        };
+        for t in threads {
+            t.join()
+                .map_err(|_| io::Error::other("connection thread panicked"))?;
+        }
+        let _ = std::fs::remove_file(&self.path);
+        Ok(())
+    }
+}
+
+fn accept_loop(
+    listener: &UnixListener,
+    scheduler: &Arc<Scheduler>,
+    shutdown: &Arc<AtomicBool>,
+    conns: &Arc<Mutex<Vec<UnixStream>>>,
+    conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if let Ok(clone) = stream.try_clone() {
+                    conns.lock().expect("conns poisoned").push(clone);
+                }
+                let scheduler = scheduler.clone();
+                let shutdown = shutdown.clone();
+                let handle =
+                    std::thread::spawn(move || connection_loop(stream, &scheduler, &shutdown));
+                conn_threads
+                    .lock()
+                    .expect("conn threads poisoned")
+                    .push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// One decoded read attempt off a connection.
+enum Frame {
+    /// A complete line (newline stripped).
+    Line(String),
+    /// The frame exceeded [`MAX_FRAME_BYTES`]; the connection is closed
+    /// after an error reply (resynchronising inside an oversized frame
+    /// is not worth the ambiguity).
+    Oversized,
+    /// Clean end of stream between frames.
+    Eof,
+    /// The peer vanished mid-frame (bytes read, no newline).
+    Truncated,
+}
+
+/// Reads one newline-delimited frame with a hard byte cap. The cap is
+/// enforced *while reading*, so an attacker cannot buffer unbounded
+/// bytes by never sending a newline.
+fn read_frame<R: BufRead>(reader: &mut R, cap: usize) -> io::Result<Frame> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                Frame::Eof
+            } else {
+                Frame::Truncated
+            });
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                if buf.len() + i >= cap {
+                    reader.consume(i + 1);
+                    return Ok(Frame::Oversized);
+                }
+                buf.extend_from_slice(&chunk[..i]);
+                reader.consume(i + 1);
+                return Ok(match String::from_utf8(buf) {
+                    Ok(line) => Frame::Line(line),
+                    // Invalid UTF-8 is a malformed frame with an intact
+                    // boundary; surface it as a line the decoder rejects.
+                    Err(_) => Frame::Line("\u{fffd}".to_string()),
+                });
+            }
+            None => {
+                let n = chunk.len();
+                if buf.len() + n >= cap {
+                    reader.consume(n);
+                    return Ok(Frame::Oversized);
+                }
+                buf.extend_from_slice(chunk);
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+/// Sends one response frame over the shared write half. Delivery is
+/// best-effort: a vanished client just loses its reply.
+fn send(writer: &Arc<Mutex<UnixStream>>, response: &Response) {
+    let mut stream = writer.lock().expect("connection writer poisoned");
+    let _ = stream.write_all(response.encode().as_bytes());
+    let _ = stream.flush();
+}
+
+fn connection_loop(stream: UnixStream, scheduler: &Arc<Scheduler>, shutdown: &Arc<AtomicBool>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(write_half));
+    let mut reader = BufReader::new(stream);
+    while let Ok(frame) = read_frame(&mut reader, MAX_FRAME_BYTES) {
+        let line = match frame {
+            Frame::Line(line) => line,
+            Frame::Oversized => {
+                send(
+                    &writer,
+                    &Response::Error {
+                        seq: 0,
+                        retryable: false,
+                        message: format!("frame exceeds {MAX_FRAME_BYTES} bytes"),
+                    },
+                );
+                break;
+            }
+            Frame::Eof | Frame::Truncated => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Request::decode(&line) {
+            Ok(r) => r,
+            Err(message) => {
+                send(
+                    &writer,
+                    &Response::Error {
+                        seq: 0,
+                        retryable: false,
+                        message,
+                    },
+                );
+                continue;
+            }
+        };
+        match request {
+            Request::Ping { seq } => send(&writer, &Response::Ok { seq }),
+            Request::Stats { seq } => {
+                let cache = RunCache::global().summary();
+                let shards = match RunCache::global().mode() {
+                    CacheMode::Disk(dir) => cachedao::scan(&dir).unwrap_or_default(),
+                    _ => cachedao::ShardStats::default(),
+                };
+                send(
+                    &writer,
+                    &Response::Stats {
+                        seq,
+                        sched: scheduler.stats(),
+                        cache,
+                        shards,
+                    },
+                );
+            }
+            Request::Shutdown { seq } => {
+                send(&writer, &Response::Ok { seq });
+                shutdown.store(true, Ordering::SeqCst);
+                scheduler.drain();
+            }
+            Request::Run(req) => {
+                if let Err(message) = admission::validate(&req) {
+                    send(
+                        &writer,
+                        &Response::Error {
+                            seq: req.seq,
+                            retryable: false,
+                            message,
+                        },
+                    );
+                    continue;
+                }
+                let writer = writer.clone();
+                scheduler.submit(req, Box::new(move |response| send(&writer, &response)));
+            }
+        }
+    }
+    // Close the whole connection (every clone, including the one the
+    // accept loop registered for shutdown) so the peer observes EOF as
+    // soon as this side stops serving it, not at daemon exit.
+    let _ = reader.get_ref().shutdown(std::net::Shutdown::Both);
+}
+
+fn worker_loop(scheduler: &Arc<Scheduler>) {
+    while let Some(job) = scheduler.next_job() {
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            experiments::run(&job.id, &job.eval).to_string()
+        }))
+        .map_err(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            format!("experiment '{}' panicked: {msg}", job.id)
+        });
+        scheduler.complete(job.fp, outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn read_frame_handles_lines_eof_and_truncation() {
+        let mut r = Cursor::new(b"one\ntwo\npartial".to_vec());
+        assert!(matches!(read_frame(&mut r, 64).expect("ok"), Frame::Line(l) if l == "one"));
+        assert!(matches!(read_frame(&mut r, 64).expect("ok"), Frame::Line(l) if l == "two"));
+        assert!(matches!(
+            read_frame(&mut r, 64).expect("ok"),
+            Frame::Truncated
+        ));
+        assert!(matches!(read_frame(&mut r, 64).expect("ok"), Frame::Eof));
+    }
+
+    #[test]
+    fn read_frame_caps_oversized_lines_without_buffering() {
+        // A 1 MiB line with a tiny cap must come back Oversized without
+        // the reader ever holding the whole line.
+        let big = vec![b'x'; 1 << 20];
+        let mut r = Cursor::new(big);
+        assert!(matches!(
+            read_frame(&mut r, 128).expect("ok"),
+            Frame::Oversized
+        ));
+    }
+
+    #[test]
+    fn read_frame_replaces_invalid_utf8() {
+        let mut r = Cursor::new(b"\xff\xfe\n".to_vec());
+        match read_frame(&mut r, 64).expect("ok") {
+            Frame::Line(l) => assert_eq!(l, "\u{fffd}"),
+            _ => panic!("expected a line"),
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! End-to-end parity for simulation-as-a-service: the full experiment
+//! registry served by a `catch-server` daemon must be byte-identical to
+//! a local `experiments::run_all`, and a second identical pass must be
+//! answered entirely from cache (zero recomputation).
+//!
+//! One test, deliberately: it owns the process-global [`RunCache`] for
+//! its whole duration (integration tests share the process), runs the
+//! registry three times (two served passes + one local reference), and
+//! finishes with a graceful drain.
+
+use catch_core::experiments::{self, EvalConfig};
+use catch_core::RunCache;
+use catch_server::{Client, Priority, Server, ServerConfig};
+use std::collections::BTreeMap;
+
+#[test]
+fn full_registry_via_daemon_is_byte_identical_and_warm_on_second_pass() {
+    let eval = EvalConfig {
+        ops: 800,
+        warmup: 200,
+        seed: 42,
+        sample: None,
+    };
+    let ids = experiments::all_ids();
+    assert_eq!(ids.len(), 20, "registry size changed; update this suite");
+
+    let path = std::env::temp_dir().join(format!("catch-parity-{}.sock", std::process::id()));
+    let handle = Server::bind(&path, ServerConfig::default()).expect("bind daemon");
+    let cache = RunCache::global();
+    cache.reset_memory();
+
+    // Pass 1 (cold): two clients split the registry and run concurrently
+    // — alice takes the even indices interactively, bob sweeps the odd
+    // ones — so the pass exercises fair-share accounting and cross-client
+    // dedup of the shared baseline suites, not just the protocol.
+    let first: BTreeMap<String, String> = std::thread::scope(|scope| {
+        let (path, eval, ids) = (&path, &eval, &ids);
+        let half = |name: &'static str, priority, parity: usize| {
+            scope.spawn(move || {
+                let mut client = Client::connect(path)
+                    .expect("connect")
+                    .with_identity(name, priority);
+                ids.iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % 2 == parity)
+                    .map(|(_, id)| (id.to_string(), client.run(id, eval).expect("served run")))
+                    .collect::<Vec<_>>()
+            })
+        };
+        let alice = half("alice", Priority::Interactive, 0);
+        let bob = half("bob", Priority::Sweep, 1);
+        let mut reports = alice.join().expect("alice");
+        reports.extend(bob.join().expect("bob"));
+        reports.into_iter().collect()
+    });
+    assert_eq!(first.len(), ids.len(), "every id produced a report");
+
+    let mut probe = Client::connect(&path).expect("connect");
+    let (sched_cold, cache_cold, _) = probe.stats().expect("stats after cold pass");
+    assert_eq!(sched_cold.completed, ids.len() as u64);
+    assert!(
+        sched_cold
+            .shares
+            .iter()
+            .any(|(c, n)| c == "alice" && *n > 0)
+            && sched_cold.shares.iter().any(|(c, n)| c == "bob" && *n > 0),
+        "both clients were charged for dispatched work: {:?}",
+        sched_cold.shares
+    );
+
+    // Pass 2 (warm): the identical registry again; the run-cache miss
+    // counter must not move — zero recomputation across the service.
+    let mut warm_client = Client::connect(&path)
+        .expect("connect")
+        .with_identity("carol", Priority::Background);
+    for id in &ids {
+        let served = warm_client.run(id, &eval).expect("warm served run");
+        assert_eq!(
+            served, first[*id],
+            "{id}: warm pass bytes differ from cold pass"
+        );
+    }
+    let (_, cache_warm, _) = probe.stats().expect("stats after warm pass");
+    assert_eq!(
+        cache_warm.misses, cache_cold.misses,
+        "the second identical pass recomputed a simulation"
+    );
+
+    // Graceful shutdown: drain acknowledged, clean join, socket gone.
+    probe.shutdown().expect("shutdown acknowledged");
+    drop(probe);
+    drop(warm_client);
+    handle.wait().expect("clean drain");
+    assert!(!path.exists(), "socket unlinked on exit");
+
+    // Local reference: the same registry through run_all (warm memory
+    // cache — byte identity is about rendering, not recomputation).
+    let local = experiments::run_all(&ids, &eval, None);
+    assert_eq!(local.len(), ids.len());
+    for (id, report) in &local {
+        assert_eq!(
+            &report.to_string(),
+            &first[id],
+            "{id}: served report differs from local run_all"
+        );
+    }
+    cache.reset_memory();
+}

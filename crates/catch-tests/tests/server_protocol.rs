@@ -1,0 +1,206 @@
+//! Protocol-level behaviour of the `catch-server` daemon over a real
+//! unix socket: malformed frames, oversized frames, mid-frame
+//! disconnects, drain rejections, and cross-client single-flight.
+//!
+//! Every test binds its own socket under the temp dir and drains its
+//! daemon before exiting. Exactly one test here runs simulations
+//! (`concurrent_identical_requests_simulate_exactly_once`) — the others
+//! stay on control frames, because integration tests share one process
+//! and therefore one global [`RunCache`].
+
+use catch_core::experiments::{self, EvalConfig};
+use catch_core::RunCache;
+use catch_server::{
+    Client, ClientError, Priority, Response, Server, ServerConfig, ServerHandle, MAX_FRAME_BYTES,
+};
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn sock_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("catch-proto-{tag}-{}.sock", std::process::id()))
+}
+
+fn bind(tag: &str) -> (PathBuf, ServerHandle) {
+    let path = sock_path(tag);
+    let handle = Server::bind(
+        &path,
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind daemon socket");
+    (path, handle)
+}
+
+fn tiny() -> EvalConfig {
+    EvalConfig {
+        ops: 2_000,
+        warmup: 500,
+        seed: 42,
+        sample: None,
+    }
+}
+
+fn drain(handle: ServerHandle) {
+    handle.begin_drain();
+    handle.wait().expect("clean drain");
+}
+
+#[test]
+fn malformed_frames_get_errors_and_the_connection_stays_usable() {
+    let (path, handle) = bind("malformed");
+    let mut client = Client::connect(&path).expect("connect");
+    for bad in [
+        "this is not json\n",
+        "{}\n",
+        "{\"type\":\"run\",\"seq\":5}\n",
+        "{\"type\":\"nope\",\"seq\":1}\n",
+    ] {
+        match client.send_raw(bad).expect("error frame arrives") {
+            Response::Error { retryable, .. } => {
+                assert!(!retryable, "protocol violations are not retryable")
+            }
+            other => panic!("expected an error for {bad:?}, got {other:?}"),
+        }
+    }
+    // The frame boundary was never lost: the connection still serves.
+    client.ping().expect("connection survives malformed frames");
+    drain(handle);
+}
+
+#[test]
+fn oversized_frames_are_rejected_and_the_connection_closed() {
+    let (path, handle) = bind("oversized");
+    let mut stream = UnixStream::connect(&path).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set timeout");
+    // One giant frame, streamed in chunks so the cap is hit mid-read.
+    let chunk = vec![b'x'; 4096];
+    for _ in 0..(2 * MAX_FRAME_BYTES / chunk.len()) {
+        if stream.write_all(&chunk).is_err() {
+            break; // server already closed on us — that's the point
+        }
+    }
+    let _ = stream.write_all(b"\n");
+    let mut reply = String::new();
+    stream
+        .read_to_string(&mut reply)
+        .expect("read until server closes");
+    let line = reply.lines().next().expect("one error frame before close");
+    match Response::decode(line).expect("decodes") {
+        Response::Error {
+            retryable, message, ..
+        } => {
+            assert!(!retryable);
+            assert!(message.contains("exceeds"), "names the cap: {message}");
+        }
+        other => panic!("expected an error, got {other:?}"),
+    }
+    // read_to_string returning means the server closed the connection.
+    drain(handle);
+}
+
+#[test]
+fn mid_frame_disconnects_leave_the_daemon_healthy() {
+    let (path, handle) = bind("truncated");
+    for _ in 0..3 {
+        let mut stream = UnixStream::connect(&path).expect("connect");
+        stream
+            .write_all(b"{\"type\":\"pi") // no newline, then vanish
+            .expect("partial write");
+        drop(stream);
+    }
+    let mut client = Client::connect(&path).expect("fresh connection");
+    client.ping().expect("daemon survives truncated peers");
+    drain(handle);
+}
+
+#[test]
+fn unknown_experiment_ids_are_permanent_errors() {
+    let (path, handle) = bind("unknown-id");
+    let mut client = Client::connect(&path).expect("connect");
+    match client.run("fig99", &tiny()) {
+        Err(ClientError::Server { retryable, message }) => {
+            assert!(!retryable, "a typo'd id never succeeds on retry");
+            assert!(message.contains("fig99"), "names the id: {message}");
+        }
+        other => panic!("expected a server error, got {other:?}"),
+    }
+    client.ping().expect("connection stays usable");
+    drain(handle);
+}
+
+#[test]
+fn runs_after_shutdown_are_rejected_retryably() {
+    let (path, handle) = bind("draining");
+    let mut client = Client::connect(&path).expect("connect");
+    client.shutdown().expect("shutdown acknowledged");
+    match client.run("fig1", &tiny()) {
+        Err(ClientError::Server { retryable, .. }) => {
+            assert!(retryable, "drain rejections invite a retry")
+        }
+        other => panic!("expected a retryable rejection, got {other:?}"),
+    }
+    handle.wait().expect("clean exit after protocol shutdown");
+    assert!(!path.exists(), "socket unlinked on exit");
+}
+
+/// The single-flight guarantee across the socket boundary: two clients
+/// submitting the identical request concurrently cause exactly one
+/// simulation's worth of work.
+///
+/// Determinism without relying on scheduler-level coalescing (which
+/// depends on arrival timing): measure the global cache's miss delta for
+/// the concurrent pair, then re-measure a solo local run of the same
+/// experiment from a cleared memory cache. The two deltas must be equal
+/// — the pair cost exactly one run — whichever layer (job coalescing or
+/// run-cache single-flight) absorbed the duplicate.
+#[test]
+fn concurrent_identical_requests_simulate_exactly_once() {
+    let (path, handle) = bind("single-flight");
+    let eval = tiny();
+    let cache = RunCache::global();
+    cache.reset_memory();
+    let m0 = cache.summary().misses;
+
+    let (first, second) = std::thread::scope(|scope| {
+        let (path, eval) = (&path, &eval);
+        let run = |name: &'static str, priority| {
+            scope.spawn(move || {
+                Client::connect(path)
+                    .expect("connect")
+                    .with_identity(name, priority)
+                    .run("fig1", eval)
+                    .expect("run succeeds")
+            })
+        };
+        let a = run("alice", Priority::Interactive);
+        let b = run("bob", Priority::Sweep);
+        (a.join().expect("alice"), b.join().expect("bob"))
+    });
+    assert_eq!(first, second, "both clients get identical report bytes");
+
+    let m1 = cache.summary().misses;
+    let concurrent_cost = m1 - m0;
+    assert!(concurrent_cost > 0, "the cold pair simulated something");
+
+    // Solo baseline: the same experiment from a cleared memory cache.
+    cache.reset_memory();
+    let local = experiments::run("fig1", &eval).to_string();
+    let solo_cost = cache.summary().misses - m1;
+    assert_eq!(
+        concurrent_cost, solo_cost,
+        "two concurrent identical requests must cost exactly one run"
+    );
+    assert_eq!(local, first, "served bytes match a local run");
+
+    let mut client = Client::connect(&path).expect("connect");
+    client.shutdown().expect("shutdown");
+    drop(client);
+    handle.wait().expect("clean drain");
+    cache.reset_memory();
+}

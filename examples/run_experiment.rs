@@ -13,9 +13,13 @@
 //! cargo run --release --example run_experiment -- obs-smoke     # CI gate
 //! cargo run --release --example run_experiment -- cache-smoke   # CI gate
 //! cargo run --release --example run_experiment -- timeq-smoke   # CI gate
+//! cargo run --release --example run_experiment -- server-smoke  # CI gate
 //! cargo run --release --example run_experiment -- --engine tick fig10
 //! cargo run --release --example run_experiment -- --trace-events t.json
 //! cargo run --release --example run_experiment -- --profile tpcc_like
+//! cargo run --release --example run_experiment -- serve /tmp/catch.sock
+//! cargo run --release --example run_experiment -- --server /tmp/catch.sock fig10
+//! cargo run --release --example run_experiment -- cache-stats   # shard inventory
 //! cargo run --release --example run_experiment                  # lists ids
 //! ```
 //!
@@ -79,6 +83,35 @@
 //! experiment runs (equivalent to `CATCH_ENGINE`; default: `timeq`).
 //! Results are bit-identical for both — the engine only changes how the
 //! simulator finds the next cycle that can make progress.
+//!
+//! The `serve` subcommand starts the simulation daemon on a unix socket
+//! (see DESIGN.md §12): experiment requests arrive as newline-delimited
+//! JSON frames, are deduplicated against in-flight jobs and the run
+//! cache, and are scheduled across a worker pool with strict priority
+//! classes and per-client fair share. `--workers N` sizes the pool
+//! (default: all cores); `--cache-dir` applies to the daemon's
+//! process-wide run cache. A protocol `shutdown` request drains the
+//! daemon gracefully: in-flight jobs finish, queued jobs are rejected
+//! with a retryable error, and the process exits 0.
+//!
+//! `--server SOCK` runs the positional id (or `all`) on a daemon
+//! instead of in-process; reports arrive pre-rendered and are printed
+//! byte-identically to a local run. `--client NAME` sets the fair-share
+//! identity and `--priority interactive|sweep|background` the
+//! scheduling class. The control ids `ping`, `stats` and `shutdown`
+//! talk to the daemon itself (`stats` prints queue depth, per-client
+//! shares, run-cache activity and the disk-shard inventory).
+//!
+//! The `cache-stats` subcommand prints the on-disk run-cache inventory
+//! (shard count, bytes, entry ages) for the directory selected by
+//! `--cache-dir`/`CATCH_RUN_CACHE` or an optional positional path.
+//!
+//! The special id `server-smoke` is the CI simulation-service gate: it
+//! starts an in-process daemon on a temp socket, submits the same
+//! golden-workload experiment from two clients, and exits non-zero
+//! unless both responses are byte-identical to a local run, the second
+//! response triggered zero recomputation (warm cache via `/stats`), and
+//! the daemon shuts down cleanly (socket unlinked, all threads joined).
 
 use catch_core::experiments::{self, runner, EvalConfig, GOLDEN_WORKLOADS};
 use catch_core::report::json::run_results_to_json;
@@ -87,6 +120,7 @@ use catch_core::{
     JsonlSink, NullSink, Obs, OccupancyHist, RunCache, SampleConfig, System, SystemConfig,
     TraceFormat,
 };
+use catch_server::{cachedao, Client, Priority, Server, ServerConfig};
 use catch_workloads::suite;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
@@ -96,18 +130,255 @@ fn usage_and_exit() -> ! {
     eprintln!(
         "usage: run_experiment [--md] [--jobs N] [--sample I] \
          [--engine tick|timeq] [--cache-dir DIR] [--no-cache] \
-         [--trace-events PATH] [--profile] <id|workload> [ops] [warmup]"
+         [--trace-events PATH] [--profile] \
+         [--server SOCK] [--client NAME] [--priority P] [--workers N] \
+         <id|workload> [ops] [warmup]"
     );
     eprintln!("available experiments:");
     for id in experiments::all_ids() {
         eprintln!("  {id}");
     }
     eprintln!("  all (whole registry, one deduplicated work queue)");
+    eprintln!("  serve SOCK (start the simulation daemon; see DESIGN.md §12)");
+    eprintln!("  cache-stats [DIR] (on-disk run-cache shard inventory)");
     eprintln!("  sample-smoke (CI accuracy gate)");
     eprintln!("  obs-smoke (CI observability-overhead gate)");
     eprintln!("  cache-smoke (CI run-cache gate)");
     eprintln!("  timeq-smoke (CI cycle-engine parity gate)");
+    eprintln!("  server-smoke (CI simulation-service gate)");
     std::process::exit(2);
+}
+
+/// Daemon mode: bind the socket, serve until a protocol `shutdown`
+/// drains the pool, then exit 0.
+fn serve(sock: &Path, workers: Option<usize>) -> ! {
+    let mut config = ServerConfig::default();
+    if let Some(w) = workers {
+        config.workers = w;
+    }
+    let handle = match Server::bind(sock, config.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", sock.display());
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "catch-server: listening on {} ({} workers, cache {:?})",
+        sock.display(),
+        config.workers,
+        RunCache::global().mode()
+    );
+    match handle.wait() {
+        Ok(()) => {
+            eprintln!("catch-server: drained, exiting");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("catch-server: shutdown error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Client mode: run `id` (or `all`) on a daemon; prints the pre-rendered
+/// reports byte-identically to a local run, then a stats line to stderr.
+fn client_mode(sock: &Path, id: &str, eval: &EvalConfig, name: &str, priority: Priority) -> ! {
+    let mut client = match Client::connect(sock) {
+        Ok(c) => c.with_identity(name, priority),
+        Err(e) => {
+            eprintln!("cannot connect to {}: {e}", sock.display());
+            std::process::exit(1);
+        }
+    };
+    // Daemon-control ids (no local equivalent).
+    match id {
+        "ping" => {
+            client.ping().unwrap_or_else(|e| {
+                eprintln!("ping: {e}");
+                std::process::exit(1);
+            });
+            println!("pong");
+            std::process::exit(0);
+        }
+        "stats" => {
+            let (sched, cache, shards) = client.stats().unwrap_or_else(|e| {
+                eprintln!("stats: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "queue {} deep, {} running; {} admitted / {} coalesced / \
+                 {} rejected / {} completed",
+                sched.queue_depth,
+                sched.running,
+                sched.admitted,
+                sched.coalesced,
+                sched.rejected,
+                sched.completed
+            );
+            for (client, share) in &sched.shares {
+                println!("  share {client}: {share} ops dispatched");
+            }
+            println!("{cache}");
+            println!(
+                "disk: {} shards, {} B, oldest {}s, newest {}s",
+                shards.entries, shards.bytes, shards.oldest_secs, shards.newest_secs
+            );
+            std::process::exit(0);
+        }
+        "shutdown" => {
+            client.shutdown().unwrap_or_else(|e| {
+                eprintln!("shutdown: {e}");
+                std::process::exit(1);
+            });
+            println!("server draining");
+            std::process::exit(0);
+        }
+        _ => {}
+    }
+    let ids: Vec<&str> = if id == "all" {
+        experiments::all_ids().to_vec()
+    } else {
+        vec![id]
+    };
+    for id in ids {
+        match client.run(id, eval) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("{id}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Ok((sched, cache, _)) = client.stats() {
+        eprintln!(
+            "server: {} admitted / {} coalesced / {} completed; {cache}",
+            sched.admitted, sched.coalesced, sched.completed
+        );
+    }
+    std::process::exit(0);
+}
+
+/// Shard inventory for the on-disk run cache: `dir` overrides the mode
+/// from `--cache-dir` / `CATCH_RUN_CACHE`.
+fn cache_stats(dir: Option<&Path>) -> ! {
+    let dir = match (dir, RunCache::global().mode()) {
+        (Some(d), _) => d.to_path_buf(),
+        (None, CacheMode::Disk(d)) => d,
+        (None, mode) => {
+            eprintln!(
+                "cache-stats: no cache directory (mode {mode:?}); \
+                 pass a path, --cache-dir DIR, or set {}",
+                catch_core::RUN_CACHE_ENV
+            );
+            std::process::exit(2);
+        }
+    };
+    match cachedao::scan(&dir) {
+        Ok(stats) => {
+            println!(
+                "cache-stats: {} — {} shards, {} B, oldest {}s, newest {}s",
+                dir.display(),
+                stats.entries,
+                stats.bytes,
+                stats.oldest_secs,
+                stats.newest_secs
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("cache-stats: cannot scan {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The CI simulation-service gate: an in-process daemon on a temp
+/// socket, the same experiment from two clients, hard-fail unless both
+/// responses are byte-identical to a local run, the second triggered
+/// zero recomputation, and shutdown is clean.
+fn server_smoke(eval: &EvalConfig) -> ! {
+    const ID: &str = "fig10";
+    let tag = std::process::id();
+    let sock = std::env::temp_dir().join(format!("catch-server-smoke-{tag}.sock"));
+    if !matches!(RunCache::global().mode(), CacheMode::Disk(_)) {
+        let dir = std::env::temp_dir().join(format!("catch-server-smoke-cache-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        RunCache::global().set_mode(CacheMode::Disk(dir));
+    }
+    let handle = Server::bind(&sock, ServerConfig::default()).unwrap_or_else(|e| {
+        eprintln!("server-smoke FAILED: cannot bind {}: {e}", sock.display());
+        std::process::exit(1);
+    });
+    let connect = |name: &str, priority| {
+        Client::connect(&sock)
+            .unwrap_or_else(|e| {
+                eprintln!("server-smoke FAILED: connect: {e}");
+                std::process::exit(1);
+            })
+            .with_identity(name, priority)
+    };
+    let mut alice = connect("alice", Priority::Interactive);
+    let mut bob = connect("bob", Priority::Sweep);
+
+    let t = Instant::now();
+    let first = alice.run(ID, eval).unwrap_or_else(|e| {
+        eprintln!("server-smoke FAILED: first run: {e}");
+        std::process::exit(1);
+    });
+    let cold_secs = t.elapsed().as_secs_f64();
+    let misses_cold = alice.stats().expect("stats after first run").1.misses;
+
+    let t = Instant::now();
+    let second = bob.run(ID, eval).unwrap_or_else(|e| {
+        eprintln!("server-smoke FAILED: second run: {e}");
+        std::process::exit(1);
+    });
+    let warm_secs = t.elapsed().as_secs_f64();
+    let (sched, cache, shards) = bob.stats().expect("stats after second run");
+
+    println!(
+        "server-smoke: {ID} ops={} cold {:.1} ms, warm {:.1} ms; \
+         {} admitted / {} coalesced / {} completed; {} shards on disk",
+        eval.ops,
+        1e3 * cold_secs,
+        1e3 * warm_secs,
+        sched.admitted,
+        sched.coalesced,
+        sched.completed,
+        shards.entries,
+    );
+    if first != second {
+        eprintln!("server-smoke FAILED: the two clients got different report bytes");
+        std::process::exit(1);
+    }
+    if cache.misses != misses_cold {
+        eprintln!(
+            "server-smoke FAILED: second response recomputed \
+             ({} misses cold, {} after warm)",
+            misses_cold, cache.misses
+        );
+        std::process::exit(1);
+    }
+    let local = experiments::run(ID, eval).to_string();
+    if local != first {
+        eprintln!("server-smoke FAILED: served report differs from a local run");
+        std::process::exit(1);
+    }
+    alice.shutdown().unwrap_or_else(|e| {
+        eprintln!("server-smoke FAILED: shutdown request: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = handle.wait() {
+        eprintln!("server-smoke FAILED: drain: {e}");
+        std::process::exit(1);
+    }
+    if sock.exists() {
+        eprintln!("server-smoke FAILED: socket not unlinked on exit");
+        std::process::exit(1);
+    }
+    println!("server-smoke OK (byte-identical, zero recompute, clean drain)");
+    std::process::exit(0);
 }
 
 /// The CI cycle-engine gate: one golden workload under the CATCH
@@ -442,6 +713,10 @@ fn main() {
     let mut sample: Option<usize> = None;
     let mut trace_events: Option<PathBuf> = None;
     let mut profile = false;
+    let mut server_sock: Option<PathBuf> = None;
+    let mut client_name: Option<String> = None;
+    let mut priority = Priority::Interactive;
+    let mut workers: Option<usize> = None;
     // Flags may appear in any order ahead of the positional arguments.
     loop {
         match args.first().map(String::as_str) {
@@ -519,6 +794,49 @@ fn main() {
                 RunCache::global().set_mode(CacheMode::Off);
                 args.remove(0);
             }
+            Some("--server") => {
+                args.remove(0);
+                let Some(raw) = args.first() else {
+                    eprintln!("--server requires a socket path");
+                    usage_and_exit();
+                };
+                server_sock = Some(PathBuf::from(raw));
+                args.remove(0);
+            }
+            Some("--client") => {
+                args.remove(0);
+                let Some(raw) = args.first() else {
+                    eprintln!("--client requires a name");
+                    usage_and_exit();
+                };
+                client_name = Some(raw.clone());
+                args.remove(0);
+            }
+            Some("--priority") => {
+                args.remove(0);
+                let Some(raw) = args.first() else {
+                    eprintln!("--priority requires interactive|sweep|background");
+                    usage_and_exit();
+                };
+                priority = Priority::parse(raw).unwrap_or_else(|e| {
+                    eprintln!("invalid --priority: {e}");
+                    usage_and_exit();
+                });
+                args.remove(0);
+            }
+            Some("--workers") => {
+                args.remove(0);
+                let Some(n) = args
+                    .first()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                else {
+                    eprintln!("--workers requires a positive thread count");
+                    usage_and_exit();
+                };
+                workers = Some(n);
+                args.remove(0);
+            }
             _ => break,
         }
     }
@@ -547,6 +865,27 @@ fn main() {
     let Some(id) = args.first().cloned() else {
         usage_and_exit();
     };
+    if id == "serve" {
+        let Some(sock) = args.get(1).map(PathBuf::from) else {
+            eprintln!("serve requires a socket path");
+            usage_and_exit();
+        };
+        serve(&sock, workers);
+    }
+    if id == "cache-stats" {
+        cache_stats(args.get(1).map(Path::new));
+    }
+    if id == "server-smoke" {
+        server_smoke(&eval);
+    }
+    if let Some(sock) = server_sock {
+        if markdown {
+            eprintln!("--md is not supported with --server (reports arrive pre-rendered)");
+            std::process::exit(2);
+        }
+        let name = client_name.unwrap_or_else(|| format!("anon-{}", std::process::id()));
+        client_mode(&sock, &id, &eval, &name, priority);
+    }
     if id == "sample-smoke" {
         sample_smoke(&eval);
     }
