@@ -16,6 +16,9 @@
 //!   `catch-bench` crate exposes them as `cargo bench` targets.
 //! * [`energy`] implements the CACTI/Orion/Micron-inspired energy model
 //!   behind Figure 16.
+//! * [`sweep`] expands declarative design-space grids into hundreds of
+//!   configurations and evaluates them through the run cache with a
+//!   resumable checkpoint journal and Pareto-frontier reports.
 //!
 //! # Quickstart
 //!
@@ -41,9 +44,10 @@ mod metrics;
 pub mod report;
 pub mod runcache;
 mod sampling;
+pub mod sweep;
 mod system;
 
-pub use metrics::{geomean, geomean_ratio, MpResult, RunResult};
+pub use metrics::{geomean, geomean_ratio, try_geomean, MpResult, RunResult};
 pub use runcache::{
     run_fingerprint, CacheMode, CacheSummary, Fingerprint, RunCache, RUN_CACHE_ENV,
 };

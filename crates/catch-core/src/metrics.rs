@@ -123,20 +123,49 @@ impl MpResult {
     }
 }
 
-/// Geometric mean of positive values (zero/empty ⇒ 0).
+/// Geometric mean of positive values.
+///
+/// Degenerate *values* (zero, negative, non-finite) yield the 0.0
+/// sentinel the registry's ratio tables render as a visibly-broken
+/// `0.00x` row. An *empty* slice is a different failure — nothing was
+/// aggregated at all — and returns NaN so it can never masquerade as a
+/// plausible result. Layers that must fail loudly (the sweep engine's
+/// per-point aggregation) should use [`try_geomean`] instead and handle
+/// `None` explicitly.
 pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
     // Non-finite inputs are rejected along with non-positive ones: a
     // zero-IPC base run turns its ratio into +inf, and one inf (or NaN)
     // would otherwise poison the whole mean instead of flagging the
     // degenerate input with the 0.0 sentinel.
-    if values.is_empty() || values.iter().any(|&v| !v.is_finite() || v <= 0.0) {
+    if values.iter().any(|&v| !v.is_finite() || v <= 0.0) {
         return 0.0;
     }
     let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
     (log_sum / values.len() as f64).exp()
 }
 
+/// Geometric mean that refuses to aggregate nothing: `None` when the
+/// slice is empty or contains a non-finite / non-positive value, the
+/// mean otherwise. This is the checked face of [`geomean`] for callers
+/// (the sweep aggregation layer) where a sentinel would be silently
+/// journaled and ranked.
+pub fn try_geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| !v.is_finite() || v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
 /// Geometric-mean speedup of `new` over `base`, paired by position.
+///
+/// Two empty slices yield NaN (nothing was compared), per [`geomean`];
+/// every registry caller passes a fixed non-empty suite, and
+/// `per_category_ratio` skips categories with no members before
+/// aggregating.
 ///
 /// # Panics
 ///
@@ -185,11 +214,22 @@ mod tests {
 
     #[test]
     fn geomean_basics() {
-        assert_eq!(geomean(&[]), 0.0);
+        // Aggregating nothing is NaN, never a plausible-looking number.
+        assert!(geomean(&[]).is_nan());
         assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
         assert_eq!(geomean(&[1.0, 0.0]), 0.0);
         assert_eq!(geomean(&[1.0, f64::INFINITY]), 0.0);
         assert_eq!(geomean(&[1.0, f64::NAN]), 0.0);
+    }
+
+    #[test]
+    fn try_geomean_rejects_degenerate_sets() {
+        assert_eq!(try_geomean(&[]), None);
+        assert_eq!(try_geomean(&[1.0, 0.0]), None);
+        assert_eq!(try_geomean(&[1.0, f64::NAN]), None);
+        assert_eq!(try_geomean(&[1.0, -2.0]), None);
+        let m = try_geomean(&[2.0, 8.0]).unwrap();
+        assert!((m - 4.0).abs() < 1e-12);
     }
 
     #[test]

@@ -15,6 +15,9 @@ pub enum ValueKind {
     Raw,
     /// Percentages of a whole ("85.0%").
     Percent,
+    /// High-precision raw numbers ("5.0000") — Pareto metrics, where
+    /// three digits would alias nearby frontier points.
+    Precise,
 }
 
 /// One table of an experiment report.
@@ -57,6 +60,7 @@ impl Table {
             ValueKind::Ratio => format!("{:.3}", v),
             ValueKind::Raw => format!("{:.1}", v),
             ValueKind::Percent => format!("{:.1}%", v),
+            ValueKind::Precise => format!("{:.4}", v),
         }
     }
 }
@@ -194,6 +198,7 @@ mod tests {
             (ValueKind::Ratio, "5.000"),
             (ValueKind::Raw, "5.0"),
             (ValueKind::Percent, "5.0%"),
+            (ValueKind::Precise, "5.0000"),
         ] {
             let mut t = Table::new("t", vec!["c".into()], kind);
             t.push_row("r", vec![5.0]);

@@ -74,7 +74,7 @@ impl fmt::Display for Fingerprint {
 /// Hashes `payload` twice with distinct domain-prefix bytes; 64 bits per
 /// half keeps accidental collisions across a few hundred keys negligible
 /// (and the workload id is re-checked on every disk load anyway).
-fn fp128(payload: &str) -> Fingerprint {
+pub(crate) fn fp128(payload: &str) -> Fingerprint {
     let half = |tag: u8| {
         let mut h = FxHasher::default();
         h.write_u8(tag);

@@ -1,0 +1,288 @@
+//! Checkpoint journal: crash-safe resumability for sweeps.
+//!
+//! The journal is a line-oriented file in the workspace's restricted
+//! JSON subset (objects / strings / unsigned integers — the same
+//! grammar [`crate::report::json::parse`] reads for the run cache).
+//! Floats are stored as their IEEE-754 bit patterns
+//! ([`f64::to_bits`]) so every metric round-trips **bit-exactly** —
+//! the property behind the byte-identical-resume guarantee.
+//!
+//! Line 1 is the header, written once when a sweep first touches the
+//! file:
+//!
+//! ```json
+//! {"sweep": "<fp hex>", "schema": 1, "points": 12,
+//!  "baseline": {"xalanc_like": 4606281698874543104, ...}}
+//! ```
+//!
+//! `sweep` is the [`sweep_fingerprint`](super::sweep_fingerprint) of
+//! (grid spec, eval, schema): a journal can only ever resume the exact
+//! sweep that wrote it. `baseline` pins the per-workload baseline IPCs
+//! so a resumed run aggregates against the same denominators without
+//! recomputation. Every later line is one completed point, appended by
+//! the worker that retires its last workload:
+//!
+//! ```json
+//! {"point": "<fp hex>", "name": "excl3-5632KB", "perf": ...,
+//!  "energy": ..., "area": ...}
+//! ```
+//!
+//! Appends are serialized by a mutex and flushed per line, so a killed
+//! process loses at most its in-flight points; a torn final line from a
+//! hard kill fails to parse and is skipped on load (that point simply
+//! reruns). Unknown but well-formed lines are skipped too, which keeps
+//! old journals readable if later schemas add line kinds.
+
+use super::PointMetrics;
+use crate::report::json;
+use crate::runcache::{Fingerprint, SCHEMA_VERSION};
+use crate::FxHashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Everything a prior invocation left in the journal.
+#[derive(Debug, Default)]
+pub(super) struct State {
+    /// Baseline per-workload IPCs from the header, if one was written.
+    pub baseline: Option<Vec<(String, f64)>>,
+    /// Completed points keyed by point fingerprint.
+    pub points: FxHashMap<u128, PointMetrics>,
+}
+
+fn parse_hex_fp(s: &str) -> Option<u128> {
+    (s.len() == 32).then(|| u128::from_str_radix(s, 16).ok())?
+}
+
+fn field_f64(v: &json::JsonValue, key: &str) -> Option<f64> {
+    Some(f64::from_bits(v.get(key)?.as_num()?))
+}
+
+/// Reads a journal back. A missing file is an empty state (fresh
+/// sweep); a present file must lead with a header whose `sweep`
+/// fingerprint and schema match, otherwise the checkpoint belongs to a
+/// different sweep and resuming would silently mix grids.
+pub(super) fn load(path: &Path, sweep_fp: Fingerprint) -> Result<State, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(State::default()),
+        Err(e) => return Err(format!("cannot read checkpoint {}: {e}", path.display())),
+    };
+    let mut state = State::default();
+    let mut saw_header = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(value) = json::parse(line) else {
+            // Torn tail from a hard kill: drop the line, rerun the point.
+            continue;
+        };
+        if let Some(fp) = value.get("sweep").and_then(|v| v.as_str()) {
+            if !saw_header {
+                // Only the first header is authoritative.
+                if parse_hex_fp(fp) != Some(sweep_fp.0) {
+                    return Err(format!(
+                        "checkpoint {} was written by a different sweep \
+                         (grid, eval scale or schema changed); delete it or \
+                         pick another path",
+                        path.display()
+                    ));
+                }
+                if value.get("schema").and_then(|v| v.as_num()) != Some(SCHEMA_VERSION) {
+                    return Err(format!(
+                        "checkpoint {} has an incompatible schema",
+                        path.display()
+                    ));
+                }
+                let baseline = value
+                    .get("baseline")
+                    .and_then(|v| v.as_obj())
+                    .ok_or_else(|| {
+                        format!("checkpoint {} header lacks baselines", path.display())
+                    })?;
+                state.baseline = Some(
+                    baseline
+                        .iter()
+                        .filter_map(|(k, v)| Some((k.clone(), f64::from_bits(v.as_num()?))))
+                        .collect(),
+                );
+                saw_header = true;
+            }
+            continue;
+        }
+        if !saw_header {
+            return Err(format!(
+                "checkpoint {} does not start with a sweep header",
+                path.display()
+            ));
+        }
+        let Some(fp) = value
+            .get("point")
+            .and_then(|v| v.as_str())
+            .and_then(parse_hex_fp)
+        else {
+            continue;
+        };
+        let (Some(perf), Some(energy_uj), Some(area_mm2)) = (
+            field_f64(&value, "perf"),
+            field_f64(&value, "energy"),
+            field_f64(&value, "area"),
+        ) else {
+            continue;
+        };
+        state.points.insert(
+            fp,
+            PointMetrics {
+                perf,
+                energy_uj,
+                area_mm2,
+            },
+        );
+    }
+    Ok(state)
+}
+
+/// Append handle shared by the sweep workers. One mutex serializes
+/// whole-line writes; each line is flushed before the lock drops.
+pub(super) struct Writer {
+    file: Mutex<BufWriter<File>>,
+}
+
+impl Writer {
+    /// Opens `path` for appending, creating parent directories as
+    /// needed, and writes the header iff `header` carries the baseline
+    /// (i.e. the file had none — fresh or headerless journal).
+    pub(super) fn open(
+        path: &Path,
+        sweep_fp: Fingerprint,
+        total: usize,
+        header: Option<Vec<(String, f64)>>,
+    ) -> Result<Writer, String> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot open checkpoint {}: {e}", path.display()))?;
+        let writer = Writer {
+            file: Mutex::new(BufWriter::new(file)),
+        };
+        if let Some(baseline) = header {
+            let fields: Vec<String> = baseline
+                .iter()
+                .map(|(name, ipc)| format!("\"{}\": {}", json::escape(name), ipc.to_bits()))
+                .collect();
+            writer.write_line(&format!(
+                "{{\"sweep\": \"{sweep_fp}\", \"schema\": {SCHEMA_VERSION}, \
+                 \"points\": {total}, \"baseline\": {{{}}}}}",
+                fields.join(", ")
+            ))?;
+        }
+        Ok(writer)
+    }
+
+    /// Appends one completed point.
+    pub(super) fn append(&self, fp: Fingerprint, name: &str, m: PointMetrics) {
+        // A full disk mid-sweep should not take the in-memory results
+        // down with it; the line is simply lost and the point reruns.
+        let _ = self.write_line(&format!(
+            "{{\"point\": \"{fp}\", \"name\": \"{}\", \"perf\": {}, \
+             \"energy\": {}, \"area\": {}}}",
+            json::escape(name),
+            m.perf.to_bits(),
+            m.energy_uj.to_bits(),
+            m.area_mm2.to_bits()
+        ));
+    }
+
+    fn write_line(&self, line: &str) -> Result<(), String> {
+        let mut file = self.file.lock().expect("journal writer poisoned");
+        writeln!(file, "{line}")
+            .and_then(|()| file.flush())
+            .map_err(|e| format!("checkpoint write failed: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runcache::fp128;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("catch-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trips_header_and_points_bit_exactly() {
+        let path = tmp("roundtrip.journal");
+        let _ = std::fs::remove_file(&path);
+        let sweep = fp128("journal-test-sweep");
+        let baseline = vec![("astar_like".to_string(), 0.1234567891234)];
+        let w = Writer::open(&path, sweep, 3, Some(baseline.clone())).unwrap();
+        let p1 = fp128("p1");
+        let m1 = PointMetrics {
+            perf: 1.0372819,
+            energy_uj: 8123.4567,
+            area_mm2: 21.5,
+        };
+        w.append(p1, "excl3-5632KB", m1);
+        w.append(
+            fp128("p2"),
+            "weird \"name\"\n",
+            PointMetrics {
+                perf: f64::NAN,
+                energy_uj: 0.0,
+                area_mm2: 1.5,
+            },
+        );
+        drop(w);
+
+        let state = load(&path, sweep).unwrap();
+        assert_eq!(state.baseline, Some(baseline));
+        assert_eq!(state.points.len(), 2);
+        assert_eq!(state.points[&p1.0], m1);
+        // NaN survives as NaN (bit pattern, not text).
+        assert!(state.points[&fp128("p2").0].perf.is_nan());
+    }
+
+    #[test]
+    fn rejects_foreign_sweeps_and_tolerates_torn_tails() {
+        let path = tmp("torn.journal");
+        let _ = std::fs::remove_file(&path);
+        let sweep = fp128("owner");
+        let w = Writer::open(&path, sweep, 1, Some(vec![("x".into(), 1.0)])).unwrap();
+        w.append(
+            fp128("done"),
+            "a",
+            PointMetrics {
+                perf: 1.0,
+                energy_uj: 2.0,
+                area_mm2: 3.0,
+            },
+        );
+        drop(w);
+        // Simulate a hard kill mid-append: garbage tail line.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"point\": \"deadbeef").unwrap();
+        }
+        let state = load(&path, sweep).unwrap();
+        assert_eq!(state.points.len(), 1);
+        // A different sweep must refuse to resume from this file.
+        assert!(load(&path, fp128("intruder")).is_err());
+        // Missing file: clean empty state.
+        let fresh = load(&tmp("never-written.journal"), sweep).unwrap();
+        assert!(fresh.baseline.is_none() && fresh.points.is_empty());
+    }
+}

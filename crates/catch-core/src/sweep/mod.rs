@@ -1,0 +1,587 @@
+//! Resumable design-space sweep engine (ROADMAP item 2).
+//!
+//! A [`SweepSpec`] is a declarative grid over the design axes the paper's
+//! Section VI-E trade-off argument cares about — LLC capacity ×
+//! hierarchy organisation (exclusive / inclusive / two-level) × CATCH
+//! on/off × LLC latency delta × baseline-prefetcher mix — expanded by
+//! [`expand`] into one [`SweepPoint`] (a full [`SystemConfig`]) per grid
+//! cell. [`run_sweep`] evaluates every point over the spec's workload
+//! list:
+//!
+//! * **Work-stealing frontier** — the (point × workload) jobs flatten
+//!   onto the registry's parallel [`Runner`]; workers pull jobs from the
+//!   shared atomic cursor, so a slow point never convoys the sweep.
+//! * **Run-cache composition** — every simulation resolves through the
+//!   process-wide [`RunCache`](crate::RunCache), so points shared with
+//!   registry experiments (or an earlier sweep at the same scale) cost
+//!   nothing, and `eval.sample` buys sampled fidelity per point.
+//! * **Checkpoint journal** — with [`SweepOptions::checkpoint`] set,
+//!   each point's aggregate metrics are appended to a line-oriented
+//!   journal the moment its last workload retires; a later invocation
+//!   resumes from the journal with **zero recompute** of journaled
+//!   points and a final report byte-identical to an uninterrupted run
+//!   (asserted by the `sweep` suite in `catch-tests`).
+//! * **Pareto reports** — the report ranks the non-dominated frontier
+//!   over (perf ↑, energy ↓, area ↓) using the existing
+//!   [`energy`](crate::energy) and [`area`](crate::area) models.
+//!
+//! The engine is reachable from the CLI (`run_experiment sweep[:grid]`,
+//! `--checkpoint`, `--points`) and from `catch-server` (the same
+//! `sweep[:grid]` ids drain through the daemon's sweep priority class).
+
+mod journal;
+mod pareto;
+
+use crate::area::{hierarchy_area, AreaConstants};
+use crate::energy::{energy_of, EnergyConstants};
+use crate::experiments::{run_one, EvalConfig, Runner, GOLDEN_WORKLOADS};
+use crate::metrics::try_geomean;
+use crate::report::ExperimentReport;
+use crate::runcache::{fp128, Fingerprint, SCHEMA_VERSION};
+use crate::system::{System, SystemConfig};
+use catch_cache::{CacheConfig, Level};
+use catch_workloads::WorkloadSpec;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Hierarchy organisation axis of a sweep grid.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Org {
+    /// Private 1 MB L2 + shared exclusive LLC (Skylake-server-like).
+    Excl3,
+    /// Private 256 KB L2 + shared inclusive LLC (Skylake-client-like).
+    Incl3,
+    /// No L2: private L1s in front of the shared LLC (CATCH two-level).
+    NoL2,
+}
+
+impl Org {
+    fn label(self) -> &'static str {
+        match self {
+            Org::Excl3 => "excl3",
+            Org::Incl3 => "incl3",
+            Org::NoL2 => "noL2",
+        }
+    }
+}
+
+/// Declarative grid over the design axes. The cross product of every
+/// axis is the point set; [`expand`] materialises it in a fixed,
+/// deterministic order (org-major, then LLC size, CATCH, latency,
+/// prefetchers).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepSpec {
+    /// LLC capacities in KiB. Each must divide into whole sets for one
+    /// of the supported associativities (multiples of 704 KiB always
+    /// work at 11 ways; powers of two at 16/8 ways).
+    pub llc_kb: Vec<u64>,
+    /// Hierarchy organisations.
+    pub orgs: Vec<Org>,
+    /// CATCH mechanisms off/on.
+    pub catch: Vec<bool>,
+    /// Extra LLC hit-latency cycles (0 = nominal; the Figure 15 axis).
+    pub llc_extra_latency: Vec<u64>,
+    /// Baseline prefetchers off/on (the prefetcher-mix axis).
+    pub baseline_prefetchers: Vec<bool>,
+    /// Core count used for chip-area accounting (simulation itself is
+    /// single-core; the LLC is shared, so area is reported for a chip
+    /// of this size — the paper's four-core arithmetic).
+    pub chip_cores: usize,
+    /// Workloads each point is evaluated over (perf is the geomean IPC
+    /// ratio vs the exclusive baseline across these).
+    pub workloads: Vec<String>,
+}
+
+impl SweepSpec {
+    /// Small grid for examples, smoke gates and tests: 12 points over
+    /// two organisations, three LLC sizes and CATCH on/off.
+    pub fn quick() -> Self {
+        SweepSpec {
+            llc_kb: vec![4224, 5632, 9728],
+            orgs: vec![Org::Excl3, Org::NoL2],
+            catch: vec![false, true],
+            llc_extra_latency: vec![0],
+            baseline_prefetchers: vec![true],
+            chip_cores: 4,
+            workloads: GOLDEN_WORKLOADS.iter().map(|w| w.to_string()).collect(),
+        }
+    }
+
+    /// The full published grid: 600 points over ten LLC capacities,
+    /// all three organisations, CATCH on/off, five LLC latency deltas
+    /// and both prefetcher mixes.
+    pub fn paper() -> Self {
+        SweepSpec {
+            llc_kb: vec![2816, 3520, 4224, 4928, 5632, 7040, 8448, 9856, 11264, 14080],
+            orgs: vec![Org::Excl3, Org::Incl3, Org::NoL2],
+            catch: vec![false, true],
+            llc_extra_latency: vec![0, 4, 8, 16, 24],
+            baseline_prefetchers: vec![true, false],
+            chip_cores: 4,
+            workloads: GOLDEN_WORKLOADS.iter().map(|w| w.to_string()).collect(),
+        }
+    }
+
+    /// Looks a named grid preset up (`"quick"` or `"paper"`).
+    pub fn by_name(name: &str) -> Option<SweepSpec> {
+        match name {
+            "quick" => Some(SweepSpec::quick()),
+            "paper" => Some(SweepSpec::paper()),
+            _ => None,
+        }
+    }
+
+    /// Number of grid points the spec expands to.
+    pub fn point_count(&self) -> usize {
+        self.orgs.len()
+            * self.llc_kb.len()
+            * self.catch.len()
+            * self.llc_extra_latency.len()
+            * self.baseline_prefetchers.len()
+    }
+}
+
+/// Resolves a protocol/CLI request id to a grid: `"sweep"` is the quick
+/// grid, `"sweep:<name>"` a named preset. `None` for non-sweep ids.
+pub fn by_request_id(id: &str) -> Option<SweepSpec> {
+    match id {
+        "sweep" => Some(SweepSpec::quick()),
+        _ => id.strip_prefix("sweep:").and_then(SweepSpec::by_name),
+    }
+}
+
+/// One expanded grid cell: the runnable configuration plus the capacity
+/// and area facts the energy/area models need.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Systematic point label (also the report row label).
+    pub name: String,
+    /// Full machine configuration (single-core; see
+    /// [`SweepSpec::chip_cores`]).
+    pub config: SystemConfig,
+    /// Per-core L2 capacity (0 for two-level points).
+    pub l2_bytes: u64,
+    /// Shared LLC capacity.
+    pub llc_bytes: u64,
+    /// Chip area at [`SweepSpec::chip_cores`] cores (mm²).
+    pub area_mm2: f64,
+}
+
+/// Smallest supported associativity that divides `lines` into whole
+/// sets (the cache model indexes by mask for power-of-two set counts
+/// and by modulo otherwise, so any divisor is valid).
+fn pick_ways(lines: u64) -> usize {
+    [11usize, 16, 8, 4, 2, 1]
+        .into_iter()
+        .find(|&w| lines.is_multiple_of(w as u64))
+        .expect("1 divides everything")
+}
+
+fn build_point(
+    spec: &SweepSpec,
+    org: Org,
+    llc_kb: u64,
+    catch: bool,
+    extra: u64,
+    prefetchers: bool,
+) -> SweepPoint {
+    let llc_bytes = llc_kb << 10;
+    let mut config = match org {
+        Org::Excl3 => SystemConfig::baseline_exclusive(),
+        Org::Incl3 => SystemConfig::baseline_inclusive(),
+        Org::NoL2 => SystemConfig::baseline_exclusive().without_l2(llc_bytes),
+    };
+    if org != Org::NoL2 {
+        let llc = &config.hierarchy.llc;
+        let lines = llc_bytes / catch_trace::LINE_BYTES;
+        config.hierarchy.llc =
+            CacheConfig::with_repl("LLC", llc_bytes, pick_ways(lines), llc.latency, llc.repl)
+                .expect("sweep axis produced an invalid LLC geometry");
+    }
+    config.core.baseline_prefetchers = prefetchers;
+    if catch {
+        config = config.with_catch();
+    }
+    if extra > 0 {
+        config = config.with_extra_latency(Level::Llc, extra);
+    }
+    let mut name = format!("{}-{}KB", org.label(), llc_kb);
+    if extra > 0 {
+        name.push_str(&format!("+lat{extra}"));
+    }
+    if !prefetchers {
+        name.push_str("-nopf");
+    }
+    if catch {
+        name.push_str("+CATCH");
+    }
+    let config = config.named(name.clone());
+    let l2_bytes = if config.hierarchy.has_l2() {
+        config.hierarchy.l2.bytes
+    } else {
+        0
+    };
+    let mut chip = config.hierarchy.clone();
+    chip.cores = spec.chip_cores;
+    let area_mm2 = hierarchy_area(&chip, &AreaConstants::nm14()).total_mm2();
+    SweepPoint {
+        name,
+        config,
+        l2_bytes,
+        llc_bytes,
+        area_mm2,
+    }
+}
+
+/// Materialises the grid in its fixed order (org-major, then LLC size,
+/// CATCH, latency delta, prefetcher mix).
+pub fn expand(spec: &SweepSpec) -> Vec<SweepPoint> {
+    let mut points = Vec::with_capacity(spec.point_count());
+    for &org in &spec.orgs {
+        for &llc_kb in &spec.llc_kb {
+            for &catch in &spec.catch {
+                for &extra in &spec.llc_extra_latency {
+                    for &pf in &spec.baseline_prefetchers {
+                        points.push(build_point(spec, org, llc_kb, catch, extra, pf));
+                    }
+                }
+            }
+        }
+    }
+    points
+}
+
+/// Structural fingerprint of the whole sweep (grid spec + evaluation
+/// scale + schema). The checkpoint journal is keyed by this: a journal
+/// written for a different grid or scale can never resume a sweep.
+pub fn sweep_fingerprint(spec: &SweepSpec, eval: &EvalConfig) -> Fingerprint {
+    fp128(&format!("sweep|schema{SCHEMA_VERSION}|{spec:?}|{eval:?}"))
+}
+
+/// Structural fingerprint of one grid point under one evaluation scale
+/// (the journal's per-point key). The display name is a report label and
+/// is stripped, exactly like the run cache's keys.
+pub fn point_fingerprint(
+    config: &SystemConfig,
+    eval: &EvalConfig,
+    workloads: &[String],
+) -> Fingerprint {
+    let mut anon = config.clone();
+    anon.name = String::new();
+    fp128(&format!(
+        "sweeppoint|schema{SCHEMA_VERSION}|{anon:?}|{eval:?}|{workloads:?}"
+    ))
+}
+
+/// Execution knobs for one [`run_sweep`] invocation.
+#[derive(Clone, Debug, Default)]
+pub struct SweepOptions {
+    /// Worker count (`None` defers to [`Runner::from_env`]).
+    pub jobs: Option<usize>,
+    /// Checkpoint journal path. When set, completed points are appended
+    /// as they finish and already-journaled points are never recomputed.
+    pub checkpoint: Option<PathBuf>,
+    /// Evaluate at most this many *new* points this invocation, leaving
+    /// the rest pending in the journal (the cooperative interruption
+    /// hook behind resumability tests and budgeted sweeps).
+    pub limit: Option<usize>,
+}
+
+/// Aggregate metrics of one completed point.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct PointMetrics {
+    /// Geomean IPC ratio vs the exclusive baseline (NaN when the ratio
+    /// set was degenerate — see [`try_geomean`]).
+    pub perf: f64,
+    /// Total energy over the workload list (µJ).
+    pub energy_uj: f64,
+    /// Chip area (mm²).
+    pub area_mm2: f64,
+}
+
+/// What one [`run_sweep`] invocation did.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// The Pareto report over every completed point.
+    pub report: ExperimentReport,
+    /// Grid size.
+    pub total: usize,
+    /// Points restored from the checkpoint journal (zero recompute).
+    pub resumed: usize,
+    /// Points evaluated by this invocation.
+    pub computed: usize,
+    /// Points still pending (non-zero only under [`SweepOptions::limit`]).
+    pub remaining: usize,
+    /// Completed points whose perf aggregate was degenerate (excluded
+    /// from the frontier).
+    pub degenerate: usize,
+}
+
+// Per-point accumulation slot: a retired-workload counter plus the
+// per-workload (ipc, energy) measurements awaiting aggregation.
+type PointSlot = (AtomicUsize, Mutex<Vec<Option<(f64, f64)>>>);
+
+/// Runs (or resumes) a sweep. See the module docs for the execution
+/// model; the returned report is deterministic — byte-identical across
+/// worker counts, cache modes and interrupt/resume splits.
+///
+/// # Errors
+///
+/// Fails on an empty grid, an unknown workload name, or a checkpoint
+/// journal that is unreadable or was written for a different sweep.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    eval: &EvalConfig,
+    opts: &SweepOptions,
+) -> Result<SweepOutcome, String> {
+    let points = expand(spec);
+    let total = points.len();
+    if total == 0 {
+        return Err("sweep grid is empty (every axis needs at least one value)".to_string());
+    }
+    if spec.workloads.is_empty() {
+        return Err("sweep workload list is empty".to_string());
+    }
+    let specs: Vec<WorkloadSpec> = spec
+        .workloads
+        .iter()
+        .map(|name| {
+            catch_workloads::suite::by_name(name)
+                .map_err(|_| format!("unknown sweep workload '{name}'"))
+        })
+        .collect::<Result<_, _>>()?;
+    let runner = match opts.jobs {
+        Some(n) => Runner::with_jobs(n),
+        None => Runner::from_env()?,
+    };
+
+    let sweep_fp = sweep_fingerprint(spec, eval);
+    let point_fps: Vec<Fingerprint> = points
+        .iter()
+        .map(|p| point_fingerprint(&p.config, eval, &spec.workloads))
+        .collect();
+
+    let state = match &opts.checkpoint {
+        Some(path) => journal::load(path, sweep_fp)?,
+        None => journal::State::default(),
+    };
+
+    // Per-workload baseline IPCs: restored bit-exactly from the journal
+    // header when resuming, computed through the run cache otherwise.
+    let baseline: Vec<f64> = match &state.baseline {
+        Some(stored) => spec
+            .workloads
+            .iter()
+            .map(|w| {
+                stored
+                    .iter()
+                    .find(|(name, _)| name == w)
+                    .map(|(_, ipc)| *ipc)
+                    .ok_or_else(|| format!("checkpoint header lacks baseline IPC for '{w}'"))
+            })
+            .collect::<Result<_, _>>()?,
+        None => {
+            let base = System::new(SystemConfig::baseline_exclusive());
+            runner.run(&specs, |_, w| run_one(&base, eval, w).ipc())
+        }
+    };
+
+    let writer = match &opts.checkpoint {
+        Some(path) => Some(journal::Writer::open(
+            path,
+            sweep_fp,
+            total,
+            state.baseline.is_none().then(|| {
+                spec.workloads
+                    .iter()
+                    .cloned()
+                    .zip(baseline.iter().copied())
+                    .collect::<Vec<_>>()
+            }),
+        )?),
+        None => None,
+    };
+
+    // Split the grid into journaled and pending points; honour the
+    // cooperative interruption limit on the pending side.
+    let mut metrics: Vec<Option<PointMetrics>> = vec![None; total];
+    let mut resumed = 0usize;
+    for (i, fp) in point_fps.iter().enumerate() {
+        if let Some(m) = state.points.get(&fp.0) {
+            metrics[i] = Some(*m);
+            resumed += 1;
+        }
+    }
+    let pending: Vec<usize> = (0..total).filter(|&i| metrics[i].is_none()).collect();
+    let scheduled: Vec<usize> = match opts.limit {
+        Some(k) => pending.iter().copied().take(k).collect(),
+        None => pending.clone(),
+    };
+    let remaining = pending.len() - scheduled.len();
+
+    // The frontier: flatten (point × workload) jobs point-major onto the
+    // work-stealing Runner. The worker that retires a point's last
+    // workload aggregates and journals it immediately, so an interrupted
+    // process loses at most its in-flight points.
+    let systems: Vec<System> = scheduled
+        .iter()
+        .map(|&i| System::new(points[i].config.clone()))
+        .collect();
+    let wl = specs.len();
+    let jobs: Vec<(usize, usize, usize)> = scheduled
+        .iter()
+        .enumerate()
+        .flat_map(|(s, &i)| (0..wl).map(move |w| (s, i, w)))
+        .collect();
+    let slots: Vec<PointSlot> = scheduled
+        .iter()
+        .map(|_| (AtomicUsize::new(0), Mutex::new(vec![None; wl])))
+        .collect();
+    let computed: Mutex<Vec<(usize, PointMetrics)>> = Mutex::new(Vec::new());
+    let constants = EnergyConstants::paper_like();
+
+    runner.run(&jobs, |_, &(s, i, w)| {
+        let point = &points[i];
+        let result = run_one(&systems[s], eval, &specs[w]);
+        let energy = energy_of(&result, &constants, point.l2_bytes, point.llc_bytes).total_uj();
+        {
+            let mut slot = slots[s].1.lock().expect("sweep slot poisoned");
+            slot[w] = Some((result.ipc(), energy));
+        }
+        let done = slots[s].0.fetch_add(1, Ordering::AcqRel) + 1;
+        if done == wl {
+            // Last workload of this point: aggregate in fixed workload
+            // order (determinism) and journal before anything else can
+            // interrupt.
+            let slot = slots[s].1.lock().expect("sweep slot poisoned");
+            let ratios: Vec<f64> = slot
+                .iter()
+                .zip(&baseline)
+                .map(|(cell, &base)| cell.expect("all workloads retired").0 / base)
+                .collect();
+            let energy_uj: f64 = slot
+                .iter()
+                .map(|cell| cell.expect("all workloads retired").1)
+                .sum();
+            let perf = match try_geomean(&ratios) {
+                Some(p) => p,
+                None => {
+                    eprintln!(
+                        "warning: sweep point '{}' has a degenerate perf aggregate \
+                         (empty or non-positive ratio set); excluded from the frontier",
+                        point.name
+                    );
+                    f64::NAN
+                }
+            };
+            let m = PointMetrics {
+                perf,
+                energy_uj,
+                area_mm2: point.area_mm2,
+            };
+            if let Some(w) = &writer {
+                w.append(point_fps[i], &point.name, m);
+            }
+            computed
+                .lock()
+                .expect("sweep results poisoned")
+                .push((i, m));
+        }
+    });
+
+    let computed = computed.into_inner().expect("sweep results poisoned");
+    let computed_count = computed.len();
+    for (i, m) in computed {
+        metrics[i] = Some(m);
+    }
+    let degenerate = metrics
+        .iter()
+        .flatten()
+        .filter(|m| !m.perf.is_finite())
+        .count();
+
+    let report = pareto::report(spec, &points, &metrics, remaining, degenerate);
+    Ok(SweepOutcome {
+        report,
+        total,
+        resumed,
+        computed: computed_count,
+        remaining,
+        degenerate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_expands_to_unique_valid_points() {
+        let spec = SweepSpec::quick();
+        let points = expand(&spec);
+        assert_eq!(points.len(), spec.point_count());
+        assert_eq!(points.len(), 12);
+        let eval = EvalConfig::quick();
+        let mut fps = Vec::new();
+        for p in &points {
+            // Every point must be a buildable machine...
+            assert!(p.config.hierarchy.llc.sets().is_ok(), "{}", p.name);
+            assert!(p.area_mm2 > 0.0);
+            // ...with a unique structural key.
+            let fp = point_fingerprint(&p.config, &eval, &spec.workloads);
+            assert!(!fps.contains(&fp), "duplicate point {}", p.name);
+            fps.push(fp);
+        }
+    }
+
+    #[test]
+    fn paper_grid_reaches_five_hundred_points() {
+        let spec = SweepSpec::paper();
+        assert!(spec.point_count() >= 500, "{}", spec.point_count());
+        let points = expand(&spec);
+        for p in &points {
+            assert!(p.config.hierarchy.llc.sets().is_ok(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn request_ids_resolve_presets() {
+        assert_eq!(by_request_id("sweep"), Some(SweepSpec::quick()));
+        assert_eq!(by_request_id("sweep:quick"), Some(SweepSpec::quick()));
+        assert_eq!(by_request_id("sweep:paper"), Some(SweepSpec::paper()));
+        assert_eq!(by_request_id("sweep:bogus"), None);
+        assert_eq!(by_request_id("fig10"), None);
+    }
+
+    #[test]
+    fn sweep_fingerprint_covers_grid_and_scale() {
+        let eval = EvalConfig::quick();
+        let reference = sweep_fingerprint(&SweepSpec::quick(), &eval);
+        let mut grown = SweepSpec::quick();
+        grown.llc_kb.push(11264);
+        assert_ne!(sweep_fingerprint(&grown, &eval), reference);
+        let mut bigger = eval;
+        bigger.ops += 1;
+        assert_ne!(sweep_fingerprint(&SweepSpec::quick(), &bigger), reference);
+    }
+
+    #[test]
+    fn point_fingerprint_ignores_display_name() {
+        let spec = SweepSpec::quick();
+        let eval = EvalConfig::quick();
+        let point = expand(&spec).remove(0);
+        let renamed = point.config.clone().named("something-else");
+        assert_eq!(
+            point_fingerprint(&point.config, &eval, &spec.workloads),
+            point_fingerprint(&renamed, &eval, &spec.workloads),
+        );
+    }
+
+    #[test]
+    fn pick_ways_prefers_supported_geometries() {
+        assert_eq!(pick_ways((5632u64 << 10) / 64), 11);
+        assert_eq!(pick_ways((8192u64 << 10) / 64), 16);
+        assert_eq!(pick_ways(7), 1);
+    }
+}

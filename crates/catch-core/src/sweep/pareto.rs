@@ -1,0 +1,194 @@
+//! Pareto frontier extraction and report assembly for sweeps.
+//!
+//! A point is **dominated** when some other completed point is at least
+//! as good on every objective — perf (higher better), energy (lower
+//! better), area (lower better) — and strictly better on one. The
+//! frontier is everything that survives; it is the Section VI-E
+//! trade-off argument run over the whole grid instead of hand-picked
+//! configurations. Points whose perf aggregate was degenerate (NaN from
+//! [`try_geomean`](crate::metrics::try_geomean)) are reported in the
+//! coverage table but can neither dominate nor join the frontier.
+//!
+//! The report is a pure function of the completed metrics in grid
+//! order, so an interrupted-then-resumed sweep renders byte-identically
+//! to an uninterrupted one.
+
+use super::{PointMetrics, SweepPoint, SweepSpec};
+use crate::report::{ExperimentReport, Table, ValueKind};
+use std::cmp::Ordering;
+
+/// Grids up to this many points get an exhaustive per-point table in
+/// addition to the frontier (quick grids read well in full; the paper
+/// grid would drown the report).
+const FULL_TABLE_LIMIT: usize = 32;
+
+fn dominates(a: &PointMetrics, b: &PointMetrics) -> bool {
+    a.perf >= b.perf
+        && a.energy_uj <= b.energy_uj
+        && a.area_mm2 <= b.area_mm2
+        && (a.perf > b.perf || a.energy_uj < b.energy_uj || a.area_mm2 < b.area_mm2)
+}
+
+/// Indices (into `completed`) of the non-dominated, non-degenerate
+/// points, sorted best-perf first (ties: lower energy, then name).
+fn frontier_of(completed: &[(&str, PointMetrics)]) -> Vec<usize> {
+    let mut frontier: Vec<usize> = (0..completed.len())
+        .filter(|&i| {
+            let (_, m) = completed[i];
+            m.perf.is_finite()
+                && completed.iter().enumerate().all(|(j, (_, other))| {
+                    j == i || !other.perf.is_finite() || !dominates(other, &m)
+                })
+        })
+        .collect();
+    frontier.sort_by(|&a, &b| {
+        let (na, ma) = completed[a];
+        let (nb, mb) = completed[b];
+        mb.perf
+            .partial_cmp(&ma.perf)
+            .unwrap_or(Ordering::Equal)
+            .then(
+                ma.energy_uj
+                    .partial_cmp(&mb.energy_uj)
+                    .unwrap_or(Ordering::Equal),
+            )
+            .then_with(|| na.cmp(nb))
+    });
+    frontier
+}
+
+fn metrics_row(m: &PointMetrics) -> Vec<f64> {
+    let per_area = if m.area_mm2 > 0.0 {
+        m.perf / m.area_mm2
+    } else {
+        f64::NAN
+    };
+    vec![m.perf, m.energy_uj, m.area_mm2, per_area]
+}
+
+fn metric_columns() -> Vec<String> {
+    ["perf (x)", "energy (uJ)", "area (mm2)", "perf/mm2"]
+        .map(String::from)
+        .to_vec()
+}
+
+/// Assembles the sweep report from the completed metrics (in grid
+/// order; `None` = still pending under a point limit).
+pub(super) fn report(
+    spec: &SweepSpec,
+    points: &[SweepPoint],
+    metrics: &[Option<PointMetrics>],
+    remaining: usize,
+    degenerate: usize,
+) -> ExperimentReport {
+    let completed: Vec<(&str, PointMetrics)> = points
+        .iter()
+        .zip(metrics)
+        .filter_map(|(p, m)| m.map(|m| (p.name.as_str(), m)))
+        .collect();
+    let frontier = frontier_of(&completed);
+
+    let mut tables = Vec::new();
+    let mut t = Table::new(
+        "Pareto frontier (perf ↑, energy ↓, area ↓)",
+        metric_columns(),
+        ValueKind::Precise,
+    );
+    for &i in &frontier {
+        let (name, m) = completed[i];
+        t.push_row(name, metrics_row(&m));
+    }
+    tables.push(t);
+
+    if points.len() <= FULL_TABLE_LIMIT {
+        let mut t = Table::new("All completed points", metric_columns(), ValueKind::Precise);
+        for (name, m) in &completed {
+            t.push_row(*name, metrics_row(m));
+        }
+        tables.push(t);
+    }
+
+    let mut t = Table::new("Coverage", vec!["count".to_string()], ValueKind::Raw);
+    t.push_row("grid points", vec![points.len() as f64]);
+    t.push_row("completed", vec![completed.len() as f64]);
+    t.push_row("frontier", vec![frontier.len() as f64]);
+    t.push_row(
+        "dominated",
+        vec![(completed.len() - frontier.len() - degenerate) as f64],
+    );
+    t.push_row("degenerate", vec![degenerate as f64]);
+    tables.push(t);
+
+    let mut notes = vec![
+        format!(
+            "perf = geomean IPC ratio vs the exclusive baseline over {} workloads; \
+             energy = total dynamic+static energy over the same runs (paper-like \
+             constants); area = {}-core chip cache+coherence area at 14nm.",
+            spec.workloads.len(),
+            spec.chip_cores
+        ),
+        "A point is on the frontier iff no completed point is at least as good on \
+         all three objectives and strictly better on one."
+            .to_string(),
+    ];
+    if remaining > 0 {
+        notes.push(format!(
+            "partial sweep: {} of {} points evaluated; rerun with the same \
+             checkpoint to complete the grid.",
+            completed.len(),
+            points.len()
+        ));
+    }
+
+    ExperimentReport {
+        id: "sweep".to_string(),
+        title: format!("Design-space sweep ({} points)", points.len()),
+        tables,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(perf: f64, energy_uj: f64, area_mm2: f64) -> PointMetrics {
+        PointMetrics {
+            perf,
+            energy_uj,
+            area_mm2,
+        }
+    }
+
+    #[test]
+    fn frontier_keeps_only_non_dominated_points() {
+        let completed = vec![
+            ("fast-big", m(1.2, 100.0, 30.0)),
+            ("dominated", m(1.0, 120.0, 30.0)), // beaten by fast-big on all
+            ("frugal", m(0.9, 60.0, 20.0)),     // trades perf for energy+area
+            ("broken", m(f64::NAN, 10.0, 1.0)), // degenerate: excluded
+        ];
+        let f = frontier_of(&completed);
+        let names: Vec<&str> = f.iter().map(|&i| completed[i].0).collect();
+        assert_eq!(names, vec!["fast-big", "frugal"]);
+    }
+
+    #[test]
+    fn equal_points_all_survive() {
+        // Mutual weak domination without strict improvement: no kill.
+        let completed = vec![("a", m(1.0, 50.0, 10.0)), ("b", m(1.0, 50.0, 10.0))];
+        assert_eq!(frontier_of(&completed).len(), 2);
+    }
+
+    #[test]
+    fn frontier_orders_by_perf_then_energy() {
+        let completed = vec![
+            ("slow-frugal", m(0.8, 10.0, 5.0)),
+            ("fast", m(1.5, 90.0, 9.0)),
+            ("mid", m(1.1, 50.0, 7.0)),
+        ];
+        let f = frontier_of(&completed);
+        let names: Vec<&str> = f.iter().map(|&i| completed[i].0).collect();
+        assert_eq!(names, vec!["fast", "mid", "slow-frugal"]);
+    }
+}

@@ -77,11 +77,14 @@ impl Admission {
     }
 }
 
-/// Validates the experiment id against the registry before any queue
-/// state is touched: an unknown id is a client bug (non-retryable), not
-/// an admission decision.
+/// Validates the experiment id against the registry (or the sweep grid
+/// presets, `sweep[:name]`) before any queue state is touched: an
+/// unknown id is a client bug (non-retryable), not an admission
+/// decision.
 pub fn validate(req: &RunRequest) -> Result<(), String> {
-    if catch_core::experiments::all_ids().contains(&req.id.as_str()) {
+    if catch_core::experiments::all_ids().contains(&req.id.as_str())
+        || catch_core::sweep::by_request_id(&req.id).is_some()
+    {
         Ok(())
     } else {
         Err(format!(
@@ -137,5 +140,13 @@ mod tests {
         assert!(validate(&req("all", "a")).is_err(), "'all' is client-side");
         let err = validate(&req("fig99", "a")).expect_err("unknown id");
         assert!(err.contains("fig99"));
+    }
+
+    #[test]
+    fn validate_accepts_sweep_grids() {
+        assert!(validate(&req("sweep", "a")).is_ok());
+        assert!(validate(&req("sweep:quick", "a")).is_ok());
+        assert!(validate(&req("sweep:paper", "a")).is_ok());
+        assert!(validate(&req("sweep:bogus", "a")).is_err());
     }
 }

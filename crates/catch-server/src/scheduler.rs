@@ -22,6 +22,16 @@
 //! to dedup, and it cannot starve anyone because the work would have run
 //! for the first client anyway.
 //!
+//! **Cost reconciliation**: dispatch charges the job's *nominal* cost
+//! (`eval.ops`) so an in-flight job keeps weighing on its client, but
+//! the nominal figure over-bills work the run cache served warm — a
+//! client replaying a fully cached sweep would be billed as if it had
+//! simulated everything and starve behind fresh clients. Workers
+//! therefore measure what actually ran (run-cache miss delta) and pass
+//! it to [`Scheduler::complete`], which replaces the nominal charge
+//! with the measured one. `None` keeps the nominal charge (callers with
+//! no measurement, e.g. unit tests driving the queue directly).
+//!
 //! **Drain semantics**: [`Scheduler::drain`] rejects every queued job
 //! with a retryable error, lets running jobs finish and deliver, and
 //! makes [`Scheduler::next_job`] return `None` so workers exit. New
@@ -60,6 +70,8 @@ struct Job {
     priority: Priority,
     arrival: u64,
     running: bool,
+    /// Nominal cost charged at dispatch, reconciled at completion.
+    charged: u64,
     waiters: Vec<Waiter>,
 }
 
@@ -187,6 +199,7 @@ impl Scheduler {
                         priority: req.priority,
                         arrival,
                         running: false,
+                        charged: 0,
                         waiters: vec![Waiter {
                             seq: req.seq,
                             deliver,
@@ -232,9 +245,12 @@ impl Scheduler {
     fn dispatch(&self, inner: &mut Inner, fp: u128) -> RunnableJob {
         let job = inner.jobs.get_mut(&fp).expect("picked job exists");
         job.running = true;
-        // Charge the share at dispatch, not completion: a client with a
-        // long job in flight must not look idle to the fairness rule.
+        // Charge the nominal share at dispatch, not completion: a client
+        // with a long job in flight must not look idle to the fairness
+        // rule. The charge is reconciled against the measured cost in
+        // `complete` (a warm cache hit costs ~nothing).
         let cost = job.eval.ops as u64;
+        job.charged = cost;
         let runnable = RunnableJob {
             job: job.job,
             fp,
@@ -279,13 +295,23 @@ impl Scheduler {
     /// `Ok(report)` becomes a report frame, `Err(msg)` a non-retryable
     /// error frame (the execution panicked — resubmitting identical work
     /// would panic identically).
-    pub fn complete(&self, fp: u128, outcome: Result<String, String>) {
+    ///
+    /// `actual_cost` is the measured cost of the job in micro-ops
+    /// (typically run-cache misses × `eval.ops`): `Some(actual)`
+    /// replaces the nominal charge taken at dispatch, so warm cache
+    /// replays bill ~zero and cold jobs bill what they really simulated;
+    /// `None` keeps the nominal charge.
+    pub fn complete(&self, fp: u128, outcome: Result<String, String>, actual_cost: Option<u64>) {
         let (id, waiters) = {
             let mut inner = self.inner.lock().expect("scheduler poisoned");
             let job = inner
                 .jobs
                 .remove(&fp)
                 .expect("completed job was dispatched");
+            if let Some(actual) = actual_cost {
+                let share = inner.shares.entry(job.client.clone()).or_insert(0);
+                *share = share.saturating_sub(job.charged).saturating_add(actual);
+            }
             inner.counters.completed += 1;
             self.emit(EventKind::ServerComplete {
                 job: job.job,
@@ -411,7 +437,7 @@ mod tests {
         let picked: Vec<usize> = (0..3)
             .map(|_| {
                 let j = s.try_next().expect("job available");
-                s.complete(j.fp, Ok(String::new()));
+                s.complete(j.fp, Ok(String::new()), None);
                 j.eval.ops - EvalConfig::quick().ops
             })
             .collect();
@@ -440,7 +466,7 @@ mod tests {
             } else {
                 "alice"
             });
-            s.complete(j.fp, Ok(String::new()));
+            s.complete(j.fp, Ok(String::new()), None);
         }
         assert_eq!(
             order,
@@ -464,7 +490,7 @@ mod tests {
         ));
         let j = s.try_next().expect("one job");
         assert!(s.try_next().is_none(), "only one job was queued");
-        s.complete(j.fp, Ok("REPORT".to_string()));
+        s.complete(j.fp, Ok("REPORT".to_string()), None);
         for (rx, seq) in [(rx1, 1), (rx2, 2)] {
             match rx.try_recv().expect("delivered") {
                 Response::Report {
@@ -520,7 +546,7 @@ mod tests {
         }
         // ...the running job still completes and delivers...
         assert!(rx1.try_recv().is_err(), "running job not rejected");
-        s.complete(running.fp, Ok("DONE".to_string()));
+        s.complete(running.fp, Ok("DONE".to_string()), None);
         assert!(matches!(
             rx1.try_recv().expect("running job delivered"),
             Response::Report { .. }
@@ -547,7 +573,7 @@ mod tests {
         let (d, rx) = collector();
         s.submit(req("fig10", "a", Priority::Sweep, 5), d);
         let j = s.try_next().expect("dispatched");
-        s.complete(j.fp, Err("simulation panicked".to_string()));
+        s.complete(j.fp, Err("simulation panicked".to_string()), None);
         match rx.try_recv().expect("delivered") {
             Response::Error {
                 seq,
@@ -563,6 +589,55 @@ mod tests {
     }
 
     #[test]
+    fn completion_reconciles_share_to_measured_cost() {
+        let s = Scheduler::new(16, Obs::off());
+        let nominal = EvalConfig::quick().ops as u64;
+
+        // alice's job ran fully warm: the run cache served everything,
+        // so her measured cost is zero and the nominal dispatch charge
+        // must be refunded — not billed as if she simulated it all.
+        let (d, _rx) = collector();
+        s.submit(distinct("fig1", "alice", Priority::Sweep, 0), d);
+        let j = s.try_next().expect("dispatched");
+        let mid = s.stats();
+        assert_eq!(
+            mid.shares,
+            vec![("alice".to_string(), nominal)],
+            "in-flight job carries the nominal charge"
+        );
+        s.complete(j.fp, Ok(String::new()), Some(0));
+
+        // bob's job ran cold and simulated five evaluations' worth.
+        let (d, _rx) = collector();
+        s.submit(distinct("fig1", "bob", Priority::Sweep, 0), d);
+        let j = s.try_next().expect("dispatched");
+        s.complete(j.fp, Ok(String::new()), Some(5 * nominal));
+
+        let stats = s.stats();
+        assert_eq!(
+            stats.shares,
+            vec![("alice".to_string(), 0), ("bob".to_string(), 5 * nominal)],
+            "warm replay reconciles to zero; cold work bills what it ran"
+        );
+
+        // Fairness consequence: with equal queues, warm-replaying alice
+        // now outranks bob instead of starving behind her own cache hits.
+        let (d, _rx) = collector();
+        s.submit(distinct("fig1", "bob", Priority::Sweep, 1), d);
+        let (d, _rx) = collector();
+        s.submit(distinct("fig1", "alice", Priority::Sweep, 2), d);
+        let next = s.try_next().expect("dispatched");
+        let stats = s.stats();
+        assert_eq!(
+            stats.shares.iter().find(|(c, _)| c == "alice").unwrap().1,
+            next.eval.ops as u64,
+            "alice (share 0) was picked over bob despite arriving later"
+        );
+        assert_eq!(next.eval.ops, EvalConfig::quick().ops + 2, "alice's job");
+        s.complete(next.fp, Ok(String::new()), None);
+    }
+
+    #[test]
     fn server_events_are_emitted() {
         use catch_obs::VecSink;
         use std::sync::{Arc, Mutex};
@@ -574,7 +649,7 @@ mod tests {
         s.submit(req("fig10", "a", Priority::Sweep, 1), d1);
         s.submit(req("fig10", "b", Priority::Sweep, 2), d2);
         let j = s.try_next().expect("dispatched");
-        s.complete(j.fp, Ok(String::new()));
+        s.complete(j.fp, Ok(String::new()), None);
         s.drain();
         let names: Vec<&'static str> = sink
             .lock()

@@ -24,7 +24,7 @@ use crate::admission::{self, DEFAULT_MAX_QUEUE};
 use crate::cachedao;
 use crate::protocol::{Request, Response, MAX_FRAME_BYTES};
 use crate::scheduler::Scheduler;
-use catch_core::{experiments, CacheMode, RunCache};
+use catch_core::{experiments, sweep, CacheMode, RunCache};
 use catch_obs::Obs;
 use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -344,20 +344,49 @@ fn connection_loop(stream: UnixStream, scheduler: &Arc<Scheduler>, shutdown: &Ar
     let _ = reader.get_ref().shutdown(std::net::Shutdown::Both);
 }
 
+/// Executes one job's body: sweep ids route into the sweep engine
+/// (checkpoint-less server-side — the run cache is what makes repeats
+/// warm), everything else through the experiment registry. Panics on
+/// sweep setup errors so the worker's catch_unwind turns them into a
+/// non-retryable error frame like any other execution failure.
+fn run_server_job(id: &str, eval: &catch_core::experiments::EvalConfig) -> String {
+    if let Some(spec) = sweep::by_request_id(id) {
+        match sweep::run_sweep(&spec, eval, &sweep::SweepOptions::default()) {
+            Ok(outcome) => outcome.report.to_string(),
+            Err(e) => panic!("sweep failed: {e}"),
+        }
+    } else {
+        experiments::run(id, eval).to_string()
+    }
+}
+
 fn worker_loop(scheduler: &Arc<Scheduler>) {
     while let Some(job) = scheduler.next_job() {
-        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            experiments::run(&job.id, &job.eval).to_string()
-        }))
-        .map_err(|panic| {
-            let msg = panic
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "unknown panic".to_string());
-            format!("experiment '{}' panicked: {msg}", job.id)
-        });
-        scheduler.complete(job.fp, outcome);
+        // Measure what the job actually simulated: the run-cache miss
+        // delta across its execution. Warm (fully cached) jobs measure
+        // zero and get their nominal fair-share charge refunded; cold
+        // suite jobs bill every simulation they really ran. With
+        // several workers in flight the windows overlap and misses may
+        // be attributed to a concurrent job — an approximation that
+        // errs by at most the concurrency, never by the cache-warmth
+        // cliff the nominal charge gets wrong.
+        let misses_before = RunCache::global().summary().misses;
+        let outcome =
+            std::panic::catch_unwind(AssertUnwindSafe(|| run_server_job(&job.id, &job.eval)))
+                .map_err(|panic| {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "unknown panic".to_string());
+                    format!("experiment '{}' panicked: {msg}", job.id)
+                });
+        let miss_delta = RunCache::global()
+            .summary()
+            .misses
+            .saturating_sub(misses_before);
+        let actual = miss_delta.saturating_mul(job.eval.ops as u64);
+        scheduler.complete(job.fp, outcome, Some(actual));
     }
 }
 

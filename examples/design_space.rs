@@ -1,105 +1,58 @@
 //! Design-space exploration: the area/performance trade-off CATCH opens
-//! up (Section VI-E narrative) — sweep LLC capacities with and without an
-//! L2, with and without CATCH, and print a perf-per-area frontier.
+//! up (Section VI-E narrative), driven through the sweep engine — the
+//! same grid expansion, run-cache-backed parallel frontier and Pareto
+//! report `run_experiment sweep` and the `catch-server` sweep class use,
+//! so this example can never drift from the product path.
 //!
 //! ```sh
-//! cargo run --release --example design_space [ops]
+//! cargo run --release --example design_space [ops] [grid]
 //! ```
+//!
+//! `grid` is a sweep preset (`quick` by default, `paper` for the full
+//! 600-point grid). Add `--md` for markdown output. Pass a checkpoint
+//! through the full CLI instead: `run_experiment sweep --checkpoint f`.
 
-use catch_core::area::{hierarchy_area, AreaConstants};
-use catch_core::energy::{energy_of, EnergyConstants};
-use catch_core::{geomean, System, SystemConfig};
-use catch_workloads::suite;
+use catch_core::experiments::EvalConfig;
+use catch_core::sweep::{run_sweep, SweepOptions, SweepSpec};
+use catch_core::RunCache;
 
 fn main() {
-    let ops: usize = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let md = args.iter().any(|a| a == "--md");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let ops: usize = positional
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(30_000);
+    let grid = positional.get(1).map(|s| s.as_str()).unwrap_or("quick");
 
-    // A representative slice of the suite to keep the sweep quick.
-    let names = [
-        "xalanc_like",
-        "milc_like",
-        "spmv_like",
-        "tpcc_like",
-        "sysmark_like",
-    ];
-    let traces: Vec<_> = names
-        .iter()
-        .map(|n| suite::by_name(n).expect("known workload").generate(ops, 42))
-        .collect();
+    let Some(spec) = SweepSpec::by_name(grid) else {
+        eprintln!("unknown sweep grid '{grid}' (try: quick, paper)");
+        std::process::exit(2);
+    };
+    let eval = EvalConfig {
+        ops,
+        warmup: ops / 4,
+        seed: 42,
+        sample: None,
+    };
 
-    struct Point {
-        name: String,
-        config: SystemConfig,
-        l2_bytes: u64,
-        llc_bytes: u64,
-    }
-
-    let mut points = Vec::new();
-    let base = SystemConfig::baseline_exclusive();
-    points.push(Point {
-        name: "3-level baseline (1MB L2 + 5.5MB)".into(),
-        config: base.clone(),
-        l2_bytes: 1 << 20,
-        llc_bytes: 5632 << 10,
-    });
-    points.push(Point {
-        name: "3-level + CATCH".into(),
-        config: base.clone().with_catch(),
-        l2_bytes: 1 << 20,
-        llc_bytes: 5632 << 10,
-    });
-    for llc_kb in [5632u64, 6656, 9728] {
-        points.push(Point {
-            name: format!("2-level CATCH ({:.1}MB LLC)", llc_kb as f64 / 1024.0),
-            config: base.clone().without_l2(llc_kb << 10).with_catch(),
-            l2_bytes: 0,
-            llc_bytes: llc_kb << 10,
-        });
-    }
-
-    // Baseline IPCs for normalisation.
-    let base_sys = System::new(base);
-    let base_ipcs: Vec<f64> = traces
-        .iter()
-        .map(|t| base_sys.run_st(t.clone()).ipc())
-        .collect();
-    let constants = EnergyConstants::paper_like();
-    let area_constants = AreaConstants::nm14();
-
-    println!(
-        "{:<38} {:>9} {:>10} {:>10} {:>10}",
-        "configuration", "perf", "area(mm2)", "perf/area", "energy"
-    );
-    for p in points {
-        let sys = System::new(p.config.clone());
-        let mut ratios = Vec::new();
-        let mut energy = 0.0;
-        for (t, &b) in traces.iter().zip(&base_ipcs) {
-            let r = sys.run_st(t.clone());
-            ratios.push(r.ipc() / b);
-            energy += energy_of(&r, &constants, p.l2_bytes, p.llc_bytes).total_uj();
+    match run_sweep(&spec, &eval, &SweepOptions::default()) {
+        Ok(outcome) => {
+            if md {
+                print!("{}", outcome.report.to_markdown());
+            } else {
+                print!("{}", outcome.report);
+            }
+            let cache = RunCache::global().summary();
+            eprintln!(
+                "sweep: {} points ({} computed, {} resumed); cache {} hits / {} misses",
+                outcome.total, outcome.computed, outcome.resumed, cache.hits, cache.misses
+            );
         }
-        let perf = geomean(&ratios);
-        // Four-core chip area from the analytical model (the paper's
-        // "30% lesser area" arithmetic).
-        let mut hier4 = p.config.hierarchy.clone();
-        hier4.cores = 4;
-        let area = hierarchy_area(&hier4, &area_constants);
-        println!(
-            "{:<38} {:>8.3}x {:>10.2} {:>10.4} {:>9.1}uJ  (caches {:.1}mm2)",
-            p.name,
-            perf,
-            area.total_mm2(),
-            perf / area.total_mm2(),
-            energy,
-            area.cache_mm2(),
-        );
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(1);
+        }
     }
-    println!(
-        "\n(perf = geomean IPC ratio vs 3-level baseline over {} workloads)",
-        names.len()
-    );
 }

@@ -20,6 +20,9 @@
 //! cargo run --release --example run_experiment -- serve /tmp/catch.sock
 //! cargo run --release --example run_experiment -- --server /tmp/catch.sock fig10
 //! cargo run --release --example run_experiment -- cache-stats   # shard inventory
+//! cargo run --release --example run_experiment -- sweep         # quick design-space grid
+//! cargo run --release --example run_experiment -- sweep:paper --checkpoint /tmp/s.journal
+//! cargo run --release --example run_experiment -- sweep-smoke   # CI gate
 //! cargo run --release --example run_experiment                  # lists ids
 //! ```
 //!
@@ -112,6 +115,23 @@
 //! unless both responses are byte-identical to a local run, the second
 //! response triggered zero recomputation (warm cache via `/stats`), and
 //! the daemon shuts down cleanly (socket unlinked, all threads joined).
+//!
+//! The ids `sweep`, `sweep:quick` and `sweep:paper` run a design-space
+//! grid through the sweep engine (see DESIGN.md §13): points execute on
+//! the parallel runner through the run cache and the report ranks the
+//! Pareto frontier over perf vs energy vs area. `--checkpoint PATH`
+//! journals completed points so an interrupted sweep resumes with zero
+//! recompute; `--points N` stops after N new points (budgeted slices of
+//! a long sweep). The same ids are accepted by a daemon, where sweeps
+//! drain through the `sweep` priority class behind interactive work:
+//! `--server SOCK --priority sweep sweep:paper`.
+//!
+//! The special id `sweep-smoke` is the CI sweep gate: it runs the quick
+//! grid twice against one checkpoint journal — first in an interrupted
+//! prefix (`--points`-style) plus completion, then fully resumed from
+//! the journal — and exits non-zero unless the resumed pass recomputes
+//! nothing (run-cache miss delta zero) and renders byte-identical
+//! report bytes.
 
 use catch_core::experiments::{self, runner, EvalConfig, GOLDEN_WORKLOADS};
 use catch_core::report::json::run_results_to_json;
@@ -132,6 +152,7 @@ fn usage_and_exit() -> ! {
          [--engine tick|timeq] [--cache-dir DIR] [--no-cache] \
          [--trace-events PATH] [--profile] \
          [--server SOCK] [--client NAME] [--priority P] [--workers N] \
+         [--checkpoint PATH] [--points N] \
          <id|workload> [ops] [warmup]"
     );
     eprintln!("available experiments:");
@@ -139,6 +160,7 @@ fn usage_and_exit() -> ! {
         eprintln!("  {id}");
     }
     eprintln!("  all (whole registry, one deduplicated work queue)");
+    eprintln!("  sweep | sweep:quick | sweep:paper (design-space grid; DESIGN.md §13)");
     eprintln!("  serve SOCK (start the simulation daemon; see DESIGN.md §12)");
     eprintln!("  cache-stats [DIR] (on-disk run-cache shard inventory)");
     eprintln!("  sample-smoke (CI accuracy gate)");
@@ -146,6 +168,7 @@ fn usage_and_exit() -> ! {
     eprintln!("  cache-smoke (CI run-cache gate)");
     eprintln!("  timeq-smoke (CI cycle-engine parity gate)");
     eprintln!("  server-smoke (CI simulation-service gate)");
+    eprintln!("  sweep-smoke (CI sweep resumability gate)");
     std::process::exit(2);
 }
 
@@ -661,6 +684,124 @@ fn traced_run(path: &Path, workload: &str, eval: &EvalConfig) -> ! {
     std::process::exit(0);
 }
 
+/// Local sweep mode: run (or resume) a design-space grid through the
+/// sweep engine and print its Pareto report.
+fn local_sweep(
+    spec: &catch_core::sweep::SweepSpec,
+    eval: &EvalConfig,
+    checkpoint: Option<PathBuf>,
+    points: Option<usize>,
+    markdown: bool,
+) -> ! {
+    let opts = catch_core::sweep::SweepOptions {
+        jobs: None,
+        checkpoint,
+        limit: points,
+    };
+    match catch_core::sweep::run_sweep(spec, eval, &opts) {
+        Ok(outcome) => {
+            if markdown {
+                print!("{}", outcome.report.to_markdown());
+            } else {
+                print!("{}", outcome.report);
+            }
+            eprintln!(
+                "sweep: {} points ({} computed, {} resumed, {} pending, {} degenerate)",
+                outcome.total,
+                outcome.computed,
+                outcome.resumed,
+                outcome.remaining,
+                outcome.degenerate
+            );
+            eprintln!("{}", RunCache::global().summary());
+            std::process::exit(if outcome.remaining > 0 { 3 } else { 0 });
+        }
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The CI sweep-resumability gate: the quick grid against one checkpoint
+/// journal, interrupted after a 3-point budget, then completed, then
+/// fully resumed after dropping the in-memory cache. Hard-fail unless
+/// the resumed pass recomputes nothing (zero run-cache misses) and its
+/// report is byte-identical to the completed run's.
+fn sweep_smoke(eval: &EvalConfig) -> ! {
+    use catch_core::sweep::{run_sweep, SweepOptions, SweepSpec};
+    const INTERRUPT_AFTER: usize = 3;
+    let dir = std::env::temp_dir().join(format!("catch-sweep-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = SweepSpec::quick();
+    let opts = SweepOptions {
+        jobs: None,
+        checkpoint: Some(dir.join("sweep.journal")),
+        limit: None,
+    };
+    let cache = RunCache::global();
+    let run = |opts: &SweepOptions, what: &str| {
+        run_sweep(&spec, eval, opts).unwrap_or_else(|e| {
+            eprintln!("sweep-smoke FAILED: {what}: {e}");
+            std::process::exit(1);
+        })
+    };
+
+    // Pass 1: "killed" after a 3-point budget (the journal keeps them).
+    let t = Instant::now();
+    let partial = run(
+        &SweepOptions {
+            limit: Some(INTERRUPT_AFTER),
+            ..opts.clone()
+        },
+        "interrupted pass",
+    );
+    // Pass 2: finish the grid from the journal.
+    let finished = run(&opts, "completing pass");
+    let cold_secs = t.elapsed().as_secs_f64();
+    let misses_cold = cache.summary().misses;
+
+    // Pass 3: drop the in-memory cache; the journal alone must carry it.
+    cache.reset_memory();
+    let t = Instant::now();
+    let resumed = run(&opts, "resumed pass");
+    let warm_secs = t.elapsed().as_secs_f64();
+    let miss_delta = cache.summary().misses - misses_cold;
+
+    println!(
+        "sweep-smoke: {} points ops={} — interrupted at {}, completed {} more, \
+         cold {:.1} ms, resumed {:.1} ms, resume miss delta {miss_delta}",
+        finished.total,
+        eval.ops,
+        partial.computed,
+        finished.computed,
+        1e3 * cold_secs,
+        1e3 * warm_secs,
+    );
+    if partial.computed != INTERRUPT_AFTER || partial.remaining == 0 {
+        eprintln!("sweep-smoke FAILED: the interrupted pass did not stop mid-grid");
+        std::process::exit(1);
+    }
+    if resumed.computed != 0 || resumed.resumed != resumed.total {
+        eprintln!(
+            "sweep-smoke FAILED: resume recomputed {} points instead of journaling all {}",
+            resumed.computed, resumed.total
+        );
+        std::process::exit(1);
+    }
+    if miss_delta != 0 {
+        eprintln!("sweep-smoke FAILED: resume simulated {miss_delta} runs (expected zero)");
+        std::process::exit(1);
+    }
+    if finished.report.to_string() != resumed.report.to_string() {
+        eprintln!("sweep-smoke FAILED: resumed report differs from the completed run's bytes");
+        std::process::exit(1);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("sweep-smoke OK (resume: zero recompute, byte-identical report)");
+    std::process::exit(0);
+}
+
 fn occ_line(name: &str, h: &OccupancyHist) -> String {
     format!(
         "  {name:<10} mean {:>7.1}  max {:>5}  samples {}",
@@ -717,6 +858,8 @@ fn main() {
     let mut client_name: Option<String> = None;
     let mut priority = Priority::Interactive;
     let mut workers: Option<usize> = None;
+    let mut checkpoint: Option<PathBuf> = None;
+    let mut points: Option<usize> = None;
     // Flags may appear in any order ahead of the positional arguments.
     loop {
         match args.first().map(String::as_str) {
@@ -837,6 +980,28 @@ fn main() {
                 workers = Some(n);
                 args.remove(0);
             }
+            Some("--checkpoint") => {
+                args.remove(0);
+                let Some(raw) = args.first() else {
+                    eprintln!("--checkpoint requires a journal path");
+                    usage_and_exit();
+                };
+                checkpoint = Some(PathBuf::from(raw));
+                args.remove(0);
+            }
+            Some("--points") => {
+                args.remove(0);
+                let Some(n) = args
+                    .first()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                else {
+                    eprintln!("--points requires a positive point count");
+                    usage_and_exit();
+                };
+                points = Some(n);
+                args.remove(0);
+            }
             _ => break,
         }
     }
@@ -897,6 +1062,12 @@ fn main() {
     }
     if id == "timeq-smoke" {
         timeq_smoke(&eval);
+    }
+    if id == "sweep-smoke" {
+        sweep_smoke(&eval);
+    }
+    if let Some(spec) = catch_core::sweep::by_request_id(&id) {
+        local_sweep(&spec, &eval, checkpoint, points, markdown);
     }
     if id == "all" {
         let reports = experiments::run_all(&experiments::all_ids(), &eval, None);
