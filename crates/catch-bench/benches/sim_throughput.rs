@@ -33,7 +33,7 @@
 //! so `CATCH_ENGINE=tick cargo bench ...` measures the reference tick
 //! loop on the same scale for an apples-to-apples engine comparison.
 
-use catch_bench::eval_from_env;
+use catch_bench::{eval_from_env, pin_ooo};
 use catch_core::experiments::GOLDEN_WORKLOADS;
 use catch_core::{Engine, System, SystemConfig};
 use catch_harness::Harness;
@@ -125,7 +125,8 @@ fn extract_number(json: &str, key: &str) -> Option<f64> {
 }
 
 fn main() {
-    let eval = eval_from_env();
+    let mut eval = eval_from_env();
+    pin_ooo(&mut eval);
     let engine = Engine::from_env();
     eprintln!(
         "[sim_throughput] six golden workloads at ops={} seed={} (full-detail, CATCH config, \
@@ -184,10 +185,11 @@ fn main() {
             1.0
         };
         let json = format!(
-            "{{\n  \"bench\": \"sim_throughput\",\n  \"scale\": {{ \"ops\": {}, \"seed\": {}, \"iters\": {} }},\n  \"pre_pr\": {},\n  \"reference\": {},\n  \"speedup_geomean\": {:.4}\n}}\n",
+            "{{\n  \"bench\": \"sim_throughput\",\n  \"scale\": {{ \"ops\": {}, \"seed\": {}, \"iters\": {} }},\n  \"fidelity\": \"{}\",\n  \"pre_pr\": {},\n  \"reference\": {},\n  \"speedup_geomean\": {:.4}\n}}\n",
             eval.ops,
             eval.seed,
             rates.first().map(|_| harness.results()[0].iters).unwrap_or(0),
+            eval.fidelity.label(),
             pre_pr,
             current,
             speedup,

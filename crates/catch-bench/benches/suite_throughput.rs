@@ -31,7 +31,7 @@
 //!   is not at least `CATCH_SUITE_MIN_SPEEDUP` (default 2.0) times
 //!   faster than the cold pass, or when any pass's report bytes differ.
 
-use catch_bench::eval_from_env;
+use catch_bench::{eval_from_env, pin_ooo};
 use catch_core::experiments::{self, EvalConfig};
 use catch_core::{CacheMode, RunCache};
 use std::path::{Path, PathBuf};
@@ -92,7 +92,8 @@ fn render(reports: &[(String, catch_core::report::ExperimentReport)]) -> String 
 }
 
 fn main() {
-    let eval: EvalConfig = eval_from_env();
+    let mut eval: EvalConfig = eval_from_env();
+    pin_ooo(&mut eval);
     let ids = experiments::all_ids();
     eprintln!(
         "[suite_throughput] {} experiments at ops={} warmup={} seed={}",
@@ -170,11 +171,12 @@ fn main() {
         let pre_secs = extract_number(&pre_pr, "registry_secs").unwrap_or(cold_secs);
         let json = format!(
             "{{\n  \"bench\": \"suite_throughput\",\n  \"scale\": {{ \"ops\": {}, \"warmup\": {}, \
-             \"seed\": {} }},\n  \"pre_pr\": {},\n  \"reference\": {},\n  \
+             \"seed\": {} }},\n  \"fidelity\": \"{}\",\n  \"pre_pr\": {},\n  \"reference\": {},\n  \
              \"speedup_dedup_vs_pre_pr\": {:.4},\n  \"speedup_warm_vs_pre_pr\": {:.4}\n}}\n",
             eval.ops,
             eval.warmup,
             eval.seed,
+            eval.fidelity.label(),
             pre_pr,
             current,
             pre_secs / dedup_secs.max(1e-9),

@@ -10,6 +10,10 @@
 //! * `CATCH_OPS` — micro-ops per workload (default: the standard scale).
 //! * `CATCH_WARMUP` — warm-up micro-ops excluded from measurement.
 //! * `CATCH_SEED` — trace-generation seed.
+//! * `CATCH_FIDELITY` — model rung (`fast` | `lite` | `ooo`; default
+//!   `ooo`). The two throughput-tracking benches (`sim_throughput`,
+//!   `suite_throughput`) ignore this and pin the OOO reference rung so
+//!   their checked-in baselines stay comparable across runs.
 //! * `CATCH_JOBS` — worker threads for suite runs (default: all cores).
 //! * `CATCH_BENCH_ITERS` / `CATCH_BENCH_WARMUP_ITERS` — timed and
 //!   warm-up iterations of the whole experiment (defaults 3 and 1).
@@ -18,7 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use catch_core::experiments::{self, EvalConfig};
+use catch_core::experiments::{self, EvalConfig, Fidelity};
 use catch_harness::Harness;
 
 /// Reads the evaluation scale from the environment (see crate docs).
@@ -39,7 +43,27 @@ pub fn eval_from_env() -> EvalConfig {
     {
         eval.seed = seed;
     }
+    if let Some(fidelity) = std::env::var("CATCH_FIDELITY")
+        .ok()
+        .and_then(|v| Fidelity::parse(&v).ok())
+    {
+        eval.fidelity = fidelity;
+    }
     eval
+}
+
+/// Forces the OOO reference rung, warning when the environment asked
+/// for another one. The throughput-tracking benches call this so their
+/// checked-in `reference` blocks always measure the same model.
+pub fn pin_ooo(eval: &mut EvalConfig) {
+    if eval.fidelity != Fidelity::Ooo {
+        eprintln!(
+            "[catch-bench] CATCH_FIDELITY={} ignored: throughput baselines are \
+             measured on the ooo reference rung",
+            eval.fidelity.label()
+        );
+        eval.fidelity = Fidelity::Ooo;
+    }
 }
 
 /// Runs one experiment by id, prints its report (the same rows/series

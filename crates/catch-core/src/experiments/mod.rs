@@ -20,6 +20,7 @@ mod fig15_llc_latency;
 mod fig16_energy;
 mod fig17_inclusive;
 mod heuristic_detector;
+mod ladder;
 pub mod runner;
 mod sampling;
 mod tables;
@@ -39,6 +40,10 @@ pub use fig15_llc_latency::fig15_llc_latency;
 pub use fig16_energy::fig16_energy;
 pub use fig17_inclusive::fig17_inclusive;
 pub use heuristic_detector::heuristic_detector;
+pub use ladder::{
+    ladder, ladder_errors, LadderErrors, RungErrors, LITE_IPC_ERR_BUDGET_PCT,
+    LITE_MPKI_ERR_BUDGET_PCT,
+};
 pub use runner::Runner;
 pub use sampling::{sampling, GOLDEN_WORKLOADS};
 pub use tables::{fig09_tact_area, sec6d2_table_size, tab1_area, tab2_workloads};
@@ -48,6 +53,62 @@ use crate::report::ExperimentReport;
 use crate::runcache::RunCache;
 use crate::system::{System, SystemConfig};
 use catch_workloads::WorkloadSpec;
+
+/// Model-fidelity rung: which core model drives the (always real) memory
+/// hierarchy, criticality detector and TACT. The ladder is ordered from
+/// cheapest to reference; every rung is **structural** — it is part of the
+/// run-cache key, the sweep/point fingerprints and the server's admission
+/// fingerprint, so results from different rungs can never coalesce or
+/// silently mix (DESIGN.md §14).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Fidelity {
+    /// Functional fast-forward: every op takes the
+    /// [`Core::fast_forward`](catch_cpu::Core::fast_forward) warm path
+    /// (tags, replacement, dirty state, branch training) at one op per
+    /// cycle. Hierarchy counters are meaningful; IPC is not (≈1 by
+    /// construction).
+    Fast,
+    /// Timing-lite: the in-order-issue scoreboard core
+    /// ([`LiteCore`](catch_cpu::LiteCore)) — dependence timestamps over
+    /// the real frontend, hierarchy, detector and TACT, with a
+    /// functional warm-up phase. Tracks OOO IPC within the
+    /// `ladder_validation` bounds at a fraction of the cost.
+    Lite,
+    /// The full out-of-order core: the reference model every other rung
+    /// is validated against.
+    #[default]
+    Ooo,
+}
+
+impl Fidelity {
+    /// Every rung, cheapest first.
+    pub const ALL: [Fidelity; 3] = [Fidelity::Fast, Fidelity::Lite, Fidelity::Ooo];
+
+    /// Stable lower-case label (CLI flag value, wire field, journal tag).
+    pub fn label(self) -> &'static str {
+        match self {
+            Fidelity::Fast => "fast",
+            Fidelity::Lite => "lite",
+            Fidelity::Ooo => "ooo",
+        }
+    }
+
+    /// Parses a [`Fidelity::label`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic listing the valid labels on unknown input.
+    pub fn parse(s: &str) -> Result<Fidelity, String> {
+        match s {
+            "fast" => Ok(Fidelity::Fast),
+            "lite" => Ok(Fidelity::Lite),
+            "ooo" => Ok(Fidelity::Ooo),
+            other => Err(format!(
+                "unknown fidelity '{other}' (expected fast, lite or ooo)"
+            )),
+        }
+    }
+}
 
 /// Evaluation scale: instruction budget per workload and the trace seed.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -62,8 +123,14 @@ pub struct EvalConfig {
     /// with [`System::run_sampled`](crate::System::run_sampled) at that
     /// interval size (default clustering parameters); `warmup` is ignored
     /// in sampled mode — the cold-start interval is always simulated in
-    /// detail and included in the reconstruction.
+    /// detail and included in the reconstruction. Only meaningful on the
+    /// [`Fidelity::Ooo`] rung; the cheaper rungs are themselves the
+    /// approximation and ignore it.
     pub sample: Option<usize>,
+    /// Model-fidelity rung (see [`Fidelity`]). Structural: two evals
+    /// differing only here never share cache entries or admission
+    /// fingerprints.
+    pub fidelity: Fidelity,
 }
 
 impl EvalConfig {
@@ -74,6 +141,7 @@ impl EvalConfig {
             warmup: 30_000,
             seed: 42,
             sample: None,
+            fidelity: Fidelity::Ooo,
         }
     }
 
@@ -84,6 +152,7 @@ impl EvalConfig {
             warmup: 4_000,
             seed: 42,
             sample: None,
+            fidelity: Fidelity::Ooo,
         }
     }
 
@@ -93,7 +162,42 @@ impl EvalConfig {
         self.sample = Some(interval_ops);
         self
     }
+
+    /// Selects the model-fidelity rung.
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// The *screen* scale a ladder-mode sweep runs its cheap-rung grid
+    /// pass at: `ops` divided by [`SCREEN_DIVISOR`] with the warm-up
+    /// fraction preserved, floored at [`SCREEN_MIN_OPS`] so tiny evals
+    /// (unit-test grids) are returned unchanged. Screening is a pure
+    /// function of the eval, so the derived scale needs no extra
+    /// configuration surface; the sweep fingerprints it structurally.
+    /// Sampled mode is cleared — the screen *is* the sampling.
+    pub fn screened(&self) -> Self {
+        let ops = (self.ops / SCREEN_DIVISOR).max(SCREEN_MIN_OPS.min(self.ops));
+        EvalConfig {
+            ops,
+            // Round the warm-up to keep its fraction of the run; the
+            // measured tail shrinks proportionally.
+            warmup: (self.warmup * ops) / self.ops.max(1),
+            sample: None,
+            ..*self
+        }
+    }
 }
+
+/// Scale divisor applied by [`EvalConfig::screened`]. The screen only
+/// has to *rank* points (the ladder's stratified calibration and
+/// OOO-validation fixpoint supply the reported numbers), so it can be
+/// much more aggressive than a fidelity the report would quote raw.
+pub const SCREEN_DIVISOR: usize = 8;
+
+/// [`EvalConfig::screened`] never reduces `ops` below this floor (and
+/// never increases it — evals at or under the floor are unchanged).
+pub const SCREEN_MIN_OPS: usize = 8_000;
 
 impl Default for EvalConfig {
     fn default() -> Self {
@@ -147,12 +251,14 @@ pub(crate) fn run_one(system: &System, eval: &EvalConfig, spec: &WorkloadSpec) -
     let cache = RunCache::global();
     cache.run_result(system.config(), eval, spec.name, || {
         let trace = (*cache.trace(spec, eval.ops, eval.seed)).clone();
-        match eval.sample {
-            Some(interval_ops) => {
+        match (eval.fidelity, eval.sample) {
+            (Fidelity::Fast, _) => system.run_st_fast(trace, eval.warmup),
+            (Fidelity::Lite, _) => system.run_st_lite(trace, eval.warmup),
+            (Fidelity::Ooo, Some(interval_ops)) => {
                 let cfg = catch_sample::SampleConfig::new(interval_ops);
                 system.run_sampled(trace, &cfg).result
             }
-            None => system.run_st_warm(trace, eval.warmup),
+            (Fidelity::Ooo, None) => system.run_st_warm(trace, eval.warmup),
         }
     })
 }
@@ -182,7 +288,8 @@ pub fn suite_requests(id: &str) -> Vec<SystemConfig> {
         // fig2/fig9/tab1/tab2 are simulation-free; fig14 is
         // multi-programmed (uncached); ablations/heuristic run 6/8-workload
         // slices that hit the cache via run_one; sampling times its own
-        // runs and stays self-scheduled.
+        // runs and stays self-scheduled; ladder deliberately runs the
+        // golden six at every rung itself (rung evals differ from `eval`).
         _ => Vec::new(),
     }
 }
@@ -289,6 +396,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "ablations",
         "heuristic",
         "sampling",
+        "ladder",
     ]
 }
 
@@ -319,6 +427,7 @@ pub fn run(id: &str, eval: &EvalConfig) -> ExperimentReport {
         "ablations" => ablations(eval),
         "heuristic" => heuristic_detector(eval),
         "sampling" => sampling(eval),
+        "ladder" => ladder(eval),
         other => panic!("unknown experiment id '{other}'; see all_ids()"),
     }
 }
@@ -333,7 +442,26 @@ mod tests {
         assert!(ids.contains(&"fig10"));
         assert!(ids.contains(&"tab1"));
         assert!(ids.contains(&"sampling"));
-        assert_eq!(ids.len(), 20);
+        assert!(ids.contains(&"ladder"));
+        assert_eq!(ids.len(), 21);
+    }
+
+    #[test]
+    fn fidelity_labels_round_trip() {
+        for f in Fidelity::ALL {
+            assert_eq!(Fidelity::parse(f.label()), Ok(f));
+        }
+        assert!(Fidelity::parse("atomic").is_err());
+        assert_eq!(Fidelity::default(), Fidelity::Ooo);
+    }
+
+    #[test]
+    fn fidelity_is_structural_in_the_eval_debug_rendering() {
+        // Every fingerprint in the workspace hashes `{eval:?}`; two evals
+        // differing only in rung must render differently.
+        let ooo = EvalConfig::quick();
+        let lite = EvalConfig::quick().with_fidelity(Fidelity::Lite);
+        assert_ne!(format!("{ooo:?}"), format!("{lite:?}"));
     }
 
     #[test]

@@ -11,16 +11,27 @@
 //! file:
 //!
 //! ```json
-//! {"sweep": "<fp hex>", "schema": 1, "points": 12,
-//!  "baseline": {"xalanc_like": 4606281698874543104, ...}}
+//! {"sweep": "<fp hex>", "schema": 1, "points": 12, "fidelity": "lite",
+//!  "baseline": {"xalanc_like": 4606281698874543104, ...},
+//!  "baseline_ooo": {"xalanc_like": ...}}
 //! ```
 //!
 //! `sweep` is the [`sweep_fingerprint`](super::sweep_fingerprint) of
 //! (grid spec, eval, schema): a journal can only ever resume the exact
-//! sweep that wrote it. `baseline` pins the per-workload baseline IPCs
-//! so a resumed run aggregates against the same denominators without
-//! recomputation. Every later line is one completed point, appended by
-//! the worker that retires its last workload:
+//! sweep that wrote it. `fidelity` records the sweep's fidelity plan
+//! explicitly; it is checked *before* the fingerprint so a resume after
+//! a fidelity-config change is rejected with a diagnostic naming the
+//! plan change rather than the generic foreign-sweep error (the
+//! fingerprint would catch it too — `eval.fidelity` is structural —
+//! but "grid changed" would mislead). `baseline` pins the per-workload
+//! baseline IPCs so a resumed run aggregates against the same
+//! denominators without recomputation; `baseline_ooo` rides along in
+//! ladder mode, pinning the OOO-reference denominators the spot-check
+//! and frontier-revalidation points aggregate against. Every later line
+//! is one completed point, appended by the worker that retires its last
+//! workload (in ladder mode, rung and OOO evaluations of the same grid
+//! cell are separate lines under their own fingerprints — rungs never
+//! mix):
 //!
 //! ```json
 //! {"point": "<fp hex>", "name": "excl3-5632KB", "perf": ...,
@@ -47,8 +58,20 @@ use std::sync::Mutex;
 pub(super) struct State {
     /// Baseline per-workload IPCs from the header, if one was written.
     pub baseline: Option<Vec<(String, f64)>>,
+    /// OOO-reference baseline IPCs (ladder-mode headers only).
+    pub baseline_ooo: Option<Vec<(String, f64)>>,
     /// Completed points keyed by point fingerprint.
     pub points: FxHashMap<u128, PointMetrics>,
+}
+
+/// Header payload for a fresh journal (see the module docs).
+pub(super) struct HeaderInfo {
+    /// Fidelity plan label ([`Fidelity::label`](crate::experiments::Fidelity::label)).
+    pub fidelity: &'static str,
+    /// Per-workload rung baseline IPCs.
+    pub baseline: Vec<(String, f64)>,
+    /// Per-workload OOO baseline IPCs (ladder mode only).
+    pub baseline_ooo: Option<Vec<(String, f64)>>,
 }
 
 fn parse_hex_fp(s: &str) -> Option<u128> {
@@ -60,10 +83,12 @@ fn field_f64(v: &json::JsonValue, key: &str) -> Option<f64> {
 }
 
 /// Reads a journal back. A missing file is an empty state (fresh
-/// sweep); a present file must lead with a header whose `sweep`
-/// fingerprint and schema match, otherwise the checkpoint belongs to a
-/// different sweep and resuming would silently mix grids.
-pub(super) fn load(path: &Path, sweep_fp: Fingerprint) -> Result<State, String> {
+/// sweep); a present file must lead with a header whose fidelity plan,
+/// `sweep` fingerprint and schema match, otherwise the checkpoint
+/// belongs to a different sweep and resuming would silently mix grids
+/// or rungs. The fidelity check runs first so a plan change gets its
+/// own diagnostic (see the module docs).
+pub(super) fn load(path: &Path, sweep_fp: Fingerprint, fidelity: &str) -> Result<State, String> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(State::default()),
@@ -82,7 +107,20 @@ pub(super) fn load(path: &Path, sweep_fp: Fingerprint) -> Result<State, String> 
         };
         if let Some(fp) = value.get("sweep").and_then(|v| v.as_str()) {
             if !saw_header {
-                // Only the first header is authoritative.
+                // Only the first header is authoritative. Fidelity
+                // first: the fingerprint covers it too, but the generic
+                // foreign-sweep error would point at the grid.
+                if let Some(plan) = value.get("fidelity").and_then(|v| v.as_str()) {
+                    if plan != fidelity {
+                        return Err(format!(
+                            "checkpoint {} was written under fidelity plan '{plan}' \
+                             but this sweep runs '{fidelity}'; a resumed sweep must \
+                             keep its fidelity configuration — delete the checkpoint \
+                             or pick another path",
+                            path.display()
+                        ));
+                    }
+                }
                 if parse_hex_fp(fp) != Some(sweep_fp.0) {
                     return Err(format!(
                         "checkpoint {} was written by a different sweep \
@@ -109,6 +147,11 @@ pub(super) fn load(path: &Path, sweep_fp: Fingerprint) -> Result<State, String> 
                         .filter_map(|(k, v)| Some((k.clone(), f64::from_bits(v.as_num()?))))
                         .collect(),
                 );
+                state.baseline_ooo = value.get("baseline_ooo").and_then(|v| v.as_obj()).map(|b| {
+                    b.iter()
+                        .filter_map(|(k, v)| Some((k.clone(), f64::from_bits(v.as_num()?))))
+                        .collect()
+                });
                 saw_header = true;
             }
             continue;
@@ -159,7 +202,7 @@ impl Writer {
         path: &Path,
         sweep_fp: Fingerprint,
         total: usize,
-        header: Option<Vec<(String, f64)>>,
+        header: Option<HeaderInfo>,
     ) -> Result<Writer, String> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
@@ -175,15 +218,24 @@ impl Writer {
         let writer = Writer {
             file: Mutex::new(BufWriter::new(file)),
         };
-        if let Some(baseline) = header {
-            let fields: Vec<String> = baseline
-                .iter()
-                .map(|(name, ipc)| format!("\"{}\": {}", json::escape(name), ipc.to_bits()))
-                .collect();
+        if let Some(h) = header {
+            let obj = |pairs: &[(String, f64)]| {
+                let fields: Vec<String> = pairs
+                    .iter()
+                    .map(|(name, ipc)| format!("\"{}\": {}", json::escape(name), ipc.to_bits()))
+                    .collect();
+                format!("{{{}}}", fields.join(", "))
+            };
+            let ooo = h
+                .baseline_ooo
+                .as_deref()
+                .map(|b| format!(", \"baseline_ooo\": {}", obj(b)))
+                .unwrap_or_default();
             writer.write_line(&format!(
                 "{{\"sweep\": \"{sweep_fp}\", \"schema\": {SCHEMA_VERSION}, \
-                 \"points\": {total}, \"baseline\": {{{}}}}}",
-                fields.join(", ")
+                 \"points\": {total}, \"fidelity\": \"{}\", \"baseline\": {}{ooo}}}",
+                h.fidelity,
+                obj(&h.baseline)
             ))?;
         }
         Ok(writer)
@@ -228,7 +280,13 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let sweep = fp128("journal-test-sweep");
         let baseline = vec![("astar_like".to_string(), 0.1234567891234)];
-        let w = Writer::open(&path, sweep, 3, Some(baseline.clone())).unwrap();
+        let baseline_ooo = vec![("astar_like".to_string(), 0.9876543219876)];
+        let header = HeaderInfo {
+            fidelity: "lite",
+            baseline: baseline.clone(),
+            baseline_ooo: Some(baseline_ooo.clone()),
+        };
+        let w = Writer::open(&path, sweep, 3, Some(header)).unwrap();
         let p1 = fp128("p1");
         let m1 = PointMetrics {
             perf: 1.0372819,
@@ -247,12 +305,18 @@ mod tests {
         );
         drop(w);
 
-        let state = load(&path, sweep).unwrap();
+        let state = load(&path, sweep, "lite").unwrap();
         assert_eq!(state.baseline, Some(baseline));
+        assert_eq!(state.baseline_ooo, Some(baseline_ooo));
         assert_eq!(state.points.len(), 2);
         assert_eq!(state.points[&p1.0], m1);
         // NaN survives as NaN (bit pattern, not text).
         assert!(state.points[&fp128("p2").0].perf.is_nan());
+        // A fidelity-plan change is rejected with its own diagnostic,
+        // ahead of (and more specific than) the fingerprint check.
+        let err = load(&path, sweep, "ooo").expect_err("plan change rejected");
+        assert!(err.contains("fidelity plan 'lite'"), "got: {err}");
+        assert!(err.contains("runs 'ooo'"), "got: {err}");
     }
 
     #[test]
@@ -260,7 +324,12 @@ mod tests {
         let path = tmp("torn.journal");
         let _ = std::fs::remove_file(&path);
         let sweep = fp128("owner");
-        let w = Writer::open(&path, sweep, 1, Some(vec![("x".into(), 1.0)])).unwrap();
+        let header = HeaderInfo {
+            fidelity: "ooo",
+            baseline: vec![("x".into(), 1.0)],
+            baseline_ooo: None,
+        };
+        let w = Writer::open(&path, sweep, 1, Some(header)).unwrap();
         w.append(
             fp128("done"),
             "a",
@@ -277,12 +346,16 @@ mod tests {
             let mut f = OpenOptions::new().append(true).open(&path).unwrap();
             write!(f, "{{\"point\": \"deadbeef").unwrap();
         }
-        let state = load(&path, sweep).unwrap();
+        let state = load(&path, sweep, "ooo").unwrap();
         assert_eq!(state.points.len(), 1);
+        assert!(
+            state.baseline_ooo.is_none(),
+            "plain headers carry no OOO baseline"
+        );
         // A different sweep must refuse to resume from this file.
-        assert!(load(&path, fp128("intruder")).is_err());
+        assert!(load(&path, fp128("intruder"), "ooo").is_err());
         // Missing file: clean empty state.
-        let fresh = load(&tmp("never-written.journal"), sweep).unwrap();
+        let fresh = load(&tmp("never-written.journal"), sweep, "ooo").unwrap();
         assert!(fresh.baseline.is_none() && fresh.points.is_empty());
     }
 }

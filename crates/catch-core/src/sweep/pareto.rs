@@ -22,7 +22,7 @@ use std::cmp::Ordering;
 /// grid would drown the report).
 const FULL_TABLE_LIMIT: usize = 32;
 
-fn dominates(a: &PointMetrics, b: &PointMetrics) -> bool {
+pub(super) fn dominates(a: &PointMetrics, b: &PointMetrics) -> bool {
     a.perf >= b.perf
         && a.energy_uj <= b.energy_uj
         && a.area_mm2 <= b.area_mm2
@@ -73,13 +73,17 @@ fn metric_columns() -> Vec<String> {
 }
 
 /// Assembles the sweep report from the completed metrics (in grid
-/// order; `None` = still pending under a point limit).
+/// order; `None` = still pending under a point limit). In ladder mode
+/// `validated` carries (rung label, OOO-validated point count) and the
+/// metrics slice already holds OOO numbers for every validated point,
+/// so the frontier table renders from reference-fidelity data only.
 pub(super) fn report(
     spec: &SweepSpec,
     points: &[SweepPoint],
     metrics: &[Option<PointMetrics>],
     remaining: usize,
     degenerate: usize,
+    validated: Option<(&str, usize)>,
 ) -> ExperimentReport {
     let completed: Vec<(&str, PointMetrics)> = points
         .iter()
@@ -117,6 +121,9 @@ pub(super) fn report(
         vec![(completed.len() - frontier.len() - degenerate) as f64],
     );
     t.push_row("degenerate", vec![degenerate as f64]);
+    if let Some((_, n)) = validated {
+        t.push_row("ooo-validated", vec![n as f64]);
+    }
     tables.push(t);
 
     let mut notes = vec![
@@ -137,6 +144,14 @@ pub(super) fn report(
              checkpoint to complete the grid.",
             completed.len(),
             points.len()
+        ));
+    }
+    if let Some((rung, n)) = validated {
+        notes.push(format!(
+            "fidelity ladder: grid screened on the '{rung}' rung with {n} points \
+             re-run at the OOO reference (stratified calibration refit each wave, \
+             frontier validation to a fixpoint); all frontier rows above are \
+             OOO-measured and unvalidated rows are calibration-mapped."
         ));
     }
 

@@ -2,7 +2,7 @@
 
 use crate::metrics::{MpResult, RunResult};
 use catch_cache::{CacheHierarchy, HierarchyConfig, Level};
-use catch_cpu::{Core, CoreConfig, Engine, LoadOracle, TactMode};
+use catch_cpu::{run_fast_functional, Core, CoreConfig, Engine, LiteCore, LoadOracle, TactMode};
 use catch_criticality::DetectorConfig;
 use catch_dram::{DramConfig, DramSystem};
 use catch_obs::Obs;
@@ -206,6 +206,43 @@ impl System {
                 core.tick_or_skip(&mut hier);
                 assert!(core.cycle() < budget, "warm-up exceeded cycle budget");
             }
+            core.end_warmup();
+            hier.reset_stats();
+        }
+        let stats = core.run_to_completion(&mut hier);
+        RunResult::collect(
+            core.trace().name().to_string(),
+            core.trace().category(),
+            self.config.name.clone(),
+            stats,
+            &hier,
+        )
+    }
+
+    /// Runs a single trace on the `fast` fidelity rung: the functional
+    /// fast-forward path end to end (one op per cycle, warm hierarchy
+    /// accesses, branch training, no pipeline timing). Counters are
+    /// bit-identical to the existing [`Core::fast_forward`] because they
+    /// *are* that path; IPC is 1 by construction. See DESIGN.md §14.
+    pub fn run_st_fast(&self, trace: Trace, warmup_ops: usize) -> RunResult {
+        let mut hier = self.build_hierarchy(1);
+        let name = trace.name().to_string();
+        let category = trace.category();
+        let stats = run_fast_functional(0, trace, self.config.core.clone(), &mut hier, warmup_ops);
+        RunResult::collect(name, category, self.config.name.clone(), stats, &hier)
+    }
+
+    /// Runs a single trace on the `timing-lite` fidelity rung: a
+    /// functional fast-forward warm-up (the warm-up being approximate is
+    /// part of the rung's semantics) followed by the in-order-issue
+    /// scoreboard core ([`LiteCore`]) driving the real hierarchy,
+    /// criticality detector and TACT. See DESIGN.md §14 for the error
+    /// model; the `ladder` experiment measures it per workload.
+    pub fn run_st_lite(&self, trace: Trace, warmup_ops: usize) -> RunResult {
+        let mut hier = self.build_hierarchy(1);
+        let mut core = LiteCore::new(0, trace, self.config.core.clone());
+        if warmup_ops > 0 {
+            core.fast_forward(&mut hier, warmup_ops);
             core.end_warmup();
             hier.reset_stats();
         }

@@ -16,11 +16,11 @@ use std::collections::VecDeque;
 
 /// How often (in retired µops) newly detected critical PCs are pushed to
 /// TACT.
-const CRITICAL_SYNC_INTERVAL: u64 = 512;
+pub(crate) const CRITICAL_SYNC_INTERVAL: u64 = 512;
 
 /// Cadence (in cycles) of ledger/bookkeeping maintenance. A multiple of
 /// [`OCC_SAMPLE_PERIOD`], which the skip-ahead bulk replay relies on.
-const MAINT_PERIOD: u64 = 65_536;
+pub(crate) const MAINT_PERIOD: u64 = 65_536;
 
 /// One out-of-order core bound to a trace.
 ///

@@ -47,6 +47,7 @@ mod branch;
 mod config;
 mod core;
 mod frontend;
+mod lite;
 mod memory;
 mod rob;
 mod stats;
@@ -56,6 +57,7 @@ pub use catch_timeq::Engine;
 pub use config::{CoreConfig, DetectorKind, ExecLatencies, LoadOracle, PortConfig, TactMode};
 pub use core::Core;
 pub use frontend::Frontend;
+pub use lite::{run_fast_functional, LiteCore};
 pub use memory::MemoryInterface;
 pub use rob::{Rob, RobEntry};
 pub use stats::CoreStats;

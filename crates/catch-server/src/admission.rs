@@ -132,6 +132,15 @@ mod tests {
         assert_ne!(request_fingerprint(&base.id, &eval), fp);
         let sampled = base.eval.with_sample(1000);
         assert_ne!(request_fingerprint(&base.id, &sampled), fp);
+        // Fidelity is structural: a lite request must never coalesce
+        // onto an in-flight OOO job for the same experiment (or vice
+        // versa) — the reports differ.
+        for f in catch_core::experiments::Fidelity::ALL {
+            if f != base.eval.fidelity {
+                let retagged = base.eval.with_fidelity(f);
+                assert_ne!(request_fingerprint(&base.id, &retagged), fp);
+            }
+        }
     }
 
     #[test]

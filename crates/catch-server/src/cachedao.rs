@@ -127,6 +127,7 @@ mod tests {
             warmup: 100,
             seed: 1,
             sample: None,
+            fidelity: catch_core::experiments::Fidelity::Ooo,
         };
         let config = SystemConfig::baseline_exclusive();
         let trace = cache.trace(&spec, eval.ops, eval.seed);

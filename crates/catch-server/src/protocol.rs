@@ -14,8 +14,12 @@
 //! ```text
 //! request  = run | stats | ping | shutdown
 //! run      = {"type":"run","seq":u64,"client":str,"priority":prio,
-//!             "id":str,"ops":u64,"warmup":u64,"seed":u64,"sample":u64}
+//!             "id":str,"ops":u64,"warmup":u64,"seed":u64,"sample":u64,
+//!             "fidelity":fid}
 //!             ; sample = 0 means full-detail execution
+//!             ; fidelity is optional on decode (default "ooo") so
+//!             ; pre-ladder clients stay compatible; always encoded
+//! fid      = "fast" | "lite" | "ooo"
 //! stats    = {"type":"stats","seq":u64}
 //! ping     = {"type":"ping","seq":u64}
 //! shutdown = {"type":"shutdown","seq":u64}
@@ -34,7 +38,7 @@
 //! connection stays usable (asserted by the `server_protocol` suite).
 
 use crate::cachedao::ShardStats;
-use catch_core::experiments::EvalConfig;
+use catch_core::experiments::{EvalConfig, Fidelity};
 use catch_core::report::json::{self, escape, JsonValue};
 use catch_core::CacheSummary;
 
@@ -212,11 +216,22 @@ impl Request {
                 if ops == 0 {
                     return Err("'ops' must be positive".to_string());
                 }
+                // Absent fidelity means the OOO reference: frames from
+                // pre-ladder clients keep their exact old meaning. A
+                // present-but-unknown label is a protocol violation.
+                let fidelity = match v.get("fidelity") {
+                    Some(f) => {
+                        let label = f.as_str().ok_or("non-string field 'fidelity'")?;
+                        Fidelity::parse(label)?
+                    }
+                    None => Fidelity::Ooo,
+                };
                 let mut eval = EvalConfig {
                     ops: ops as usize,
                     warmup: get_num(&v, "warmup")? as usize,
                     seed: get_num(&v, "seed")?,
                     sample: None,
+                    fidelity,
                 };
                 if sample > 0 {
                     eval.sample = Some(sample as usize);
@@ -241,7 +256,8 @@ impl Request {
         match self {
             Request::Run(r) => format!(
                 "{{\"type\":\"run\",\"seq\":{},\"client\":\"{}\",\"priority\":\"{}\",\
-                 \"id\":\"{}\",\"ops\":{},\"warmup\":{},\"seed\":{},\"sample\":{}}}\n",
+                 \"id\":\"{}\",\"ops\":{},\"warmup\":{},\"seed\":{},\"sample\":{},\
+                 \"fidelity\":\"{}\"}}\n",
                 r.seq,
                 escape(&r.client),
                 r.priority.label(),
@@ -250,6 +266,7 @@ impl Request {
                 r.eval.warmup,
                 r.eval.seed,
                 r.eval.sample.unwrap_or(0),
+                r.eval.fidelity.label(),
             ),
             Request::Stats { seq } => format!("{{\"type\":\"stats\",\"seq\":{seq}}}\n"),
             Request::Ping { seq } => format!("{{\"type\":\"ping\",\"seq\":{seq}}}\n"),
@@ -420,6 +437,7 @@ mod tests {
                 warmup: 2000,
                 seed: 42,
                 sample: Some(500),
+                fidelity: Fidelity::Lite,
             },
         }
     }
@@ -444,6 +462,18 @@ mod tests {
         req.eval.sample = None;
         let decoded = Request::decode(&Request::Run(req.clone()).encode()).expect("ok");
         assert_eq!(decoded, Request::Run(req));
+    }
+
+    #[test]
+    fn absent_fidelity_decodes_as_the_ooo_reference() {
+        // A pre-ladder client frame (no fidelity field) must keep its
+        // exact old meaning.
+        let legacy = "{\"type\":\"run\",\"seq\":1,\"client\":\"a\",\"priority\":\"sweep\",\
+                      \"id\":\"fig10\",\"ops\":100,\"warmup\":0,\"seed\":1,\"sample\":0}";
+        match Request::decode(legacy).expect("legacy frame decodes") {
+            Request::Run(r) => assert_eq!(r.eval.fidelity, Fidelity::Ooo),
+            other => panic!("wrong variant {other:?}"),
+        }
     }
 
     #[test]
@@ -520,6 +550,9 @@ mod tests {
              \"id\":\"fig10\",\"ops\":1,\"warmup\":0,\"seed\":1,\"sample\":0}",
             "{\"type\":\"run\",\"seq\":1,\"client\":\"a\",\"priority\":\"sweep\",\
              \"id\":\"fig10\",\"ops\":0,\"warmup\":0,\"seed\":1,\"sample\":0}",
+            "{\"type\":\"run\",\"seq\":1,\"client\":\"a\",\"priority\":\"sweep\",\
+             \"id\":\"fig10\",\"ops\":1,\"warmup\":0,\"seed\":1,\"sample\":0,\
+             \"fidelity\":\"atomic\"}",
         ] {
             assert!(Request::decode(bad).is_err(), "'{bad}' must not decode");
         }

@@ -10,7 +10,7 @@
 //! it serializes on one lock and restores in-memory mode before releasing.
 
 use catch_cache::Level;
-use catch_core::experiments::{self, run_suite_parallel, EvalConfig};
+use catch_core::experiments::{self, run_suite_parallel, EvalConfig, Fidelity};
 use catch_core::report::json::{run_result_to_json, run_results_to_json};
 use catch_core::{run_fingerprint, CacheMode, RunCache, RunResult, SystemConfig};
 use catch_criticality::DetectorConfig;
@@ -28,6 +28,7 @@ fn tiny() -> EvalConfig {
         warmup: 500,
         seed: 42,
         sample: None,
+        fidelity: Fidelity::Ooo,
     }
 }
 
@@ -114,6 +115,7 @@ fn run_all_assembles_entirely_from_cache_hits() {
         warmup: 200,
         seed: 42,
         sample: None,
+        fidelity: Fidelity::Ooo,
     };
     // Every registry id with suite requests: after run_all's global work
     // queue drains, report assembly must add zero misses — the collected

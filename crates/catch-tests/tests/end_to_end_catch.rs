@@ -4,7 +4,7 @@
 //! recover the no-L2 loss and the oracle/criticality machinery must order
 //! configurations the way the paper's figures do.
 
-use catch_core::experiments::{run_suite, EvalConfig};
+use catch_core::experiments::{run_suite, EvalConfig, Fidelity};
 use catch_core::{geomean_ratio, LoadOracle, System, SystemConfig};
 use catch_workloads::suite;
 
@@ -14,6 +14,7 @@ fn eval() -> EvalConfig {
         warmup: 8_000,
         seed: 42,
         sample: None,
+        fidelity: Fidelity::Ooo,
     }
 }
 

@@ -2,7 +2,7 @@
 //! bit-identical to a serial run for every worker count — parallelism
 //! only changes wall-clock time, never the science.
 
-use catch_core::experiments::{run_suite_parallel, EvalConfig};
+use catch_core::experiments::{run_suite_parallel, EvalConfig, Fidelity};
 use catch_core::report::json::run_results_to_json;
 use catch_core::SystemConfig;
 use catch_trace::counters::Counters;
@@ -13,6 +13,7 @@ fn eval() -> EvalConfig {
         warmup: 1_000,
         seed: 42,
         sample: None,
+        fidelity: Fidelity::Ooo,
     }
 }
 

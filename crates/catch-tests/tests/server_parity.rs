@@ -8,7 +8,7 @@
 //! registry three times (two served passes + one local reference), and
 //! finishes with a graceful drain.
 
-use catch_core::experiments::{self, EvalConfig};
+use catch_core::experiments::{self, EvalConfig, Fidelity};
 use catch_core::RunCache;
 use catch_server::{Client, Priority, Server, ServerConfig};
 use std::collections::BTreeMap;
@@ -20,9 +20,10 @@ fn full_registry_via_daemon_is_byte_identical_and_warm_on_second_pass() {
         warmup: 200,
         seed: 42,
         sample: None,
+        fidelity: Fidelity::Ooo,
     };
     let ids = experiments::all_ids();
-    assert_eq!(ids.len(), 20, "registry size changed; update this suite");
+    assert_eq!(ids.len(), 21, "registry size changed; update this suite");
 
     let path = std::env::temp_dir().join(format!("catch-parity-{}.sock", std::process::id()));
     let handle = Server::bind(&path, ServerConfig::default()).expect("bind daemon");

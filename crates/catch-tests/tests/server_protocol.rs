@@ -8,7 +8,7 @@
 //! stay on control frames, because integration tests share one process
 //! and therefore one global [`RunCache`].
 
-use catch_core::experiments::{self, EvalConfig};
+use catch_core::experiments::{self, EvalConfig, Fidelity};
 use catch_core::RunCache;
 use catch_server::{
     Client, ClientError, Priority, Response, Server, ServerConfig, ServerHandle, MAX_FRAME_BYTES,
@@ -41,6 +41,7 @@ fn tiny() -> EvalConfig {
         warmup: 500,
         seed: 42,
         sample: None,
+        fidelity: Fidelity::Ooo,
     }
 }
 

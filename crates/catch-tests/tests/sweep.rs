@@ -13,7 +13,7 @@
 //! [`RunCache`]; a file-level mutex serializes them so miss-delta
 //! assertions stay exact.
 
-use catch_core::experiments::EvalConfig;
+use catch_core::experiments::{EvalConfig, Fidelity};
 use catch_core::sweep::{run_sweep, SweepOptions, SweepSpec};
 use catch_core::RunCache;
 use catch_server::{Client, Priority, Server, ServerConfig};
@@ -28,6 +28,7 @@ fn tiny() -> EvalConfig {
         warmup: 500,
         seed: 42,
         sample: None,
+        fidelity: Fidelity::Ooo,
     }
 }
 
@@ -54,6 +55,7 @@ fn interrupted_sweep_resumes_byte_identically_with_zero_recompute() {
             jobs: None,
             checkpoint: Some(ref_journal),
             limit: None,
+            spot_stride: None,
         },
     )
     .expect("reference sweep");
@@ -69,6 +71,7 @@ fn interrupted_sweep_resumes_byte_identically_with_zero_recompute() {
         jobs: None,
         checkpoint: Some(journal),
         limit: None,
+        spot_stride: None,
     };
     let partial = run_sweep(
         &spec,

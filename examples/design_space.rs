@@ -12,7 +12,7 @@
 //! 600-point grid). Add `--md` for markdown output. Pass a checkpoint
 //! through the full CLI instead: `run_experiment sweep --checkpoint f`.
 
-use catch_core::experiments::EvalConfig;
+use catch_core::experiments::{EvalConfig, Fidelity};
 use catch_core::sweep::{run_sweep, SweepOptions, SweepSpec};
 use catch_core::RunCache;
 
@@ -35,6 +35,7 @@ fn main() {
         warmup: ops / 4,
         seed: 42,
         sample: None,
+        fidelity: Fidelity::Ooo,
     };
 
     match run_sweep(&spec, &eval, &SweepOptions::default()) {

@@ -23,6 +23,8 @@
 //! cargo run --release --example run_experiment -- sweep         # quick design-space grid
 //! cargo run --release --example run_experiment -- sweep:paper --checkpoint /tmp/s.journal
 //! cargo run --release --example run_experiment -- sweep-smoke   # CI gate
+//! cargo run --release --example run_experiment -- --fidelity lite sweep:paper
+//! cargo run --release --example run_experiment -- ladder-smoke  # CI gate
 //! cargo run --release --example run_experiment                  # lists ids
 //! ```
 //!
@@ -132,8 +134,23 @@
 //! the journal — and exits non-zero unless the resumed pass recomputes
 //! nothing (run-cache miss delta zero) and renders byte-identical
 //! report bytes.
+//!
+//! `--fidelity fast|lite|ooo` selects the model rung every simulation
+//! runs on (DESIGN.md §14): `ooo` is the full out-of-order reference
+//! (default), `lite` the in-order timing-lite core over the real memory
+//! hierarchy, `fast` the functional fast-forward model. The fidelity is
+//! structural — it is part of every run-cache, sweep-journal and daemon
+//! admission fingerprint, so rungs never alias. A `lite` (or `fast`)
+//! sweep runs the whole grid on the cheap rung and re-validates the
+//! spot-check stride plus every frontier candidate at the OOO
+//! reference, so Pareto frontier rows are always OOO-measured.
+//!
+//! The special id `ladder-smoke` is the CI fidelity-ladder gate: it
+//! runs every golden workload on all three rungs, prints the per-rung
+//! error vs the OOO reference, and exits non-zero when a timing-lite
+//! error exceeds its budget (IPC or MPKI).
 
-use catch_core::experiments::{self, runner, EvalConfig, GOLDEN_WORKLOADS};
+use catch_core::experiments::{self, runner, EvalConfig, Fidelity, GOLDEN_WORKLOADS};
 use catch_core::report::json::run_results_to_json;
 use catch_core::{
     merge_parts, part_path, CacheMode, ChromeTraceSink, CountingSink, Engine, EventClass,
@@ -149,7 +166,8 @@ use std::time::Instant;
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: run_experiment [--md] [--jobs N] [--sample I] \
-         [--engine tick|timeq] [--cache-dir DIR] [--no-cache] \
+         [--engine tick|timeq] [--fidelity fast|lite|ooo] \
+         [--cache-dir DIR] [--no-cache] \
          [--trace-events PATH] [--profile] \
          [--server SOCK] [--client NAME] [--priority P] [--workers N] \
          [--checkpoint PATH] [--points N] \
@@ -169,6 +187,7 @@ fn usage_and_exit() -> ! {
     eprintln!("  timeq-smoke (CI cycle-engine parity gate)");
     eprintln!("  server-smoke (CI simulation-service gate)");
     eprintln!("  sweep-smoke (CI sweep resumability gate)");
+    eprintln!("  ladder-smoke (CI fidelity-ladder accuracy gate)");
     std::process::exit(2);
 }
 
@@ -697,6 +716,7 @@ fn local_sweep(
         jobs: None,
         checkpoint,
         limit: points,
+        spot_stride: None,
     };
     match catch_core::sweep::run_sweep(spec, eval, &opts) {
         Ok(outcome) => {
@@ -706,12 +726,14 @@ fn local_sweep(
                 print!("{}", outcome.report);
             }
             eprintln!(
-                "sweep: {} points ({} computed, {} resumed, {} pending, {} degenerate)",
+                "sweep: {} points ({} computed, {} resumed, {} pending, {} degenerate, \
+                 {} ooo-validated)",
                 outcome.total,
                 outcome.computed,
                 outcome.resumed,
                 outcome.remaining,
-                outcome.degenerate
+                outcome.degenerate,
+                outcome.validated
             );
             eprintln!("{}", RunCache::global().summary());
             std::process::exit(if outcome.remaining > 0 { 3 } else { 0 });
@@ -738,6 +760,7 @@ fn sweep_smoke(eval: &EvalConfig) -> ! {
         jobs: None,
         checkpoint: Some(dir.join("sweep.journal")),
         limit: None,
+        spot_stride: None,
     };
     let cache = RunCache::global();
     let run = |opts: &SweepOptions, what: &str| {
@@ -802,6 +825,40 @@ fn sweep_smoke(eval: &EvalConfig) -> ! {
     std::process::exit(0);
 }
 
+/// The CI fidelity-ladder gate: every golden workload on all three
+/// rungs, hard-fail when a timing-lite error vs the OOO reference
+/// exceeds its budget (see `experiments::ladder`).
+fn ladder_smoke(eval: &EvalConfig) -> ! {
+    use catch_core::experiments::{
+        ladder_errors, LITE_IPC_ERR_BUDGET_PCT, LITE_MPKI_ERR_BUDGET_PCT,
+    };
+    let t = Instant::now();
+    let errors = ladder_errors(eval);
+    let secs = t.elapsed().as_secs_f64();
+    for rung in &errors.lite {
+        println!(
+            "ladder-smoke: {:<13} lite vs ooo — IPC err {:>6.2}% (budget \
+             {LITE_IPC_ERR_BUDGET_PCT}%), L2 MPKI err {:>6.2}%, LLC MPKI err {:>6.2}% \
+             (budget {LITE_MPKI_ERR_BUDGET_PCT}%)",
+            rung.workload, rung.ipc_pct, rung.l2_mpki_pct, rung.llc_mpki_pct,
+        );
+    }
+    println!(
+        "ladder-smoke: {} workloads x 3 rungs, ops={} ({secs:.1}s)",
+        errors.lite.len(),
+        eval.ops
+    );
+    let violations = errors.violations();
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("ladder-smoke FAILED: {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("ladder-smoke OK (timing-lite within every error budget)");
+    std::process::exit(0);
+}
+
 fn occ_line(name: &str, h: &OccupancyHist) -> String {
     format!(
         "  {name:<10} mean {:>7.1}  max {:>5}  samples {}",
@@ -860,6 +917,7 @@ fn main() {
     let mut workers: Option<usize> = None;
     let mut checkpoint: Option<PathBuf> = None;
     let mut points: Option<usize> = None;
+    let mut fidelity: Option<Fidelity> = None;
     // Flags may appear in any order ahead of the positional arguments.
     loop {
         match args.first().map(String::as_str) {
@@ -980,6 +1038,18 @@ fn main() {
                 workers = Some(n);
                 args.remove(0);
             }
+            Some("--fidelity") => {
+                args.remove(0);
+                let Some(raw) = args.first() else {
+                    eprintln!("--fidelity requires 'fast', 'lite' or 'ooo'");
+                    usage_and_exit();
+                };
+                fidelity = Some(Fidelity::parse(raw).unwrap_or_else(|e| {
+                    eprintln!("invalid --fidelity: {e}");
+                    usage_and_exit();
+                }));
+                args.remove(0);
+            }
             Some("--checkpoint") => {
                 args.remove(0);
                 let Some(raw) = args.first() else {
@@ -1013,6 +1083,9 @@ fn main() {
     }
     let mut eval = EvalConfig::standard();
     eval.sample = sample;
+    if let Some(f) = fidelity {
+        eval.fidelity = f;
+    }
     if let Some(ops) = args.get(1).and_then(|s| s.parse().ok()) {
         eval.ops = ops;
     }
@@ -1065,6 +1138,9 @@ fn main() {
     }
     if id == "sweep-smoke" {
         sweep_smoke(&eval);
+    }
+    if id == "ladder-smoke" {
+        ladder_smoke(&eval);
     }
     if let Some(spec) = catch_core::sweep::by_request_id(&id) {
         local_sweep(&spec, &eval, checkpoint, points, markdown);

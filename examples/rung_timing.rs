@@ -1,0 +1,63 @@
+//! Per-rung wall-clock comparison on the golden six: how much cheaper
+//! each fidelity rung is per simulation, on the configuration the
+//! design-space sweep runs hottest (exclusive + CATCH). Feeds the
+//! DESIGN.md §14 / EXPERIMENTS.md ladder measurements.
+//!
+//! ```text
+//! cargo run --release --example rung_timing [OPS [WARMUP]]
+//! ```
+
+use catch_core::experiments::GOLDEN_WORKLOADS;
+use catch_core::{System, SystemConfig};
+use catch_workloads::suite;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let ops: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(80_000);
+    let warmup: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(30_000);
+    let traces: Vec<_> = GOLDEN_WORKLOADS
+        .iter()
+        .map(|name| {
+            suite::by_name(name)
+                .expect("golden workload exists")
+                .generate(ops, 42)
+        })
+        .collect();
+    println!("rung_timing: golden six, ops={ops} warmup={warmup}");
+    for (label, config) in [
+        (
+            "exclusive+CATCH",
+            SystemConfig::baseline_exclusive().with_catch(),
+        ),
+        ("exclusive plain", SystemConfig::baseline_exclusive()),
+    ] {
+        println!("{label}:");
+        let system = System::new(config);
+        let mut per_rung = Vec::new();
+        for rung in ["fast", "lite", "ooo"] {
+            // One untimed warm-up pass, then two timed passes over all six.
+            let run_all = |sys: &System| {
+                for trace in &traces {
+                    let r = match rung {
+                        "fast" => sys.run_st_fast(trace.clone(), warmup),
+                        "lite" => sys.run_st_lite(trace.clone(), warmup),
+                        _ => sys.run_st_warm(trace.clone(), warmup),
+                    };
+                    std::hint::black_box(r);
+                }
+            };
+            run_all(&system);
+            let t = Instant::now();
+            run_all(&system);
+            run_all(&system);
+            let ms = t.elapsed().as_secs_f64() * 1000.0 / (2.0 * traces.len() as f64);
+            per_rung.push((rung, ms));
+            println!("  {rung:<5} {ms:8.2} ms/run");
+        }
+        let ooo = per_rung.last().expect("three rungs").1;
+        for (rung, ms) in &per_rung[..2] {
+            println!("  {rung} speedup vs ooo: {:.2}x", ooo / ms.max(1e-9));
+        }
+    }
+}
